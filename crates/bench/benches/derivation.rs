@@ -1,0 +1,120 @@
+//! End-to-end derivation benchmarks: the full multi-states pipeline
+//! (sampling → probing → state determination → variable selection → fit)
+//! per query class, plus ablations over the regression form and the
+//! probing-cost estimator — the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdbs_bench::workloads::Site;
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::{collect_observations, derive_cost_model, DerivationConfig};
+use mdbs_core::model::{fit_cost_model, ModelForm};
+use mdbs_core::qualvar::StateSet;
+use mdbs_core::sampling::SampleGenerator;
+use mdbs_core::states::{StateAlgorithm, StatesConfig};
+use std::hint::black_box;
+
+fn quick_cfg() -> DerivationConfig {
+    DerivationConfig {
+        states: StatesConfig {
+            max_states: 4,
+            ..StatesConfig::default()
+        },
+        sample_size: Some(160),
+        fit_probe_estimator: false,
+        ..DerivationConfig::default()
+    }
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_cost_model");
+    group.sample_size(10);
+    for (class, name) in [
+        (QueryClass::UnaryNoIndex, "unary_g1"),
+        (QueryClass::UnaryNonClusteredIndex, "unary_g2"),
+        (QueryClass::JoinNoIndex, "join_g3"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agent = Site::Oracle.dynamic_agent(31);
+                black_box(
+                    derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &quick_cfg(), 32)
+                        .expect("derivation succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the same observations fitted under each regression form of
+/// paper Table 2 — quantifying what the general form costs over the
+/// restricted ones.
+fn bench_form_ablation(c: &mut Criterion) {
+    let mut agent = Site::Oracle.dynamic_agent(41);
+    let mut generator = SampleGenerator::new(42);
+    let obs = collect_observations(
+        &mut agent,
+        QueryClass::UnaryNoIndex,
+        240,
+        &mut generator,
+        None,
+    )
+    .expect("collection succeeds");
+    let (lo, hi) = obs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), o| {
+            (a.min(o.probe_cost), b.max(o.probe_cost))
+        });
+    let states = StateSet::uniform(lo, hi, 4).expect("valid range");
+    let mut group = c.benchmark_group("form_ablation");
+    for form in [
+        ModelForm::Parallel,
+        ModelForm::Concurrent,
+        ModelForm::General,
+    ] {
+        group.bench_function(format!("{form:?}"), |b| {
+            b.iter(|| {
+                black_box(
+                    fit_cost_model(
+                        form,
+                        states.clone(),
+                        vec![0, 1, 2],
+                        vec!["N_O".into(), "N_I".into(), "N_R".into()],
+                        &obs,
+                    )
+                    .expect("fit succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: IUPMA vs ICMA inside the full pipeline on clustered loads.
+fn bench_algorithm_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_ablation");
+    group.sample_size(10);
+    for (algo, name) in [
+        (StateAlgorithm::Iupma, "iupma"),
+        (StateAlgorithm::Icma, "icma"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut agent = Site::Oracle.clustered_agent(51);
+                black_box(
+                    derive_cost_model(&mut agent, QueryClass::UnaryNoIndex, algo, &quick_cfg(), 52)
+                        .expect("derivation succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_form_ablation,
+    bench_algorithm_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the statistical substrate: QR factorization, OLS
+//! fitting with full diagnostics, and qualitative-model fitting at the
+//! design sizes the derivation pipeline actually produces (a few hundred
+//! rows, up to ~25 design columns for 6 states × 4 variables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::model::{fit_cost_model, ModelForm};
+use mdbs_core::observation::Observation;
+use mdbs_core::qualvar::StateSet;
+use mdbs_stats::{Matrix, OlsFit};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random design matrix.
+fn design(n: usize, k: usize) -> (Matrix, Vec<f64>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(k);
+        row.push(1.0);
+        for _ in 1..k {
+            row.push(next() * 1_000.0);
+        }
+        let target: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| v * (j as f64 + 0.5) * 1e-3)
+            .sum::<f64>()
+            + next();
+        rows.push(row);
+        y.push(target);
+    }
+    (Matrix::from_rows(&rows).expect("rectangular"), y)
+}
+
+fn observations(n: usize, states: usize) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            // Three linearly independent pseudo-random columns.
+            let x1 = (i % 37) as f64 * 120.0;
+            let x2 = ((i * 13) % 29) as f64 * 55.0;
+            let x3 = ((i * 7) % 11) as f64 * 9.0;
+            let s = i % states;
+            Observation {
+                x: vec![x1, x2, x3],
+                cost: (s + 1) as f64 * (1.0 + 0.01 * x1 + 0.003 * x2 + 0.02 * x3)
+                    + (i % 5) as f64 * 0.01,
+                probe_cost: s as f64 + 0.3 + (i % 7) as f64 * 0.05,
+            }
+        })
+        .collect()
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    for &(n, k) in &[(100usize, 5usize), (400, 12), (600, 25)] {
+        let (x, _) = design(n, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &x,
+            |b, x| {
+                b.iter(|| black_box(x.qr().expect("full rank")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols_fit");
+    for &(n, k) in &[(100usize, 5usize), (400, 12), (600, 25)] {
+        let (x, y) = design(n, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &(x, y),
+            |b, (x, y)| {
+                b.iter(|| black_box(OlsFit::fit(x, y, true).expect("full rank")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_qualitative_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qualitative_model_fit");
+    let obs = observations(400, 4);
+    let states = StateSet::from_edges(vec![0.0, 1.0, 2.0, 3.0, 4.0]).expect("ascending");
+    for form in [
+        ModelForm::Coincident,
+        ModelForm::Parallel,
+        ModelForm::Concurrent,
+        ModelForm::General,
+    ] {
+        let st = if matches!(form, ModelForm::Coincident) {
+            StateSet::single()
+        } else {
+            states.clone()
+        };
+        group.bench_function(format!("{form:?}"), |b| {
+            b.iter(|| {
+                black_box(
+                    fit_cost_model(
+                        form,
+                        st.clone(),
+                        vec![0, 1, 2],
+                        vec!["a".into(), "b".into(), "c".into()],
+                        &obs,
+                    )
+                    .expect("fit succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qr, bench_ols, bench_qualitative_forms);
+criterion_main!(benches);

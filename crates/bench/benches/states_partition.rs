@@ -1,0 +1,93 @@
+//! Benchmarks of contention-state machinery: 1-D agglomerative clustering,
+//! state lookup, and the full IUPMA/ICMA determination loop — the ablation
+//! the paper's §3.3 motivates (uniform vs clustering-based partitioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::observation::Observation;
+use mdbs_core::qualvar::StateSet;
+use mdbs_core::states::{determine_states, NoResampling, StateAlgorithm, StatesConfig};
+use mdbs_stats::cluster_1d;
+use std::hint::black_box;
+
+/// Synthetic observations with `regimes` genuine contention regimes and
+/// clustered probing costs.
+fn clustered_observations(n: usize, regimes: usize) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            let r = i % regimes;
+            let x = (i % 29) as f64 * 40.0;
+            let centre = 1.0 + r as f64 * 3.0;
+            let probe = centre + ((i % 11) as f64 - 5.0) * 0.04;
+            Observation {
+                x: vec![x],
+                cost: (r + 1) as f64 * (0.5 + 0.02 * x) + (i % 7) as f64 * 0.01,
+                probe_cost: probe,
+            }
+        })
+        .collect()
+}
+
+fn bench_cluster_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_1d");
+    for &n in &[200usize, 600, 2_000] {
+        let probes: Vec<f64> = clustered_observations(n, 3)
+            .iter()
+            .map(|o| o.probe_cost)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &probes, |b, p| {
+            b.iter(|| black_box(cluster_1d(p, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_lookup(c: &mut Criterion) {
+    let states = StateSet::uniform(0.0, 10.0, 6).expect("valid partition");
+    c.bench_function("state_of_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1_000 {
+                acc += states.state_of(black_box(i as f64 * 0.011));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_determination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determine_states");
+    group.sample_size(20);
+    for (algo, name) in [
+        (StateAlgorithm::Iupma, "iupma"),
+        (StateAlgorithm::Icma, "icma"),
+    ] {
+        for &n in &[300usize, 600] {
+            let base = clustered_observations(n, 4);
+            group.bench_function(format!("{name}/{n}"), |b| {
+                b.iter(|| {
+                    let mut obs = base.clone();
+                    black_box(
+                        determine_states(
+                            algo,
+                            &mut obs,
+                            &[0],
+                            &["x".to_string()],
+                            &StatesConfig::default(),
+                            &mut NoResampling,
+                        )
+                        .expect("determination succeeds"),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_1d,
+    bench_state_lookup,
+    bench_determination
+);
+criterion_main!(benches);

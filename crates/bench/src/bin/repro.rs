@@ -1,0 +1,173 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [fig1|table4|table5|table6|fig4_9|fig10|states|all]
+//! ```
+//!
+//! `--quick` trades sample sizes for speed (useful for smoke runs); the
+//! default uses the paper's planned sample sizes (eq. (4)).
+
+use mdbs_bench::experiments::fig4_9::multi_wins;
+use mdbs_bench::experiments::{
+    average_improvement, fig1, fig10, fig4_9, forms_ablation, noise_sensitivity, plan_quality,
+    probe_ablation, range_sensitivity, states_sweep, table4, table5, table6, Table5Config,
+};
+use mdbs_core::classes::QueryClass;
+use std::process::ExitCode;
+
+struct Options {
+    quick: bool,
+}
+
+impl Options {
+    fn table5_config(&self) -> Table5Config {
+        if self.quick {
+            Table5Config::quick()
+        } else {
+            Table5Config::default()
+        }
+    }
+
+    fn sample_size(&self) -> Option<usize> {
+        self.quick.then_some(180)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let target = targets.first().copied().unwrap_or("all");
+    let opts = Options { quick };
+
+    let known = [
+        "fig1",
+        "table4",
+        "table5",
+        "table6",
+        "fig4_9",
+        "fig10",
+        "states",
+        "forms",
+        "probe",
+        "sensitivity",
+        "plans",
+        "all",
+    ];
+    if !known.contains(&target) {
+        eprintln!(
+            "unknown target `{target}`; expected one of: {}",
+            known.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let run = |name: &str| target == name || target == "all";
+    let result = (|| -> Result<(), Box<dyn std::error::Error>> {
+        if run("fig1") {
+            banner("E-FIG1");
+            println!("{}", fig1(if opts.quick { 2 } else { 5 }));
+        }
+        if run("fig10") {
+            banner("E-FIG10");
+            println!("{}", fig10(if opts.quick { 300 } else { 800 }, 40));
+        }
+        if run("states") {
+            banner("E-STATES");
+            println!(
+                "{}",
+                states_sweep(
+                    QueryClass::UnaryNonClusteredIndex,
+                    if opts.quick { 300 } else { 500 },
+                    6
+                )?
+            );
+        }
+        if run("table4") {
+            banner("E-TAB4");
+            println!("{}", table4(opts.sample_size())?);
+        }
+        if run("table5") || run("fig4_9") {
+            banner("E-TAB5");
+            let t5 = table5(&opts.table5_config())?;
+            println!("{t5}");
+            let (d_vg, d_g) = average_improvement(&t5);
+            println!(
+                "\nmulti-states vs one-state, averaged over the 6 combinations: \
+                 {d_vg:+.1} pp very-good, {d_g:+.1} pp good \
+                 (paper: +27.0 pp and +20.2 pp)"
+            );
+            if run("fig4_9") || target == "all" {
+                banner("E-FIG4..9");
+                let figs = fig4_9(&t5);
+                println!("{figs}");
+                println!(
+                    "multi-states tracks observations better in {}/6 figures",
+                    multi_wins(&figs)
+                );
+            }
+        }
+        if run("forms") {
+            banner("E-FORMS (ablation)");
+            println!(
+                "{}",
+                forms_ablation(
+                    QueryClass::UnaryNoIndex,
+                    if opts.quick { 220 } else { 360 },
+                    4,
+                    if opts.quick { 50 } else { 100 }
+                )?
+            );
+        }
+        if run("probe") {
+            banner("E-PROBE (ablation)");
+            println!(
+                "{}",
+                probe_ablation(
+                    QueryClass::UnaryNoIndex,
+                    if opts.quick { 220 } else { 360 },
+                    if opts.quick { 50 } else { 100 }
+                )?
+            );
+        }
+        if run("sensitivity") {
+            banner("E-SENS (extension)");
+            let (n, t) = if opts.quick { (200, 40) } else { (300, 80) };
+            println!("{}", noise_sensitivity(n, t)?);
+            println!("{}", range_sensitivity(n, t)?);
+        }
+        if run("plans") {
+            banner("E-PLAN (extension)");
+            let (n, sc) = if opts.quick { (300, 10) } else { (500, 20) };
+            println!("{}", plan_quality(n, sc)?);
+        }
+        if run("table6") {
+            banner("E-TAB6");
+            println!(
+                "{}",
+                table6(
+                    QueryClass::UnaryNoIndex,
+                    opts.sample_size(),
+                    if opts.quick { 50 } else { 100 }
+                )?
+            );
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn banner(name: &str) {
+    println!("\n================= {name} =================\n");
+}

@@ -1,0 +1,120 @@
+//! **E-FIG1** — paper Figure 1: "Effect of Dynamic Factor on Query Cost".
+//!
+//! The same select-project query on a ~50k-tuple table is executed while
+//! the number of concurrent background processes sweeps from 50 to 130;
+//! the paper observed the cost climbing from 3.80 s to 124.02 s. The shape
+//! to reproduce: monotone growth with a sharp super-linear knee once the
+//! host starts thrashing.
+
+use crate::workloads::Site;
+use mdbs_sim::contention::Load;
+use mdbs_sim::query::{Query, UnaryQuery};
+use mdbs_sim::MdbsAgent;
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// `(processes, mean observed cost)` per sweep point.
+    pub points: Vec<(f64, f64)>,
+    /// Human-readable description of the swept query.
+    pub query: String,
+}
+
+impl Fig1 {
+    /// Cost ratio between the heaviest and lightest sweep points.
+    pub fn dynamic_ratio(&self) -> f64 {
+        let first = self.points.first().map_or(1.0, |p| p.1);
+        let last = self.points.last().map_or(1.0, |p| p.1);
+        last / first.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 1: effect of concurrent processes on query cost")?;
+        writeln!(f, "Query: {}", self.query)?;
+        writeln!(f, "{:>10} {:>16}", "processes", "cost (sec)")?;
+        for (procs, cost) in &self.points {
+            writeln!(f, "{procs:>10.0} {cost:>16.2}")?;
+        }
+        writeln!(
+            f,
+            "cost ratio {:.1}x across the sweep (paper: 124.02/3.80 = 32.6x)",
+            self.dynamic_ratio()
+        )
+    }
+}
+
+/// The Figure-1 query: a moderate select-project on the ~50k-tuple table,
+/// mirroring `select a1, a5, a7 from R7 where a3 > 300 and a8 < 2000`.
+pub fn fig1_query(agent: &MdbsAgent) -> Query {
+    // Pick the table closest to the paper's 50,000 tuples.
+    let t = agent
+        .catalog()
+        .tables()
+        .iter()
+        .min_by_key(|t| t.cardinality.abs_diff(50_000))
+        .expect("standard database is non-empty");
+    Query::Unary(UnaryQuery {
+        table: t.id,
+        projection: vec![0, 4, 6],
+        predicates: vec![
+            // Unindexed columns so the access path is a sequential scan.
+            mdbs_sim::query::Predicate::gt(4, t.columns[4].domain_max / 30),
+            mdbs_sim::query::Predicate::lt(5, t.columns[5].domain_max / 5),
+        ],
+        order_by: None,
+    })
+}
+
+/// Runs the sweep on the Oracle site: `procs` from 50 to 130 in steps of 5,
+/// `reps` executions averaged per point.
+pub fn fig1(reps: usize) -> Fig1 {
+    let mut agent = Site::Oracle.agent(101);
+    let query = fig1_query(&agent);
+    let mut points = Vec::new();
+    for procs in (50..=130).step_by(5) {
+        agent.set_load(Load::background(procs as f64));
+        let mean = (0..reps.max(1))
+            .map(|_| agent.run(&query).expect("query valid").cost_s)
+            .sum::<f64>()
+            / reps.max(1) as f64;
+        points.push((procs as f64, mean));
+    }
+    Fig1 {
+        points,
+        query: query.describe(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_papers_range() {
+        let r = fig1(2);
+        assert_eq!(r.points.first().unwrap().0, 50.0);
+        assert_eq!(r.points.last().unwrap().0, 130.0);
+        assert_eq!(r.points.len(), 17);
+    }
+
+    #[test]
+    fn cost_explodes_superlinearly() {
+        let r = fig1(3);
+        // Paper shape: >10x growth with a convex knee.
+        assert!(r.dynamic_ratio() > 10.0, "ratio {:.1}", r.dynamic_ratio());
+        let costs: Vec<f64> = r.points.iter().map(|p| p.1).collect();
+        let early = costs[4] - costs[0]; // 70 vs 50 procs
+        let late = costs[16] - costs[12]; // 130 vs 110 procs
+        assert!(late > 2.0 * early, "no knee: early {early}, late {late}");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let r = fig1(1);
+        let text = r.to_string();
+        assert!(text.contains("Figure 1"));
+        assert_eq!(text.lines().count(), 3 + r.points.len() + 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! **E-FIG4..9** — paper Figures 4–9: observed vs estimated costs for test
+//! queries, multi-states vs one-state, for G1/G2/G3 × DB2/Oracle.
+//!
+//! Each figure plots, against the number of result tuples, the observed
+//! cost of every test query together with the estimates of the multi-states
+//! model ("qualitative approach") and the one-state model ("static
+//! approach"). We print the same three series as columns.
+
+use crate::experiments::table5::{ComboResult, Table5};
+use mdbs_core::validate::quality;
+
+/// One figure's series: rows sorted by result cardinality.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure caption, e.g. `Costs for Test Queries in G1 on DB2 5.0`.
+    pub caption: String,
+    /// `(result tuples, observed, multi-states estimate, one-state
+    /// estimate)` per test query.
+    pub rows: Vec<(u64, f64, f64, f64)>,
+}
+
+impl FigureSeries {
+    /// Mean absolute relative error of a series column
+    /// (0 = multi-states, 1 = one-state).
+    pub fn mean_rel_err(&self, column: usize) -> f64 {
+        let errs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|(_, obs, _, _)| *obs > 0.0)
+            .map(|(_, obs, multi, one)| {
+                let est = if column == 0 { *multi } else { *one };
+                (est - obs).abs() / obs
+            })
+            .collect();
+        errs.iter().sum::<f64>() / errs.len().max(1) as f64
+    }
+}
+
+/// The six figures.
+#[derive(Debug, Clone)]
+pub struct Fig4to9 {
+    /// One series per (class, site), paper order.
+    pub figures: Vec<FigureSeries>,
+}
+
+impl std::fmt::Display for Fig4to9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, fig) in self.figures.iter().enumerate() {
+            writeln!(f, "\nFigure {}: {}", i + 4, fig.caption)?;
+            writeln!(
+                f,
+                "{:>12} {:>12} {:>14} {:>14}",
+                "result tuples", "observed", "multi-states", "one-state"
+            )?;
+            for (card, obs, multi, one) in &fig.rows {
+                writeln!(f, "{card:>12} {obs:>12.2} {multi:>14.2} {one:>14.2}")?;
+            }
+            writeln!(
+                f,
+                "mean relative error: multi-states {:.2}, one-state {:.2}",
+                fig.mean_rel_err(0),
+                fig.mean_rel_err(1)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the six figures from a completed Table-5 run (the figures use the
+/// very same test workload the table scored).
+pub fn fig4_9(table5: &Table5) -> Fig4to9 {
+    let figures = table5.combos.iter().map(series_of).collect();
+    Fig4to9 { figures }
+}
+
+fn series_of(combo: &ComboResult) -> FigureSeries {
+    let mut rows: Vec<(u64, f64, f64, f64)> = combo
+        .points
+        .iter()
+        .map(|p| (p.result_card, p.observed, p.estimates[0], p.estimates[1]))
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    FigureSeries {
+        caption: format!("Costs for Test Queries in {}", combo.label),
+        rows,
+    }
+}
+
+/// Sanity aggregate used by tests: in how many figures does the
+/// multi-states series track the observations more closely?
+pub fn multi_wins(figs: &Fig4to9) -> usize {
+    figs.figures
+        .iter()
+        .filter(|f| f.mean_rel_err(0) < f.mean_rel_err(1))
+        .count()
+}
+
+/// Quality deltas between multi-states and one-state over all figures,
+/// mirroring the paper's "+27.0 % very good, +20.2 % good on average".
+pub fn average_improvement(table5: &Table5) -> (f64, f64) {
+    let mut d_vg = 0.0;
+    let mut d_g = 0.0;
+    for combo in &table5.combos {
+        let multi = quality(&crate::experiments::test_points(&combo.points, 0));
+        let one = quality(&crate::experiments::test_points(&combo.points, 1));
+        d_vg += multi.very_good_pct - one.very_good_pct;
+        d_g += multi.good_pct - one.good_pct;
+    }
+    let n = table5.combos.len().max(1) as f64;
+    (d_vg / n, d_g / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table5::{table5, Table5Config};
+
+    #[test]
+    fn figures_follow_the_table5_combos() {
+        let mut cfg = Table5Config::quick();
+        cfg.test_queries = 25;
+        let t5 = table5(&cfg).unwrap();
+        let figs = fig4_9(&t5);
+        assert_eq!(figs.figures.len(), 6);
+        for fig in &figs.figures {
+            assert_eq!(fig.rows.len(), 25);
+            // Sorted by result cardinality.
+            assert!(fig.rows.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+        // The multi-states series should win in most figures.
+        assert!(
+            multi_wins(&figs) >= 4,
+            "multi wins only {}",
+            multi_wins(&figs)
+        );
+    }
+}

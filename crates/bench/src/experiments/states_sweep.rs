@@ -1,0 +1,114 @@
+//! **E-STATES** — paper §5 (text observation): "the coefficients of total
+//! determination for the cost models for query class G2 on Oracle with 1 to
+//! 6 contention states are 0.7788, 0.9636, 0.9674, 0.9899, 0.9922" — more
+//! states help, with fast-diminishing returns after 3–6.
+
+use crate::workloads::{seed_for, Site};
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::collect_observations;
+use mdbs_core::model::{fit_cost_model, ModelForm};
+use mdbs_core::qualvar::StateSet;
+use mdbs_core::sampling::SampleGenerator;
+use mdbs_core::CoreError;
+
+/// R²/SEE per state count.
+#[derive(Debug, Clone)]
+pub struct StatesSweep {
+    /// Workload label.
+    pub label: String,
+    /// `(m, R², SEE)` per fitted state count (skipping thin fits).
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+impl StatesSweep {
+    /// R² gain from 1 state to the largest fitted count.
+    pub fn total_gain(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.1 - a.1,
+            _ => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for StatesSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "R^2 vs number of contention states — {}", self.label)?;
+        writeln!(f, "{:>3} {:>9} {:>11}", "m", "R^2", "SEE")?;
+        for (m, r2, see) in &self.points {
+            writeln!(f, "{m:>3} {r2:>9.4} {see:>11.3e}")?;
+        }
+        writeln!(
+            f,
+            "(paper, G2 on Oracle: 0.7788 0.9636 0.9674 0.9899 0.9922 …)"
+        )
+    }
+}
+
+/// Sweeps the state count 1..=`max_states` on one sample of `class` at the
+/// Oracle site, fitting the general model with the basic variables.
+pub fn states_sweep(
+    class: QueryClass,
+    sample_size: usize,
+    max_states: usize,
+) -> Result<StatesSweep, CoreError> {
+    let site = Site::Oracle;
+    let mut agent = site.dynamic_agent(seed_for(site, class, 30));
+    let mut generator = SampleGenerator::new(seed_for(site, class, 31));
+    let observations = collect_observations(&mut agent, class, sample_size, &mut generator, None)?;
+    let family = class.family();
+    let basic = family.basic_indexes();
+    let names: Vec<String> = basic
+        .iter()
+        .map(|&i| family.all()[i].name.to_string())
+        .collect();
+    let (c_min, c_max) = observations
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), o| {
+            (lo.min(o.probe_cost), hi.max(o.probe_cost))
+        });
+    let mut points = Vec::new();
+    for m in 1..=max_states {
+        let states = if m == 1 {
+            StateSet::single()
+        } else {
+            StateSet::uniform(c_min, c_max, m)?
+        };
+        let form = if m == 1 {
+            ModelForm::Coincident
+        } else {
+            ModelForm::General
+        };
+        match fit_cost_model(form, states, basic.clone(), names.clone(), &observations) {
+            Ok(model) => points.push((m, model.fit.r_squared, model.fit.see)),
+            Err(CoreError::InsufficientSamples { .. }) => continue, // Thin slice.
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(StatesSweep {
+        label: format!("{} on {}", class.label(), site.name()),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_improves_with_states_then_saturates() {
+        let s = states_sweep(QueryClass::UnaryNonClusteredIndex, 400, 6).unwrap();
+        assert!(s.points.len() >= 4, "{:?}", s.points);
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        assert_eq!(first.0, 1);
+        // Big jump from the static model to multi-states...
+        assert!(s.total_gain() > 0.1, "gain {}", s.total_gain());
+        assert!(last.1 > 0.9, "final R² {}", last.1);
+        // ...and the later increments are smaller than the first one.
+        if s.points.len() >= 3 {
+            let d1 = s.points[1].1 - s.points[0].1;
+            let d_last = last.1 - s.points[s.points.len() - 2].1;
+            assert!(d_last < d1, "no diminishing returns: {d1} vs {d_last}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Canonical experimental setups, mirroring the paper's testbed (§5):
+//! two local DBSs — Oracle 8.0 and DB2 5.0 — each hosting the standard
+//! 12-table database, driven by a load builder.
+
+use mdbs_core::classes::QueryClass;
+use mdbs_sim::datagen::standard_database;
+use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
+
+/// Contention range of the uniform dynamic environment (processes). The
+/// paper's dynamic experiments ran well into contention (Fig. 1 sweeps
+/// 50–130 processes); the lower edge stays above the static baseline so
+/// "dynamic" genuinely differs from "static".
+pub const UNIFORM_LO: f64 = 20.0;
+/// Upper end of the uniform dynamic environment (processes).
+pub const UNIFORM_HI: f64 = 125.0;
+/// Background processes of the *static* environment (Static Approach 1):
+/// a quiet machine, the situation the earlier static query sampling method
+/// was designed for.
+pub const STATIC_PROCS: f64 = 5.0;
+
+/// The two simulated local DBMS vendors of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// The Oracle-8.0-like local DBS.
+    Oracle,
+    /// The DB2-5.0-like local DBS.
+    Db2,
+}
+
+impl Site {
+    /// Both sites, in report order (paper tables list DB2 first).
+    pub fn all() -> [Site; 2] {
+        [Site::Db2, Site::Oracle]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Oracle => "Oracle 8.0",
+            Site::Db2 => "DB2 5.0",
+        }
+    }
+
+    /// The vendor profile.
+    pub fn vendor(self) -> VendorProfile {
+        match self {
+            Site::Oracle => VendorProfile::oracle8(),
+            Site::Db2 => VendorProfile::db2v5(),
+        }
+    }
+
+    /// Database seed: each site hosts its own random database, as in the
+    /// paper's two independent local databases.
+    pub fn db_seed(self) -> u64 {
+        match self {
+            Site::Oracle => 42,
+            Site::Db2 => 43,
+        }
+    }
+
+    /// A fresh agent for this site with an idle, static environment.
+    pub fn agent(self, env_seed: u64) -> MdbsAgent {
+        MdbsAgent::new(self.vendor(), standard_database(self.db_seed()), env_seed)
+    }
+
+    /// A fresh agent in the uniform dynamic environment.
+    pub fn dynamic_agent(self, env_seed: u64) -> MdbsAgent {
+        let mut a = self.agent(env_seed);
+        a.set_load_builder(LoadBuilder::new(uniform_profile()));
+        a
+    }
+
+    /// A fresh agent in the clustered dynamic environment (Table 6 case).
+    pub fn clustered_agent(self, env_seed: u64) -> MdbsAgent {
+        let mut a = self.agent(env_seed);
+        a.set_load_builder(LoadBuilder::new(clustered_profile()));
+        a
+    }
+
+    /// A fresh agent pinned to the static environment.
+    pub fn static_agent(self, env_seed: u64) -> MdbsAgent {
+        let mut a = self.agent(env_seed);
+        a.set_load_builder(LoadBuilder::new(ContentionProfile::Constant(STATIC_PROCS)));
+        a
+    }
+}
+
+/// The uniform contention profile used by most experiments.
+pub fn uniform_profile() -> ContentionProfile {
+    ContentionProfile::Uniform {
+        lo: UNIFORM_LO,
+        hi: UNIFORM_HI,
+    }
+}
+
+/// The clustered contention profile of Table 6 / Figure 10.
+pub fn clustered_profile() -> ContentionProfile {
+    ContentionProfile::paper_clustered()
+}
+
+/// The paper's three representative query classes, with their table labels.
+pub fn paper_classes() -> [(QueryClass, &'static str); 3] {
+    [
+        (QueryClass::UnaryNoIndex, "G1"),
+        (QueryClass::UnaryNonClusteredIndex, "G2"),
+        (QueryClass::JoinNoIndex, "G3"),
+    ]
+}
+
+/// A deterministic seed for `(site, class, role)` so every experiment is
+/// reproducible yet streams are independent.
+pub fn seed_for(site: Site, class: QueryClass, role: u64) -> u64 {
+    let s = match site {
+        Site::Oracle => 1u64,
+        Site::Db2 => 2,
+    };
+    let c = QueryClass::all()
+        .iter()
+        .position(|&x| x == class)
+        .expect("known class") as u64;
+    1_000_003 * s + 7_919 * c + role
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_have_distinct_setups() {
+        assert_ne!(Site::Oracle.vendor(), Site::Db2.vendor());
+        assert_ne!(Site::Oracle.db_seed(), Site::Db2.db_seed());
+        assert_ne!(Site::Oracle.name(), Site::Db2.name());
+    }
+
+    #[test]
+    fn seeds_are_unique_across_roles() {
+        let mut seen = std::collections::BTreeSet::new();
+        for site in Site::all() {
+            for (class, _) in paper_classes() {
+                for role in 0..4 {
+                    assert!(seen.insert(seed_for(site, class, role)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agents_are_constructible() {
+        let mut a = Site::Oracle.dynamic_agent(1);
+        a.tick();
+        assert!(a.probe() > 0.0);
+        let mut s = Site::Db2.static_agent(1);
+        s.tick();
+        assert!(s.probe() > 0.0);
+    }
+}

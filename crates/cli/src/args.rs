@@ -1,0 +1,147 @@
+//! A tiny `--flag value` argument parser.
+//!
+//! The workspace's dependency budget has no `clap`; the CLI's needs — a
+//! subcommand word followed by `--key value` pairs — fit in a page of code
+//! with better error messages than ad-hoc `args()` indexing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand word (first non-flag argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
+        let mut it = argv.iter().peekable();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c.clone(),
+            Some(c) => return Err(ArgsError(format!("expected a subcommand, got `{c}`"))),
+            None => return Err(ArgsError("no subcommand given (try `help`)".into())),
+        };
+        let mut options = BTreeMap::new();
+        while let Some(flag) = it.next() {
+            let Some(key) = flag.strip_prefix("--") else {
+                return Err(ArgsError(format!("expected `--flag`, got `{flag}`")));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                // Valueless flags are booleans.
+                _ => "true".to_string(),
+            };
+            if options.insert(key.to_string(), value).is_some() {
+                return Err(ArgsError(format!("`--{key}` given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgsError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgsError(format!("missing required option `--{key}`")))
+    }
+
+    /// An optional string option with a default.
+    pub fn or_default<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map_or(default, String::as_str)
+    }
+
+    /// An optional parsed option.
+    pub fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| ArgsError(format!("`--{key} {v}` is not a valid value"))),
+        }
+    }
+
+    /// A boolean flag (present → true).
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v != "false")
+    }
+
+    /// Keys the caller never consumed (to catch typos).
+    pub fn unknown_keys(&self, known: &[&str]) -> Vec<String> {
+        self.options
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(&argv("derive --site oracle --samples 200 --verbose")).unwrap();
+        assert_eq!(a.command, "derive");
+        assert_eq!(a.required("site").unwrap(), "oracle");
+        assert_eq!(a.parse_opt::<usize>("samples").unwrap(), Some(200));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("--site oracle")).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(Args::parse(&argv("x --a 1 --a 2")).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_the_key() {
+        let a = Args::parse(&argv("derive")).unwrap();
+        let e = a.required("site").unwrap_err();
+        assert!(e.0.contains("--site"));
+    }
+
+    #[test]
+    fn bad_numeric_value_reports_value() {
+        let a = Args::parse(&argv("derive --samples abc")).unwrap();
+        assert!(a.parse_opt::<usize>("samples").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_detected() {
+        let a = Args::parse(&argv("derive --site x --oops 1")).unwrap();
+        assert_eq!(a.unknown_keys(&["site"]), vec!["oops".to_string()]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("derive")).unwrap();
+        assert_eq!(a.or_default("algorithm", "iupma"), "iupma");
+    }
+}

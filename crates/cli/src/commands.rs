@@ -1,0 +1,469 @@
+//! The CLI subcommands. Each returns its report as a `String` so the
+//! logic is unit-testable; `main` only prints.
+
+use crate::args::{Args, ArgsError};
+use crate::site::{parse_profile, site_agent, SiteName};
+use mdbs_core::catalog::GlobalCatalog;
+use mdbs_core::classes::{classify, QueryClass};
+use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::states::{StateAlgorithm, StatesConfig};
+use mdbs_sim::agent::ChosenAccess;
+use mdbs_sim::sql::parse_query;
+
+/// A CLI-level error (argument, IO or derivation).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<mdbs_core::CoreError> for CliError {
+    fn from(e: mdbs_core::CoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Top-level dispatch; returns the text to print.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "help" => Ok(usage()),
+        "derive" => cmd_derive(&args),
+        "estimate" => cmd_estimate(&args),
+        "run" => cmd_run(&args),
+        "catalog" => cmd_catalog(&args),
+        other => Err(CliError(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "mdbs-qcost — multi-states query sampling for dynamic MDBS environments
+
+USAGE:
+  mdbs-qcost derive   --site oracle|db2 --class g1|g2|gc|g3|gj
+                      [--algorithm iupma|icma] [--profile uniform:20:125]
+                      [--samples N] [--max-states M] [--seed N]
+                      [--out catalog.txt]
+  mdbs-qcost estimate --catalog catalog.txt --site oracle|db2
+                      --sql \"select ... from ... where ...\"
+                      [--profile uniform:20:125] [--seed N] [--execute]
+  mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
+  mdbs-qcost catalog  --file catalog.txt
+  mdbs-qcost help
+
+The sites are the built-in simulated local DBSs (an Oracle-8.0-like and a
+DB2-5.0-like system over the standard 12-table database R1..R12 with
+columns a1..a9). `derive` runs the full multi-states query sampling
+pipeline and stores the model in the catalog file; `estimate` prices a SQL
+query through the catalog after gauging the site's contention with a
+probing query.
+"
+    .to_string()
+}
+
+fn parse_class(s: &str) -> Result<QueryClass, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "g1" => Ok(QueryClass::UnaryNoIndex),
+        "g2" => Ok(QueryClass::UnaryNonClusteredIndex),
+        "gc" => Ok(QueryClass::UnaryClusteredIndex),
+        "g3" => Ok(QueryClass::JoinNoIndex),
+        "gj" => Ok(QueryClass::JoinIndexed),
+        other => Err(CliError(format!(
+            "unknown class `{other}` (expected g1, g2, gc, g3 or gj)"
+        ))),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<StateAlgorithm, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "iupma" => Ok(StateAlgorithm::Iupma),
+        "icma" => Ok(StateAlgorithm::Icma),
+        other => Err(CliError(format!(
+            "unknown algorithm `{other}` (expected iupma or icma)"
+        ))),
+    }
+}
+
+fn load_catalog(path: &str) -> Result<GlobalCatalog, CliError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(GlobalCatalog::import(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(GlobalCatalog::new()),
+        Err(e) => Err(CliError(format!("cannot read `{path}`: {e}"))),
+    }
+}
+
+fn cmd_derive(args: &Args) -> Result<String, CliError> {
+    check_keys(
+        args,
+        &[
+            "site",
+            "class",
+            "algorithm",
+            "profile",
+            "samples",
+            "max-states",
+            "seed",
+            "out",
+        ],
+    )?;
+    let site = SiteName::parse(args.required("site")?)?;
+    let class = parse_class(args.required("class")?)?;
+    let algorithm = parse_algorithm(args.or_default("algorithm", "iupma"))?;
+    let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
+    let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let samples = args.parse_opt::<usize>("samples")?;
+    let max_states = args.parse_opt::<usize>("max-states")?.unwrap_or(6);
+    let out_path = args.or_default("out", "catalog.txt").to_string();
+
+    let mut agent = site_agent(site, &profile, seed);
+    let cfg = DerivationConfig {
+        states: StatesConfig {
+            max_states,
+            ..StatesConfig::default()
+        },
+        sample_size: samples,
+        ..DerivationConfig::default()
+    };
+    let derived = derive_cost_model(&mut agent, class, algorithm, &cfg, seed.wrapping_add(1))?;
+
+    let mut catalog = load_catalog(&out_path)?;
+    catalog.insert_model(site.id().into(), class, derived.model.clone());
+    if let Some(est) = &derived.probe_estimator {
+        catalog.insert_probe_estimator(site.id().into(), est.clone());
+    }
+    std::fs::write(&out_path, catalog.export())?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "derived {} at site `{}` ({} sample queries)\n",
+        class.label(),
+        site.id(),
+        derived.observations.len()
+    ));
+    out.push_str(&format!(
+        "  contention states: {} | R^2 = {:.3} | SEE = {:.3} | F p-value = {:.2e}\n",
+        derived.model.num_states(),
+        derived.model.fit.r_squared,
+        derived.model.fit.see,
+        derived.model.fit.f_p_value
+    ));
+    out.push_str(&format!(
+        "  one-state comparison R^2 = {:.3}\n",
+        derived.one_state.fit.r_squared
+    ));
+    out.push_str("\nper-state cost equations:\n");
+    out.push_str(&derived.model.render());
+    out.push_str(&format!("\ncatalog written to {out_path}\n"));
+    Ok(out)
+}
+
+fn cmd_estimate(args: &Args) -> Result<String, CliError> {
+    check_keys(
+        args,
+        &["catalog", "site", "sql", "profile", "seed", "execute"],
+    )?;
+    let site = SiteName::parse(args.required("site")?)?;
+    let catalog_path = args.required("catalog")?;
+    let sql = args.required("sql")?;
+    let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
+    let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let catalog = load_catalog(catalog_path)?;
+
+    let mut agent = site_agent(site, &profile, seed);
+    let schema = agent.catalog().clone();
+    let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
+    let class =
+        classify(&schema, &query).ok_or_else(|| CliError("query cannot be classified".into()))?;
+
+    agent.tick();
+    let probe = agent.probe();
+    let Some(estimate) = catalog.estimate_local_cost(&site.id().into(), &schema, &query, probe)
+    else {
+        return Err(CliError(format!(
+            "no cost model for {} at site `{}` in {catalog_path} — derive one first:\n  \
+             mdbs-qcost derive --site {} --class {} --out {catalog_path}",
+            class.label(),
+            site.id(),
+            site.id(),
+            class_tag(class),
+        )));
+    };
+    let model = catalog
+        .model(&site.id().into(), class)
+        .expect("estimate succeeded, model exists");
+    let mut out = String::new();
+    out.push_str(&format!("query class: {}\n", class.label()));
+    out.push_str(&format!(
+        "probing cost: {probe:.3}s -> contention state {}\n",
+        model.states.paper_label(model.states.state_of(probe))
+    ));
+    out.push_str(&format!("estimated cost: {estimate:.2}s\n"));
+    if args.flag("execute") {
+        let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
+        out.push_str(&format!("observed cost:  {:.2}s\n", exec.cost_s));
+        let rel = (estimate - exec.cost_s).abs() / exec.cost_s.max(f64::MIN_POSITIVE);
+        out.push_str(&format!("relative error: {:.0}%\n", rel * 100.0));
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    check_keys(args, &["site", "sql", "procs", "seed"])?;
+    let site = SiteName::parse(args.required("site")?)?;
+    let sql = args.required("sql")?;
+    let procs = args.parse_opt::<f64>("procs")?.unwrap_or(0.0);
+    let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let mut agent = site.agent(seed);
+    agent.set_load(mdbs_sim::contention::Load::background(procs));
+    let schema = agent.catalog().clone();
+    let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
+    let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
+    let access = match exec.access {
+        ChosenAccess::Unary(a) => format!("{a:?}"),
+        ChosenAccess::Join(a) => format!("{a:?}"),
+    };
+    let result_card = match exec.sizes {
+        mdbs_sim::agent::ExecutionSizes::Unary(s) => s.result,
+        mdbs_sim::agent::ExecutionSizes::Join(s) => s.result,
+    };
+    Ok(format!(
+        "site `{}` under {procs:.0} background processes\n\
+         access path: {access}\nresult tuples: {result_card}\n\
+         elapsed: {:.2}s\n",
+        site.id(),
+        exec.cost_s
+    ))
+}
+
+fn cmd_catalog(args: &Args) -> Result<String, CliError> {
+    check_keys(args, &["file"])?;
+    let path = args.required("file")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let catalog = GlobalCatalog::import(&text)?;
+    let mut out = format!("catalog {path}: {} model(s)\n", catalog.len());
+    for site in catalog.sites() {
+        for class in catalog.classes_for(&site) {
+            let m = catalog.model(&site, class).expect("listed");
+            out.push_str(&format!(
+                "  {site} / {:<28} {} states, {} vars [{}], R^2 = {:.3}\n",
+                class.label(),
+                m.num_states(),
+                m.num_variables(),
+                m.var_names.join(", "),
+                m.fit.r_squared
+            ));
+        }
+        if catalog.probe_estimator(&site).is_some() {
+            out.push_str(&format!("  {site} / probing-cost estimator (eq. 2)\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn class_tag(class: QueryClass) -> &'static str {
+    match class {
+        QueryClass::UnaryNoIndex => "g1",
+        QueryClass::UnaryNonClusteredIndex => "g2",
+        QueryClass::UnaryClusteredIndex => "gc",
+        QueryClass::JoinNoIndex => "g3",
+        QueryClass::JoinIndexed => "gj",
+    }
+}
+
+fn check_keys(args: &Args, known: &[&str]) -> Result<(), CliError> {
+    let unknown = args.unknown_keys(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError(format!(
+            "unknown option(s): {}",
+            unknown
+                .iter()
+                .map(|k| format!("--{k}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        // Split on spaces except inside single quotes (for --sql).
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        for ch in s.chars() {
+            match ch {
+                '\'' => quoted = !quoted,
+                ' ' if !quoted => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                }
+                _ => cur.push(ch),
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mdbs-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let out = dispatch(&argv("help")).unwrap();
+        for cmd in ["derive", "estimate", "run", "catalog"] {
+            assert!(out.contains(cmd), "help misses {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_mentions_usage() {
+        let e = dispatch(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("unknown subcommand"));
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn run_executes_sql() {
+        let out = dispatch(&argv(
+            "run --site oracle --sql 'select a1, a5 from R7 where a3 > 300 and a8 < 2000' --procs 60",
+        ))
+        .unwrap();
+        assert!(out.contains("access path"), "{out}");
+        assert!(out.contains("elapsed"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_sql() {
+        let e = dispatch(&argv("run --site oracle --sql 'select from'")).unwrap_err();
+        assert!(e.0.contains("SQL error"), "{}", e.0);
+    }
+
+    #[test]
+    fn derive_then_estimate_roundtrip() {
+        let path = tmp("roundtrip-catalog.txt");
+        let _ = std::fs::remove_file(&path);
+        let out = dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 160 --max-states 3 --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("contention states"), "{out}");
+        assert!(std::path::Path::new(&path).exists());
+
+        let out = dispatch(&argv(&format!(
+            "estimate --catalog {path} --site oracle \
+             --sql 'select a1, a5 from R8 where a5 > 100 and a6 < 500' --execute"
+        )))
+        .unwrap();
+        assert!(out.contains("estimated cost"), "{out}");
+        assert!(out.contains("observed cost"), "{out}");
+
+        let out = dispatch(&argv(&format!("catalog --file {path}"))).unwrap();
+        assert!(out.contains("G1"), "{out}");
+    }
+
+    #[test]
+    fn estimate_without_model_suggests_derive() {
+        let path = tmp("empty-catalog.txt");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, GlobalCatalog::new().export()).unwrap();
+        let e = dispatch(&argv(&format!(
+            "estimate --catalog {path} --site db2 --sql 'select a1 from R2 where a2 < 100'"
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("derive one first"), "{}", e.0);
+        assert!(e.0.contains("--class g1"), "{}", e.0);
+    }
+
+    #[test]
+    fn typoed_flag_is_caught() {
+        let e = dispatch(&argv(
+            "run --site oracle --sql 'select a1 from R2' --porcs 9",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("--porcs"), "{}", e.0);
+    }
+
+    #[test]
+    fn derive_supports_icma_and_clustered_profiles() {
+        let path = tmp("icma-catalog.txt");
+        let _ = std::fs::remove_file(&path);
+        let out = dispatch(&argv(&format!(
+            "derive --site db2 --class g1 --algorithm icma --profile clustered \
+             --samples 150 --max-states 3 --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("contention states"), "{out}");
+    }
+
+    #[test]
+    fn derive_rejects_bad_options() {
+        for bad in [
+            "derive --site teradata --class g1",
+            "derive --site oracle --class g9",
+            "derive --site oracle --class g1 --algorithm kmeans",
+            "derive --site oracle --class g1 --profile uniform:bad:10",
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn catalog_command_reports_unreadable_files() {
+        let e = dispatch(&argv("catalog --file /nonexistent/nowhere.txt")).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
+        let path = tmp("garbage.txt");
+        std::fs::write(&path, "not a catalog at all").unwrap();
+        assert!(dispatch(&argv(&format!("catalog --file {path}"))).is_err());
+    }
+
+    #[test]
+    fn derive_accumulates_into_the_same_catalog() {
+        let path = tmp("accumulate-catalog.txt");
+        let _ = std::fs::remove_file(&path);
+        dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 --out {path}"
+        )))
+        .unwrap();
+        dispatch(&argv(&format!(
+            "derive --site db2 --class g1 --samples 150 --max-states 3 --out {path}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let catalog = GlobalCatalog::import(&text).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.sites().len(), 2);
+    }
+}

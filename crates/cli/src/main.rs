@@ -1,0 +1,22 @@
+//! `mdbs-qcost` — see [`mdbs_cli`] for the full documentation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = if argv.is_empty() {
+        vec!["help".to_string()]
+    } else {
+        argv
+    };
+    match mdbs_cli::dispatch(&argv) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

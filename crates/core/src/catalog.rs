@@ -1,0 +1,203 @@
+//! The MDBS global catalog.
+//!
+//! "The cost model parameters are kept in the MDBS catalog and utilized
+//! during query optimization" (paper §1). The catalog maps
+//! `(site, query class)` to a derived [`CostModel`] and keeps the per-site
+//! probing-cost estimators of eq. (2); the global optimizer asks it for
+//! local cost estimates.
+
+use crate::classes::{classify, QueryClass};
+use crate::model::CostModel;
+use crate::probing::ProbeCostEstimator;
+use crate::variables::VariableFamily;
+use mdbs_sim::catalog::LocalCatalog;
+use mdbs_sim::query::Query;
+use std::collections::HashMap;
+
+/// Identifies a local site within the MDBS.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub String);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<T: Into<String>> From<T> for SiteId {
+    fn from(s: T) -> Self {
+        SiteId(s.into())
+    }
+}
+
+/// The global catalog: cost models and probe estimators per site.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalCatalog {
+    models: HashMap<(SiteId, QueryClass), CostModel>,
+    probe_estimators: HashMap<SiteId, ProbeCostEstimator>,
+}
+
+impl GlobalCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        GlobalCatalog::default()
+    }
+
+    /// Stores (or replaces) the cost model for a site/class pair.
+    pub fn insert_model(&mut self, site: SiteId, class: QueryClass, model: CostModel) {
+        self.models.insert((site, class), model);
+    }
+
+    /// Stores (or replaces) a site's probing-cost estimator.
+    pub fn insert_probe_estimator(&mut self, site: SiteId, est: ProbeCostEstimator) {
+        self.probe_estimators.insert(site, est);
+    }
+
+    /// Fetches the model for a site/class pair.
+    pub fn model(&self, site: &SiteId, class: QueryClass) -> Option<&CostModel> {
+        self.models.get(&(site.clone(), class))
+    }
+
+    /// Fetches a site's probing-cost estimator.
+    pub fn probe_estimator(&self, site: &SiteId) -> Option<&ProbeCostEstimator> {
+        self.probe_estimators.get(site)
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// All sites that have at least one model or probe estimator.
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self
+            .models
+            .keys()
+            .map(|(s, _)| s.clone())
+            .chain(self.probe_estimators.keys().cloned())
+            .collect();
+        sites.sort();
+        sites.dedup();
+        sites
+    }
+
+    /// The classes a site has models for, in report order.
+    pub fn classes_for(&self, site: &SiteId) -> Vec<QueryClass> {
+        let mut classes: Vec<QueryClass> = self
+            .models
+            .keys()
+            .filter(|(s, _)| s == site)
+            .map(|(_, c)| *c)
+            .collect();
+        classes.sort();
+        classes
+    }
+
+    /// Estimates the cost of a local query at a site: classify it, look up
+    /// the model, extract the Table-3 variables, and evaluate the model in
+    /// the contention state implied by `probe_cost`.
+    ///
+    /// Returns `None` when the query cannot be classified or no model is
+    /// stored for its class.
+    pub fn estimate_local_cost(
+        &self,
+        site: &SiteId,
+        local_schema: &LocalCatalog,
+        query: &Query,
+        probe_cost: f64,
+    ) -> Option<f64> {
+        let class = classify(local_schema, query)?;
+        let model = self.model(site, class)?;
+        let family: VariableFamily = class.family();
+        let x = family.extract(local_schema, query)?;
+        let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
+        Some(model.estimate(&x_sel, probe_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{fit_cost_model, ModelForm};
+    use crate::observation::Observation;
+    use crate::qualvar::StateSet;
+    use mdbs_sim::datagen::standard_database;
+    use mdbs_sim::query::{Predicate, UnaryQuery};
+
+    /// A tiny hand-made unary model: cost = 1 + 0.001·N_O (one state).
+    fn toy_model() -> CostModel {
+        let obs: Vec<Observation> = (0..30)
+            .map(|i| {
+                let n_o = 1000.0 * (1 + i % 10) as f64;
+                Observation {
+                    x: vec![n_o, n_o, n_o / 2.0, 44.0, 20.0, n_o * 44.0, n_o * 10.0, 0.0],
+                    cost: 1.0 + 0.001 * n_o + (i % 3) as f64 * 0.001,
+                    probe_cost: 1.0,
+                }
+            })
+            .collect();
+        fit_cost_model(
+            ModelForm::Coincident,
+            StateSet::single(),
+            vec![0],
+            vec!["N_O".into()],
+            &obs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut cat = GlobalCatalog::new();
+        assert!(cat.is_empty());
+        let site: SiteId = "oracle-site".into();
+        cat.insert_model(site.clone(), QueryClass::UnaryNoIndex, toy_model());
+        assert_eq!(cat.len(), 1);
+        assert!(cat.model(&site, QueryClass::UnaryNoIndex).is_some());
+        assert!(cat.model(&site, QueryClass::JoinNoIndex).is_none());
+        assert!(cat
+            .model(&"other".into(), QueryClass::UnaryNoIndex)
+            .is_none());
+        assert_eq!(cat.classes_for(&site), vec![QueryClass::UnaryNoIndex]);
+    }
+
+    #[test]
+    fn estimate_local_cost_end_to_end() {
+        let db = standard_database(42);
+        let mut cat = GlobalCatalog::new();
+        let site: SiteId = "s1".into();
+        cat.insert_model(site.clone(), QueryClass::UnaryNoIndex, toy_model());
+        let t = &db.tables()[3];
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0],
+            predicates: vec![Predicate::lt(4, t.columns[4].domain_max / 2)],
+            order_by: None,
+        });
+        let est = cat.estimate_local_cost(&site, &db, &q, 1.0).unwrap();
+        let expected = 1.0 + 0.001 * t.cardinality as f64;
+        assert!(
+            (est - expected).abs() / expected < 0.05,
+            "{est} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn estimate_without_model_is_none() {
+        let db = standard_database(42);
+        let cat = GlobalCatalog::new();
+        let t = &db.tables()[0];
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![],
+            predicates: vec![],
+            order_by: None,
+        });
+        assert!(cat.estimate_local_cost(&"s".into(), &db, &q, 1.0).is_none());
+    }
+}

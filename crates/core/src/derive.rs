@@ -1,0 +1,358 @@
+//! The end-to-end derivation pipeline (paper §4).
+//!
+//! For one query class at one local site:
+//!
+//! 1. draw the planned number of sample queries ([`crate::sampling`]),
+//! 2. execute each in the dynamic environment, recording its cost, the
+//!    probing cost measured in the same environment and a system-statistics
+//!    snapshot,
+//! 3. determine the contention states with IUPMA or ICMA
+//!    ([`crate::states`]) — drawing targeted extra samples when a state is
+//!    thin,
+//! 4. run mixed backward/forward variable selection with the states fixed
+//!    ([`crate::selection`]),
+//! 5. fit the probing-cost estimator of eq. (2) ([`crate::probing`]),
+//! 6. return the final model plus everything a report needs (iteration
+//!    history, the one-state comparison model, sample statistics).
+
+use crate::classes::QueryClass;
+use crate::model::{fit_cost_model, CostModel, ModelForm};
+use crate::observation::Observation;
+use crate::probing::ProbeCostEstimator;
+use crate::sampling::{planned_sample_size, SampleGenerator};
+use crate::selection::{select_variables, SelectionConfig};
+use crate::states::{
+    determine_states, IterationStats, ObservationSource, StateAlgorithm, StatesConfig,
+};
+use crate::CoreError;
+use mdbs_sim::{MdbsAgent, SystemStats};
+
+/// Configuration of the whole derivation pipeline.
+#[derive(Debug, Clone)]
+pub struct DerivationConfig {
+    /// State-determination knobs.
+    pub states: StatesConfig,
+    /// Variable-selection knobs.
+    pub selection: SelectionConfig,
+    /// Override the planned sample size (None → eq. (4)).
+    pub sample_size: Option<usize>,
+    /// Environment draws allowed per targeted resample before giving up.
+    pub max_resample_attempts: usize,
+    /// Whether to fit the eq.-(2) probing-cost estimator.
+    pub fit_probe_estimator: bool,
+}
+
+impl Default for DerivationConfig {
+    fn default() -> Self {
+        DerivationConfig {
+            states: StatesConfig::default(),
+            selection: SelectionConfig::default(),
+            sample_size: None,
+            max_resample_attempts: 40,
+            fit_probe_estimator: true,
+        }
+    }
+}
+
+impl DerivationConfig {
+    /// A cheap configuration for doc-tests and smoke tests: fewer samples,
+    /// fewer states.
+    pub fn quick() -> Self {
+        DerivationConfig {
+            states: StatesConfig {
+                max_states: 3,
+                ..StatesConfig::default()
+            },
+            sample_size: Some(150),
+            fit_probe_estimator: false,
+            ..DerivationConfig::default()
+        }
+    }
+}
+
+/// Everything the derivation produces.
+#[derive(Debug, Clone)]
+pub struct DerivedModel {
+    /// The query class the model covers.
+    pub class: QueryClass,
+    /// The multi-states cost model.
+    pub model: CostModel,
+    /// The one-state comparison model (Static Approach 2): same sample,
+    /// same selected variables, single contention state.
+    pub one_state: CostModel,
+    /// Phase-1 iteration history of the state determination.
+    pub history: Vec<IterationStats>,
+    /// Number of phase-2 merging adjustments.
+    pub merges: usize,
+    /// The observations the models were fitted on.
+    pub observations: Vec<Observation>,
+    /// The probing-cost estimator (when requested).
+    pub probe_estimator: Option<ProbeCostEstimator>,
+    /// Mean observed cost of the sample queries (reported in Table 5).
+    pub avg_sample_cost: f64,
+}
+
+/// Collects `n` observations for a class: tick the environment, measure the
+/// probing cost, run the sample query, extract the Table-3 variables.
+/// Optionally records `(stats, probe)` pairs for eq. (2).
+pub fn collect_observations(
+    agent: &mut MdbsAgent,
+    class: QueryClass,
+    n: usize,
+    generator: &mut SampleGenerator,
+    mut probe_log: Option<&mut Vec<(SystemStats, f64)>>,
+) -> Result<Vec<Observation>, CoreError> {
+    let family = class.family();
+    let mut observations = Vec::with_capacity(n);
+    while observations.len() < n {
+        let query = generator.generate(class, agent.catalog());
+        let Some(x) = family.extract(agent.catalog(), &query) else {
+            continue; // Shape mismatch cannot happen for generated queries.
+        };
+        agent.tick();
+        if let Some(log) = probe_log.as_deref_mut() {
+            log.push((agent.stats(), 0.0));
+        }
+        let probe_cost = agent.probe();
+        if let Some(log) = probe_log.as_deref_mut() {
+            log.last_mut().expect("just pushed").1 = probe_cost;
+        }
+        let exec = agent
+            .run(&query)
+            .map_err(|e| CoreError::Agent(e.to_string()))?;
+        observations.push(Observation {
+            x,
+            cost: exec.cost_s,
+            probe_cost,
+        });
+    }
+    Ok(observations)
+}
+
+/// An [`ObservationSource`] that draws targeted extra samples by re-rolling
+/// the environment until the probing cost lands in the requested subrange.
+pub struct AgentSource<'a> {
+    agent: &'a mut MdbsAgent,
+    generator: &'a mut SampleGenerator,
+    class: QueryClass,
+    max_attempts: usize,
+}
+
+impl ObservationSource for AgentSource<'_> {
+    fn draw_in_range(&mut self, lo: f64, hi: f64) -> Option<Observation> {
+        let family = self.class.family();
+        for _ in 0..self.max_attempts {
+            self.agent.tick();
+            let probe_cost = self.agent.probe();
+            if !(probe_cost >= lo && probe_cost < hi) {
+                continue;
+            }
+            let query = self.generator.generate(self.class, self.agent.catalog());
+            let x = family.extract(self.agent.catalog(), &query)?;
+            let exec = self.agent.run(&query).ok()?;
+            return Some(Observation {
+                x,
+                cost: exec.cost_s,
+                probe_cost,
+            });
+        }
+        None
+    }
+}
+
+/// Runs the full pipeline for one class on one agent.
+///
+/// `seed` drives the sample-query generator (the agent carries its own
+/// environment seed).
+pub fn derive_cost_model(
+    agent: &mut MdbsAgent,
+    class: QueryClass,
+    algorithm: StateAlgorithm,
+    cfg: &DerivationConfig,
+    seed: u64,
+) -> Result<DerivedModel, CoreError> {
+    let family = class.family();
+    let n = cfg
+        .sample_size
+        .unwrap_or_else(|| planned_sample_size(family, cfg.states.max_states));
+    let mut generator = SampleGenerator::new(seed);
+    let mut probe_log = Vec::new();
+    let mut observations = collect_observations(
+        agent,
+        class,
+        n,
+        &mut generator,
+        cfg.fit_probe_estimator.then_some(&mut probe_log),
+    )?;
+
+    // States are determined against the basic variables (the variables the
+    // class is guaranteed to need); selection then refines the term set.
+    let basic = family.basic_indexes();
+    let basic_names: Vec<String> = basic
+        .iter()
+        .map(|&i| family.all()[i].name.to_string())
+        .collect();
+    let mut source = AgentSource {
+        agent,
+        generator: &mut generator,
+        class,
+        max_attempts: cfg.max_resample_attempts,
+    };
+    let states_result = determine_states(
+        algorithm,
+        &mut observations,
+        &basic,
+        &basic_names,
+        &cfg.states,
+        &mut source,
+    )?;
+
+    let selection = select_variables(
+        family,
+        &observations,
+        &states_result.model.states,
+        cfg.states.form,
+        &cfg.selection,
+    )?;
+    let model = selection.model;
+
+    // The one-state comparison model: identical sample and variables, but
+    // the static method's single contention state.
+    let one_state = fit_cost_model(
+        ModelForm::Coincident,
+        crate::qualvar::StateSet::single(),
+        model.var_indexes.clone(),
+        model.var_names.clone(),
+        &observations,
+    )?;
+
+    let probe_estimator = if cfg.fit_probe_estimator {
+        Some(ProbeCostEstimator::fit(&probe_log, 0.05)?)
+    } else {
+        None
+    };
+
+    let avg_sample_cost =
+        observations.iter().map(|o| o.cost).sum::<f64>() / observations.len().max(1) as f64;
+
+    Ok(DerivedModel {
+        class,
+        model,
+        one_state,
+        history: states_result.history,
+        merges: states_result.merges,
+        observations,
+        probe_estimator,
+        avg_sample_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variables::VariableFamily;
+    use mdbs_sim::datagen::standard_database;
+    use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
+
+    fn dynamic_agent(seed: u64) -> MdbsAgent {
+        let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), seed);
+        agent.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform {
+            lo: 5.0,
+            hi: 125.0,
+        }));
+        agent
+    }
+
+    #[test]
+    fn collect_observations_produces_complete_rows() {
+        let mut agent = dynamic_agent(1);
+        let mut generator = SampleGenerator::new(2);
+        let obs = collect_observations(
+            &mut agent,
+            QueryClass::UnaryNoIndex,
+            30,
+            &mut generator,
+            None,
+        )
+        .unwrap();
+        assert_eq!(obs.len(), 30);
+        for o in &obs {
+            assert_eq!(o.x.len(), VariableFamily::Unary.all().len());
+            assert!(o.cost > 0.0);
+            assert!(o.probe_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_log_pairs_align() {
+        let mut agent = dynamic_agent(3);
+        let mut generator = SampleGenerator::new(4);
+        let mut log = Vec::new();
+        let obs = collect_observations(
+            &mut agent,
+            QueryClass::UnaryNoIndex,
+            20,
+            &mut generator,
+            Some(&mut log),
+        )
+        .unwrap();
+        assert_eq!(log.len(), obs.len());
+        for ((_, probe), o) in log.iter().zip(&obs) {
+            assert_eq!(*probe, o.probe_cost);
+        }
+    }
+
+    #[test]
+    fn derivation_beats_one_state_on_dynamic_data() {
+        let mut agent = dynamic_agent(5);
+        let cfg = DerivationConfig {
+            sample_size: Some(260),
+            fit_probe_estimator: false,
+            ..DerivationConfig::default()
+        };
+        let derived = derive_cost_model(
+            &mut agent,
+            QueryClass::UnaryNoIndex,
+            StateAlgorithm::Iupma,
+            &cfg,
+            7,
+        )
+        .unwrap();
+        assert!(derived.model.num_states() >= 2, "stayed single-state");
+        assert!(
+            derived.model.fit.r_squared > derived.one_state.fit.r_squared,
+            "multi {} vs one-state {}",
+            derived.model.fit.r_squared,
+            derived.one_state.fit.r_squared
+        );
+        assert!(derived.model.fit.r_squared > 0.9);
+        assert!(derived.avg_sample_cost > 0.0);
+        assert!(!derived.history.is_empty());
+    }
+
+    #[test]
+    fn agent_source_targets_the_requested_band() {
+        let mut agent = dynamic_agent(9);
+        // Find a plausible probe band first.
+        agent.tick();
+        let p = agent.probe();
+        let mut generator = SampleGenerator::new(10);
+        let mut source = AgentSource {
+            agent: &mut agent,
+            generator: &mut generator,
+            class: QueryClass::UnaryNoIndex,
+            max_attempts: 200,
+        };
+        let got = source.draw_in_range(p * 0.2, p * 5.0);
+        let obs = got.expect("broad band should be reachable");
+        assert!(obs.probe_cost >= p * 0.2 && obs.probe_cost < p * 5.0);
+        // An impossible band fails gracefully.
+        let mut source = AgentSource {
+            agent: &mut agent,
+            generator: &mut generator,
+            class: QueryClass::UnaryNoIndex,
+            max_attempts: 5,
+        };
+        assert!(source.draw_in_range(1e9, 2e9).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! # mdbs-core
+//!
+//! The **multi-states query sampling method** of
+//! *"Developing Cost Models with Qualitative Variables for Dynamic
+//! Multidatabase Environments"* (Zhu, Sun, Motheramgari — ICDE 2000).
+//!
+//! A multidatabase system (MDBS) cannot see inside its autonomous local
+//! database systems, yet its global query optimizer needs per-site cost
+//! models. The static query sampling method fits regression cost models to
+//! observed sample-query costs — but in a *dynamic* environment the same
+//! query's cost can swing by an order of magnitude with the background
+//! load. This crate implements the paper's fix:
+//!
+//! 1. gauge the combined contention level with a cheap **probing query**
+//!    ([`probing`]),
+//! 2. split the probing-cost range into discrete **contention states** with
+//!    the **IUPMA** or **ICMA** algorithms ([`states`], [`qualvar`]),
+//! 3. fit a **qualitative regression cost model** whose intercept *and*
+//!    slopes vary by state ([`model`]), with automatic variable selection
+//!    ([`variables`], [`selection`]) and multicollinearity screening,
+//! 4. validate with R², SEE, F-tests and good-estimate percentages
+//!    ([`validate`]),
+//! 5. store models in the MDBS global catalog ([`catalog`]) and use them
+//!    for global query optimization ([`optimizer`]).
+//!
+//! The end-to-end pipeline — sampling, probing, state determination,
+//! selection, fitting, validation — lives in [`mod@derive`]. The quickest way
+//! in:
+//!
+//! ```
+//! use mdbs_core::derive::{DerivationConfig, derive_cost_model};
+//! use mdbs_core::classes::QueryClass;
+//! use mdbs_core::states::StateAlgorithm;
+//! use mdbs_sim::{MdbsAgent, VendorProfile, LoadBuilder, ContentionProfile};
+//! use mdbs_sim::datagen::standard_database;
+//!
+//! let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 1);
+//! agent.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform { lo: 5.0, hi: 120.0 }));
+//! let cfg = DerivationConfig::quick(); // small sample for doc-test speed
+//! let derived = derive_cost_model(
+//!     &mut agent,
+//!     QueryClass::UnaryNoIndex,
+//!     StateAlgorithm::Iupma,
+//!     &cfg,
+//!     7,
+//! ).unwrap();
+//! assert!(derived.model.fit.r_squared > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod classes;
+pub mod derive;
+pub mod maintenance;
+pub mod mdbs;
+pub mod model;
+pub mod observation;
+pub mod optimizer;
+pub mod persist;
+pub mod probing;
+pub mod qualvar;
+pub mod sampling;
+pub mod selection;
+pub mod states;
+pub mod validate;
+pub mod variables;
+
+pub use catalog::GlobalCatalog;
+pub use classes::QueryClass;
+pub use derive::{derive_cost_model, DerivationConfig, DerivedModel};
+pub use mdbs::{GlobalExecution, Mdbs};
+pub use model::{CostModel, ModelForm};
+pub use observation::Observation;
+pub use qualvar::StateSet;
+pub use states::StateAlgorithm;
+
+/// Errors produced by the cost-model derivation machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Too few observations for the requested model.
+    InsufficientSamples {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+    /// The underlying numerical routine failed.
+    Numeric(mdbs_stats::StatsError),
+    /// The local agent rejected a query.
+    Agent(String),
+    /// The observations are degenerate (e.g. all probing costs equal when a
+    /// multi-state partition was requested).
+    Degenerate(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InsufficientSamples { needed, got } => {
+                write!(f, "insufficient samples: needed {needed}, got {got}")
+            }
+            CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
+            CoreError::Agent(e) => write!(f, "agent error: {e}"),
+            CoreError::Degenerate(msg) => write!(f, "degenerate data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mdbs_stats::StatsError> for CoreError {
+    fn from(e: mdbs_stats::StatsError) -> Self {
+        CoreError::Numeric(e)
+    }
+}

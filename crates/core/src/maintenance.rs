@@ -1,0 +1,260 @@
+//! Cost-model maintenance for occasionally-changing factors (paper §2).
+//!
+//! The multi-states model absorbs the *frequently*-changing factors through
+//! its qualitative variable — but the paper's §2 lists factors that change
+//! *occasionally* and durably: DBMS configuration, schema, hardware. For
+//! those, "a simple and effective approach … is to invoke the static query
+//! sampling method periodically or whenever a significant change for the
+//! factors occurs". This module supplies the "whenever": a [`DriftMonitor`]
+//! watches the stream of (estimated, observed) cost pairs the MDBS sees
+//! during normal operation and flags the model once its good-estimate rate
+//! over a sliding window falls below a threshold, and a [`ModelMaintainer`]
+//! bundles the monitor with the re-derivation call.
+//!
+//! Two properties make this cheap and safe:
+//!
+//! * drift detection is free — the MDBS observes actual local costs for
+//!   every query it routed anyway;
+//! * *data growth does not trigger false alarms*: the explanatory variables
+//!   (operand/intermediate/result sizes) are re-extracted per query from
+//!   the catalog, so a grown table changes the inputs, not the model. Only
+//!   changes that reshape the cost *function itself* (memory, indexes,
+//!   disks, buffer pools) degrade the good-estimate rate.
+
+use crate::classes::QueryClass;
+use crate::derive::{derive_cost_model, DerivationConfig, DerivedModel};
+use crate::states::StateAlgorithm;
+use crate::validate::TestPoint;
+use crate::CoreError;
+use mdbs_sim::MdbsAgent;
+use std::collections::VecDeque;
+
+/// Configuration of the drift monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceConfig {
+    /// Size of the sliding window of recent estimates.
+    pub window: usize,
+    /// Minimum observations before drift can be declared.
+    pub min_observations: usize,
+    /// Declare drift when the fraction of *good* estimates (within 2×)
+    /// in the window falls below this.
+    pub min_good_fraction: f64,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            window: 50,
+            min_observations: 20,
+            min_good_fraction: 0.5,
+        }
+    }
+}
+
+/// Sliding-window drift detection over estimate quality.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: MaintenanceConfig,
+    recent: VecDeque<bool>,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given configuration.
+    pub fn new(config: MaintenanceConfig) -> Self {
+        DriftMonitor {
+            recent: VecDeque::with_capacity(config.window),
+            config,
+        }
+    }
+
+    /// Records one (observed, estimated) pair from production traffic.
+    pub fn record(&mut self, observed: f64, estimated: f64) {
+        let p = TestPoint {
+            observed,
+            estimated,
+            result_card: 0,
+            probe_cost: 0.0,
+        };
+        if self.recent.len() == self.config.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(p.is_good());
+    }
+
+    /// Fraction of good estimates currently in the window.
+    pub fn good_fraction(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 1.0;
+        }
+        self.recent.iter().filter(|&&g| g).count() as f64 / self.recent.len() as f64
+    }
+
+    /// Number of recorded pairs currently in the window.
+    pub fn observations(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether the model has drifted (enough evidence + low quality).
+    pub fn drifted(&self) -> bool {
+        self.recent.len() >= self.config.min_observations
+            && self.good_fraction() < self.config.min_good_fraction
+    }
+
+    /// Clears the window (after a re-derivation).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+    }
+}
+
+/// A derived model plus the machinery to keep it fresh.
+#[derive(Debug, Clone)]
+pub struct ModelMaintainer {
+    /// The model currently in production.
+    pub derived: DerivedModel,
+    /// The drift monitor fed by production traffic.
+    pub monitor: DriftMonitor,
+    /// How re-derivations are configured.
+    pub derivation: DerivationConfig,
+    /// Which state-determination algorithm re-derivations use.
+    pub algorithm: StateAlgorithm,
+    /// How many times the model has been rebuilt.
+    pub rederivations: usize,
+    /// A derivation is itself a sampling experiment and can land on a weak
+    /// model; a rebuild runs up to this many attempts (distinct sample
+    /// seeds) and keeps the best fit by R².
+    pub rederive_attempts: usize,
+}
+
+impl ModelMaintainer {
+    /// Wraps an existing derivation.
+    pub fn new(
+        derived: DerivedModel,
+        maintenance: MaintenanceConfig,
+        derivation: DerivationConfig,
+        algorithm: StateAlgorithm,
+    ) -> Self {
+        ModelMaintainer {
+            derived,
+            monitor: DriftMonitor::new(maintenance),
+            derivation,
+            algorithm,
+            rederivations: 0,
+            rederive_attempts: 3,
+        }
+    }
+
+    /// The class this maintainer covers.
+    pub fn class(&self) -> QueryClass {
+        self.derived.class
+    }
+
+    /// Feeds one production observation; returns `true` when the model has
+    /// now drifted and should be rebuilt.
+    pub fn observe(&mut self, observed: f64, estimated: f64) -> bool {
+        self.monitor.record(observed, estimated);
+        self.monitor.drifted()
+    }
+
+    /// Rebuilds the model by re-running the full derivation pipeline
+    /// against the (changed) local site — up to [`Self::rederive_attempts`]
+    /// times, keeping the best attempt by R² — then resets the monitor.
+    pub fn rederive(&mut self, agent: &mut MdbsAgent, seed: u64) -> Result<(), CoreError> {
+        let mut best: Option<crate::derive::DerivedModel> = None;
+        for attempt in 0..self.rederive_attempts.max(1) as u64 {
+            let candidate = derive_cost_model(
+                agent,
+                self.derived.class,
+                self.algorithm,
+                &self.derivation,
+                seed.wrapping_add(attempt),
+            )?;
+            let better = best.as_ref().map_or(true, |b| {
+                candidate.model.fit.r_squared > b.model.fit.r_squared
+            });
+            if better {
+                best = Some(candidate);
+            }
+        }
+        self.derived = best.expect("at least one attempt ran");
+        self.monitor.reset();
+        self.rederivations += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_monitor_reports_no_drift() {
+        let m = DriftMonitor::new(MaintenanceConfig::default());
+        assert!(!m.drifted());
+        assert_eq!(m.good_fraction(), 1.0);
+    }
+
+    #[test]
+    fn good_traffic_keeps_the_model() {
+        let mut m = DriftMonitor::new(MaintenanceConfig::default());
+        for i in 0..100 {
+            let obs = 10.0 + (i % 5) as f64;
+            m.record(obs, obs * 1.1);
+        }
+        assert!(!m.drifted());
+        assert!(m.good_fraction() > 0.99);
+    }
+
+    #[test]
+    fn sustained_bad_estimates_trigger_drift() {
+        let mut m = DriftMonitor::new(MaintenanceConfig::default());
+        for _ in 0..30 {
+            m.record(10.0, 100.0); // 10x off.
+        }
+        assert!(m.drifted());
+        assert!(m.good_fraction() < 0.1);
+    }
+
+    #[test]
+    fn drift_needs_minimum_evidence() {
+        let mut m = DriftMonitor::new(MaintenanceConfig {
+            min_observations: 20,
+            ..MaintenanceConfig::default()
+        });
+        for _ in 0..10 {
+            m.record(10.0, 100.0);
+        }
+        assert!(!m.drifted(), "drift declared on too little evidence");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = DriftMonitor::new(MaintenanceConfig {
+            window: 30,
+            min_observations: 20,
+            min_good_fraction: 0.5,
+        });
+        // Bad history...
+        for _ in 0..30 {
+            m.record(10.0, 1000.0);
+        }
+        assert!(m.drifted());
+        // ...fully displaced by good recent traffic.
+        for _ in 0..30 {
+            m.record(10.0, 10.5);
+        }
+        assert!(!m.drifted());
+        assert_eq!(m.observations(), 30);
+    }
+
+    #[test]
+    fn reset_clears_evidence() {
+        let mut m = DriftMonitor::new(MaintenanceConfig::default());
+        for _ in 0..40 {
+            m.record(10.0, 500.0);
+        }
+        assert!(m.drifted());
+        m.reset();
+        assert!(!m.drifted());
+        assert_eq!(m.observations(), 0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Qualitative regression cost models (paper §3.2, Table 2).
+//!
+//! A cost model relates a query's cost `Y` to quantitative explanatory
+//! variables `X_1..X_p` *and* a qualitative contention-state variable with
+//! `m` categories. The state variable can enter in four ways:
+//!
+//! * **Coincident** — one shared equation (the static method's model),
+//! * **Parallel** — per-state intercepts, shared slopes,
+//! * **Concurrent** — shared intercept, per-state slopes,
+//! * **General** — per-state intercepts *and* slopes.
+//!
+//! The paper argues (§3.2) that contention inflates both the
+//! initialization cost (the intercept) and the I/O/CPU costs (the slopes),
+//! so the **general** form is the right one for dynamic environments; the
+//! other forms are provided both for completeness and for the ablation
+//! benchmarks.
+//!
+//! All four forms are fitted through one code path: each form maps an
+//! observation to a design-matrix row (cell-means coding), OLS runs once
+//! over the pooled sample, and the per-state "adjusted coefficients"
+//! `b_{j,i}` (paper Algorithm 3.1, line 16) are recovered from the raw
+//! coefficient vector. Statistics (R², SEE, F) are therefore pooled across
+//! states exactly as the paper's algorithm expects.
+
+use crate::observation::Observation;
+use crate::qualvar::StateSet;
+use crate::CoreError;
+use mdbs_stats::{Matrix, OlsFit};
+
+/// How the qualitative variable enters the regression equation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelForm {
+    /// One equation for all states.
+    Coincident,
+    /// Per-state intercepts, shared slopes.
+    Parallel,
+    /// Shared intercept, per-state slopes.
+    Concurrent,
+    /// Per-state intercepts and slopes (the paper's choice).
+    General,
+}
+
+impl ModelForm {
+    /// Number of raw coefficients for `m` states and `p` variables.
+    pub fn num_params(self, m: usize, p: usize) -> usize {
+        match self {
+            ModelForm::Coincident => p + 1,
+            ModelForm::Parallel => m + p,
+            ModelForm::Concurrent => 1 + m * p,
+            ModelForm::General => m * (p + 1),
+        }
+    }
+}
+
+/// Pooled goodness-of-fit statistics of a cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitStats {
+    /// Coefficient of total determination R².
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Standard error of estimation.
+    pub see: f64,
+    /// Overall F statistic.
+    pub f_statistic: f64,
+    /// Upper-tail p-value of the F statistic.
+    pub f_p_value: f64,
+    /// Observations used.
+    pub n: usize,
+    /// Raw parameters fitted.
+    pub k: usize,
+}
+
+/// A fitted qualitative regression cost model for one query class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// The regression form in use.
+    pub form: ModelForm,
+    /// The contention-state partition.
+    pub states: StateSet,
+    /// Indexes of the selected variables in the family's canonical order.
+    pub var_indexes: Vec<usize>,
+    /// Names of the selected variables (aligned with `var_indexes`).
+    pub var_names: Vec<String>,
+    /// Adjusted per-state coefficients: `coefficients[s][0]` is the
+    /// intercept for state `s`, `coefficients[s][j+1]` the slope of the
+    /// `j`-th selected variable in state `s`.
+    pub coefficients: Vec<Vec<f64>>,
+    /// Pooled fit statistics.
+    pub fit: FitStats,
+}
+
+impl CostModel {
+    /// Number of contention states `m`.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of selected quantitative variables `p`.
+    pub fn num_variables(&self) -> usize {
+        self.var_indexes.len()
+    }
+
+    /// Estimates the cost of a query given its selected-variable values
+    /// (aligned with `var_indexes`) and the probing cost gauged in the
+    /// target environment.
+    pub fn estimate(&self, x_selected: &[f64], probe_cost: f64) -> f64 {
+        let s = self.states.state_of(probe_cost);
+        self.estimate_in_state(x_selected, s)
+    }
+
+    /// Estimates the cost within an explicit contention state.
+    pub fn estimate_in_state(&self, x_selected: &[f64], state: usize) -> f64 {
+        let b = &self.coefficients[state.min(self.coefficients.len() - 1)];
+        let mut y = b[0];
+        for (j, &x) in x_selected.iter().enumerate().take(self.num_variables()) {
+            y += b[j + 1] * x;
+        }
+        y
+    }
+
+    /// Estimates the cost of a full-width observation (all candidate
+    /// variables); projection onto the selected subset happens internally.
+    pub fn estimate_observation(&self, obs: &Observation) -> f64 {
+        let x = obs.project(&self.var_indexes);
+        self.estimate(&x, obs.probe_cost)
+    }
+
+    /// Renders the model in the style of the paper's Table 4: one cost
+    /// equation per contention state, highest-contention state first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let m = self.num_states();
+        for s in (0..m).rev() {
+            let (lo, hi) = self.states.bounds(s);
+            let mut eq = format!(
+                "  {} (probe in [{:.3}, {:.3})): Y = {:+.4e}",
+                self.states.paper_label(s),
+                lo,
+                hi,
+                self.coefficients[s][0]
+            );
+            for (j, name) in self.var_names.iter().enumerate() {
+                eq.push_str(&format!(" {:+.4e}*{}", self.coefficients[s][j + 1], name));
+            }
+            out.push_str(&eq);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the design-matrix row of one observation under a given form.
+fn design_row(form: ModelForm, m: usize, state: usize, x: &[f64]) -> Vec<f64> {
+    let p = x.len();
+    match form {
+        ModelForm::Coincident => {
+            let mut row = Vec::with_capacity(p + 1);
+            row.push(1.0);
+            row.extend_from_slice(x);
+            row
+        }
+        ModelForm::Parallel => {
+            let mut row = vec![0.0; m];
+            row[state] = 1.0;
+            row.extend_from_slice(x);
+            row
+        }
+        ModelForm::Concurrent => {
+            let mut row = vec![0.0; 1 + m * p];
+            row[0] = 1.0;
+            for (j, &v) in x.iter().enumerate() {
+                row[1 + state * p + j] = v;
+            }
+            row
+        }
+        ModelForm::General => {
+            let mut row = vec![0.0; m * (p + 1)];
+            row[state * (p + 1)] = 1.0;
+            for (j, &v) in x.iter().enumerate() {
+                row[state * (p + 1) + 1 + j] = v;
+            }
+            row
+        }
+    }
+}
+
+/// Recovers the adjusted per-state coefficient table `b_{j,i}` from the raw
+/// coefficient vector.
+fn adjusted_coefficients(form: ModelForm, m: usize, p: usize, beta: &[f64]) -> Vec<Vec<f64>> {
+    (0..m)
+        .map(|s| match form {
+            ModelForm::Coincident => beta.to_vec(),
+            ModelForm::Parallel => {
+                let mut b = Vec::with_capacity(p + 1);
+                b.push(beta[s]);
+                b.extend_from_slice(&beta[m..m + p]);
+                b
+            }
+            ModelForm::Concurrent => {
+                let mut b = Vec::with_capacity(p + 1);
+                b.push(beta[0]);
+                b.extend_from_slice(&beta[1 + s * p..1 + (s + 1) * p]);
+                b
+            }
+            ModelForm::General => beta[s * (p + 1)..(s + 1) * (p + 1)].to_vec(),
+        })
+        .collect()
+}
+
+/// Counts how many observations fall in each state of a partition.
+pub fn counts_per_state(states: &StateSet, observations: &[Observation]) -> Vec<usize> {
+    let mut counts = vec![0usize; states.len()];
+    for o in observations {
+        counts[states.state_of(o.probe_cost)] += 1;
+    }
+    counts
+}
+
+/// Minimum observations a state must contain for a general-form fit with
+/// `p` variables (exact fit needs `p + 1`; one spare for the error term).
+pub fn min_obs_per_state(p: usize) -> usize {
+    p + 2
+}
+
+/// Fits a qualitative regression cost model.
+///
+/// `var_indexes`/`var_names` select the quantitative variables (indexes
+/// into the canonical candidate order of the class family). For state-
+/// dependent forms every state must hold at least
+/// [`min_obs_per_state`] observations, otherwise
+/// [`CoreError::InsufficientSamples`] is returned — callers (IUPMA/ICMA)
+/// react by drawing more samples or merging states.
+pub fn fit_cost_model(
+    form: ModelForm,
+    states: StateSet,
+    var_indexes: Vec<usize>,
+    var_names: Vec<String>,
+    observations: &[Observation],
+) -> Result<CostModel, CoreError> {
+    let m = states.len();
+    let p = var_indexes.len();
+    let k = form.num_params(m, p);
+    if observations.len() < k + 1 {
+        return Err(CoreError::InsufficientSamples {
+            needed: k + 1,
+            got: observations.len(),
+        });
+    }
+    if m > 1 && matches!(form, ModelForm::General | ModelForm::Concurrent) {
+        let counts = counts_per_state(&states, observations);
+        if let Some((i, &c)) = counts
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| c < min_obs_per_state(p))
+        {
+            let _ = i;
+            return Err(CoreError::InsufficientSamples {
+                needed: min_obs_per_state(p),
+                got: c,
+            });
+        }
+    }
+    let mut rows = Vec::with_capacity(observations.len());
+    let mut y = Vec::with_capacity(observations.len());
+    for o in observations {
+        let x = o.project(&var_indexes);
+        let s = states.state_of(o.probe_cost);
+        rows.push(design_row(form, m, s, &x));
+        y.push(o.cost);
+    }
+    let design = Matrix::from_rows(&rows).map_err(CoreError::Numeric)?;
+    let ols = OlsFit::fit(&design, &y, true).map_err(CoreError::Numeric)?;
+    let coefficients = adjusted_coefficients(form, m, p, &ols.coefficients);
+    Ok(CostModel {
+        form,
+        states,
+        var_indexes,
+        var_names,
+        coefficients,
+        fit: FitStats {
+            r_squared: ols.r_squared,
+            adj_r_squared: ols.adj_r_squared,
+            see: ols.see,
+            f_statistic: ols.f_statistic,
+            f_p_value: ols.f_p_value,
+            n: ols.n,
+            k: ols.k,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesizes observations from a known two-state ground truth:
+    /// state 0 (probe < 5): y = 1 + 2x; state 1 (probe >= 5): y = 10 + 6x.
+    fn two_state_observations() -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for i in 0..40 {
+            let x = i as f64;
+            obs.push(Observation {
+                x: vec![x],
+                cost: 1.0 + 2.0 * x,
+                probe_cost: 2.0 + (i % 3) as f64 * 0.5,
+            });
+            obs.push(Observation {
+                x: vec![x],
+                cost: 10.0 + 6.0 * x,
+                probe_cost: 7.0 + (i % 3) as f64 * 0.5,
+            });
+        }
+        obs
+    }
+
+    fn two_states() -> StateSet {
+        StateSet::from_edges(vec![0.0, 5.0, 10.0]).unwrap()
+    }
+
+    #[test]
+    fn general_form_recovers_both_regimes() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        assert!((model.coefficients[0][0] - 1.0).abs() < 1e-8);
+        assert!((model.coefficients[0][1] - 2.0).abs() < 1e-8);
+        assert!((model.coefficients[1][0] - 10.0).abs() < 1e-8);
+        assert!((model.coefficients[1][1] - 6.0).abs() < 1e-8);
+        assert!(model.fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn coincident_form_averages_regimes() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::Coincident,
+            StateSet::single(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        // One pooled slope between 2 and 6.
+        let slope = model.coefficients[0][1];
+        assert!(slope > 2.0 && slope < 6.0, "slope {slope}");
+        // And a visibly worse fit than the general model.
+        assert!(model.fit.r_squared < 0.95);
+    }
+
+    #[test]
+    fn parallel_form_shares_slopes() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::Parallel,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        assert!((model.coefficients[0][1] - model.coefficients[1][1]).abs() < 1e-10);
+        assert!(model.coefficients[0][0] != model.coefficients[1][0]);
+    }
+
+    #[test]
+    fn concurrent_form_shares_intercept() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::Concurrent,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        assert!((model.coefficients[0][0] - model.coefficients[1][0]).abs() < 1e-10);
+        assert!(model.coefficients[0][1] != model.coefficients[1][1]);
+    }
+
+    #[test]
+    fn general_fit_beats_restricted_forms_on_general_data() {
+        let obs = two_state_observations();
+        let fit = |form, states: StateSet| {
+            fit_cost_model(form, states, vec![0], vec!["x".into()], &obs)
+                .unwrap()
+                .fit
+                .r_squared
+        };
+        let general = fit(ModelForm::General, two_states());
+        let parallel = fit(ModelForm::Parallel, two_states());
+        let concurrent = fit(ModelForm::Concurrent, two_states());
+        let coincident = fit(ModelForm::Coincident, StateSet::single());
+        assert!(general >= parallel && general >= concurrent);
+        assert!(parallel > coincident);
+    }
+
+    #[test]
+    fn estimate_uses_probe_cost_to_pick_state() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        assert!((model.estimate(&[3.0], 1.0) - 7.0).abs() < 1e-6);
+        assert!((model.estimate(&[3.0], 8.0) - 28.0).abs() < 1e-6);
+        // Probe outside the sampled range clamps to the edge state.
+        assert!((model.estimate(&[3.0], 100.0) - 28.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_observation_projects_full_vector() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap();
+        let test = Observation {
+            x: vec![4.0],
+            cost: 0.0,
+            probe_cost: 1.0,
+        };
+        assert!((model.estimate_observation(&test) - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thin_state_is_rejected() {
+        // All observations in state 0; state 1 empty.
+        let obs: Vec<Observation> = (0..30)
+            .map(|i| Observation {
+                x: vec![i as f64],
+                cost: i as f64,
+                probe_cost: 1.0,
+            })
+            .collect();
+        let err = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientSamples { .. }));
+    }
+
+    #[test]
+    fn too_few_total_observations_rejected() {
+        let obs: Vec<Observation> = (0..3)
+            .map(|i| Observation {
+                x: vec![i as f64],
+                cost: i as f64,
+                probe_cost: 1.0 + i as f64 * 3.0,
+            })
+            .collect();
+        assert!(fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["x".into()],
+            &obs,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn num_params_per_form() {
+        assert_eq!(ModelForm::Coincident.num_params(4, 3), 4);
+        assert_eq!(ModelForm::Parallel.num_params(4, 3), 7);
+        assert_eq!(ModelForm::Concurrent.num_params(4, 3), 13);
+        assert_eq!(ModelForm::General.num_params(4, 3), 16);
+    }
+
+    #[test]
+    fn render_mentions_every_state_and_variable() {
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["N_O".into()],
+            &obs,
+        )
+        .unwrap();
+        let text = model.render();
+        assert!(text.contains("S1"));
+        assert!(text.contains("S2"));
+        assert!(text.contains("N_O"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn counts_per_state_totals() {
+        let obs = two_state_observations();
+        let counts = counts_per_state(&two_states(), &obs);
+        assert_eq!(counts.iter().sum::<usize>(), obs.len());
+        assert_eq!(counts, vec![40, 40]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Sample observations: what one executed sample query contributes.
+
+/// One data point for regression: the explanatory-variable values of a
+/// sample query, its observed cost, and the probing-query cost measured in
+/// the same environment ("sampled probing query cost", paper §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Values of *all* candidate explanatory variables of the query-class
+    /// family, in the canonical order of
+    /// [`variables::VariableFamily::all`](crate::variables::VariableFamily::all).
+    pub x: Vec<f64>,
+    /// Observed elapsed cost of the sample query (seconds).
+    pub cost: f64,
+    /// Cost of the probing query executed in the same environment.
+    pub probe_cost: f64,
+}
+
+impl Observation {
+    /// Projects this observation onto a subset of variables given by
+    /// indexes into the canonical order.
+    pub fn project(&self, keep: &[usize]) -> Vec<f64> {
+        keep.iter().map(|&i| self.x[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_selects_in_order() {
+        let o = Observation {
+            x: vec![10.0, 20.0, 30.0, 40.0],
+            cost: 1.0,
+            probe_cost: 0.5,
+        };
+        assert_eq!(o.project(&[2, 0]), vec![30.0, 10.0]);
+        assert_eq!(o.project(&[]), Vec::<f64>::new());
+    }
+}

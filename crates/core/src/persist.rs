@@ -1,0 +1,498 @@
+//! Catalog persistence.
+//!
+//! "The cost model parameters are kept in the MDBS catalog and utilized
+//! during query optimization" (paper §1) — which requires the models to
+//! survive the process that derived them. This module gives [`CostModel`],
+//! [`ProbeCostEstimator`] and the whole [`GlobalCatalog`] a line-oriented,
+//! versioned, human-readable text format with exact `f64` round-trips
+//! (Rust's shortest-round-trip float formatting).
+//!
+//! The format is deliberately not JSON: the workspace's dependency budget
+//! has no serde format crate, and a catalog entry is simple enough that a
+//! hand-rolled format with a version tag is the smaller risk.
+
+use crate::catalog::{GlobalCatalog, SiteId};
+use crate::classes::QueryClass;
+use crate::model::{CostModel, FitStats, ModelForm};
+use crate::probing::ProbeCostEstimator;
+use crate::qualvar::StateSet;
+use crate::CoreError;
+
+/// Current format version tag.
+pub const FORMAT_VERSION: &str = "v1";
+
+fn parse_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Degenerate(format!("catalog parse error: {}", msg.into()))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, CoreError> {
+    s.parse::<f64>()
+        .map_err(|_| parse_err(format!("bad float `{s}`")))
+}
+
+impl ModelForm {
+    /// Stable textual tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelForm::Coincident => "coincident",
+            ModelForm::Parallel => "parallel",
+            ModelForm::Concurrent => "concurrent",
+            ModelForm::General => "general",
+        }
+    }
+
+    /// Parses the stable tag.
+    pub fn parse(s: &str) -> Result<ModelForm, CoreError> {
+        match s {
+            "coincident" => Ok(ModelForm::Coincident),
+            "parallel" => Ok(ModelForm::Parallel),
+            "concurrent" => Ok(ModelForm::Concurrent),
+            "general" => Ok(ModelForm::General),
+            other => Err(parse_err(format!("unknown model form `{other}`"))),
+        }
+    }
+}
+
+impl QueryClass {
+    /// Stable textual tag used by the catalog format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryClass::UnaryNoIndex => "unary_no_index",
+            QueryClass::UnaryNonClusteredIndex => "unary_nonclustered_index",
+            QueryClass::UnaryClusteredIndex => "unary_clustered_index",
+            QueryClass::JoinNoIndex => "join_no_index",
+            QueryClass::JoinIndexed => "join_indexed",
+        }
+    }
+
+    /// Parses the stable tag.
+    pub fn parse(s: &str) -> Result<QueryClass, CoreError> {
+        QueryClass::all()
+            .into_iter()
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| parse_err(format!("unknown query class `{s}`")))
+    }
+}
+
+impl CostModel {
+    /// Serializes the model to a catalog entry.
+    pub fn to_catalog_entry(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("costmodel {FORMAT_VERSION}\n"));
+        out.push_str(&format!("form {}\n", self.form.as_str()));
+        let edges: Vec<String> = self.states.edges().iter().map(|&e| fmt_f64(e)).collect();
+        out.push_str(&format!("states {}\n", edges.join(" ")));
+        let vars: Vec<String> = self
+            .var_indexes
+            .iter()
+            .zip(&self.var_names)
+            .map(|(i, n)| format!("{i}:{n}"))
+            .collect();
+        out.push_str(&format!("vars {}\n", vars.join(" ")));
+        out.push_str(&format!(
+            "fit {} {} {} {} {} {} {}\n",
+            fmt_f64(self.fit.r_squared),
+            fmt_f64(self.fit.adj_r_squared),
+            fmt_f64(self.fit.see),
+            fmt_f64(self.fit.f_statistic),
+            fmt_f64(self.fit.f_p_value),
+            self.fit.n,
+            self.fit.k
+        ));
+        for (s, coefs) in self.coefficients.iter().enumerate() {
+            let cs: Vec<String> = coefs.iter().map(|&c| fmt_f64(c)).collect();
+            out.push_str(&format!("coef {s} {}\n", cs.join(" ")));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
+    pub fn from_catalog_entry(text: &str) -> Result<CostModel, CoreError> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let header = lines.next().ok_or_else(|| parse_err("empty entry"))?;
+        let mut h = header.split_whitespace();
+        if h.next() != Some("costmodel") {
+            return Err(parse_err("missing `costmodel` header"));
+        }
+        let version = h.next().ok_or_else(|| parse_err("missing version"))?;
+        if version != FORMAT_VERSION {
+            return Err(parse_err(format!("unsupported version `{version}`")));
+        }
+        let mut form: Option<ModelForm> = None;
+        let mut states: Option<StateSet> = None;
+        let mut var_indexes = Vec::new();
+        let mut var_names = Vec::new();
+        let mut fit: Option<FitStats> = None;
+        let mut coefficients: Vec<(usize, Vec<f64>)> = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("form") => {
+                    form = Some(ModelForm::parse(
+                        parts.next().ok_or_else(|| parse_err("form tag missing"))?,
+                    )?);
+                }
+                Some("states") => {
+                    let edges: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    states = Some(StateSet::from_edges(edges?)?);
+                }
+                Some("vars") => {
+                    for v in parts {
+                        let (idx, name) = v
+                            .split_once(':')
+                            .ok_or_else(|| parse_err(format!("bad var spec `{v}`")))?;
+                        var_indexes.push(
+                            idx.parse::<usize>()
+                                .map_err(|_| parse_err(format!("bad var index `{idx}`")))?,
+                        );
+                        var_names.push(name.to_string());
+                    }
+                }
+                Some("fit") => {
+                    let vals: Vec<&str> = parts.collect();
+                    if vals.len() != 7 {
+                        return Err(parse_err("fit line needs 7 fields"));
+                    }
+                    fit = Some(FitStats {
+                        r_squared: parse_f64(vals[0])?,
+                        adj_r_squared: parse_f64(vals[1])?,
+                        see: parse_f64(vals[2])?,
+                        f_statistic: parse_f64(vals[3])?,
+                        f_p_value: parse_f64(vals[4])?,
+                        n: vals[5]
+                            .parse()
+                            .map_err(|_| parse_err("bad n in fit line"))?,
+                        k: vals[6]
+                            .parse()
+                            .map_err(|_| parse_err("bad k in fit line"))?,
+                    });
+                }
+                Some("coef") => {
+                    let s: usize = parts
+                        .next()
+                        .ok_or_else(|| parse_err("coef state missing"))?
+                        .parse()
+                        .map_err(|_| parse_err("bad coef state index"))?;
+                    let cs: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    coefficients.push((s, cs?));
+                }
+                Some("end") => break,
+                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                None => continue,
+            }
+        }
+        let form = form.ok_or_else(|| parse_err("missing form"))?;
+        let states = states.ok_or_else(|| parse_err("missing states"))?;
+        let fit = fit.ok_or_else(|| parse_err("missing fit"))?;
+        coefficients.sort_by_key(|(s, _)| *s);
+        if coefficients.len() != states.len() {
+            return Err(parse_err(format!(
+                "{} coefficient rows for {} states",
+                coefficients.len(),
+                states.len()
+            )));
+        }
+        let p = var_indexes.len();
+        let coefficients: Vec<Vec<f64>> = coefficients.into_iter().map(|(_, c)| c).collect();
+        if coefficients.iter().any(|c| c.len() != p + 1) {
+            return Err(parse_err("coefficient row width does not match vars"));
+        }
+        Ok(CostModel {
+            form,
+            states,
+            var_indexes,
+            var_names,
+            coefficients,
+            fit,
+        })
+    }
+}
+
+impl ProbeCostEstimator {
+    /// Serializes the estimator to a catalog entry.
+    pub fn to_catalog_entry(&self) -> String {
+        let sel: Vec<String> = self
+            .selected
+            .iter()
+            .zip(&self.names)
+            .map(|(i, n)| format!("{i}:{n}"))
+            .collect();
+        let coefs: Vec<String> = self.coefficients.iter().map(|&c| fmt_f64(c)).collect();
+        format!(
+            "probeest {FORMAT_VERSION}\nparams {}\ncoef {}\nfit {} {}\nend\n",
+            sel.join(" "),
+            coefs.join(" "),
+            fmt_f64(self.r_squared),
+            fmt_f64(self.see)
+        )
+    }
+
+    /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
+    pub fn from_catalog_entry(text: &str) -> Result<ProbeCostEstimator, CoreError> {
+        let mut selected = Vec::new();
+        let mut names = Vec::new();
+        let mut coefficients = Vec::new();
+        let mut r_squared = 0.0;
+        let mut see = 0.0;
+        let mut seen_header = false;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("probeest") => {
+                    if parts.next() != Some(FORMAT_VERSION) {
+                        return Err(parse_err("unsupported probeest version"));
+                    }
+                    seen_header = true;
+                }
+                Some("params") => {
+                    for v in parts {
+                        let (idx, name) = v
+                            .split_once(':')
+                            .ok_or_else(|| parse_err(format!("bad param spec `{v}`")))?;
+                        selected.push(
+                            idx.parse::<usize>()
+                                .map_err(|_| parse_err("bad param index"))?,
+                        );
+                        names.push(name.to_string());
+                    }
+                }
+                Some("coef") => {
+                    let cs: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    coefficients = cs?;
+                }
+                Some("fit") => {
+                    r_squared = parse_f64(parts.next().ok_or_else(|| parse_err("fit r2"))?)?;
+                    see = parse_f64(parts.next().ok_or_else(|| parse_err("fit see"))?)?;
+                }
+                Some("end") => break,
+                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                None => continue,
+            }
+        }
+        if !seen_header {
+            return Err(parse_err("missing `probeest` header"));
+        }
+        if coefficients.len() != selected.len() + 1 {
+            return Err(parse_err("coef width does not match params"));
+        }
+        Ok(ProbeCostEstimator {
+            selected,
+            names,
+            coefficients,
+            r_squared,
+            see,
+        })
+    }
+}
+
+impl GlobalCatalog {
+    /// Serializes the whole catalog (all models and probe estimators).
+    pub fn export(&self) -> String {
+        let mut out = format!("mdbs-catalog {FORMAT_VERSION}\n");
+        let mut sites: Vec<SiteId> = self.sites().into_iter().collect();
+        sites.sort();
+        for site in sites {
+            for class in self.classes_for(&site) {
+                let model = self.model(&site, class).expect("class listed for site");
+                out.push_str(&format!("entry {} {}\n", site, class.as_str()));
+                out.push_str(&model.to_catalog_entry());
+            }
+            if let Some(est) = self.probe_estimator(&site) {
+                out.push_str(&format!("probe-entry {site}\n"));
+                out.push_str(&est.to_catalog_entry());
+            }
+        }
+        out
+    }
+
+    /// Parses a catalog produced by [`Self::export`].
+    pub fn import(text: &str) -> Result<GlobalCatalog, CoreError> {
+        let mut catalog = GlobalCatalog::new();
+        let mut lines = text.lines().peekable();
+        let header = lines.next().ok_or_else(|| parse_err("empty catalog"))?;
+        if !header.starts_with("mdbs-catalog") {
+            return Err(parse_err("missing catalog header"));
+        }
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("entry") => {
+                    let site: SiteId = parts
+                        .next()
+                        .ok_or_else(|| parse_err("entry site missing"))?
+                        .into();
+                    let class = QueryClass::parse(
+                        parts
+                            .next()
+                            .ok_or_else(|| parse_err("entry class missing"))?,
+                    )?;
+                    let block = collect_block(&mut lines)?;
+                    let model = CostModel::from_catalog_entry(&block)?;
+                    catalog.insert_model(site, class, model);
+                }
+                Some("probe-entry") => {
+                    let site: SiteId = parts
+                        .next()
+                        .ok_or_else(|| parse_err("probe-entry site missing"))?
+                        .into();
+                    let block = collect_block(&mut lines)?;
+                    let est = ProbeCostEstimator::from_catalog_entry(&block)?;
+                    catalog.insert_probe_estimator(site, est);
+                }
+                Some(other) => return Err(parse_err(format!("unknown catalog line `{other}`"))),
+                None => continue,
+            }
+        }
+        Ok(catalog)
+    }
+}
+
+/// Collects lines up to and including the next `end`.
+fn collect_block<'a>(
+    lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+) -> Result<String, CoreError> {
+    let mut block = String::new();
+    for line in lines.by_ref() {
+        block.push_str(line);
+        block.push('\n');
+        if line.trim() == "end" {
+            return Ok(block);
+        }
+    }
+    Err(parse_err("unterminated block (missing `end`)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fit_cost_model;
+    use crate::observation::Observation;
+
+    fn sample_model(m: usize) -> CostModel {
+        let states = if m == 1 {
+            StateSet::single()
+        } else {
+            StateSet::uniform(0.0, m as f64, m).unwrap()
+        };
+        let mut obs = Vec::new();
+        for s in 0..m {
+            for i in 0..12 {
+                let x = i as f64 * 3.0;
+                obs.push(Observation {
+                    x: vec![x, x * 0.7, (i % 4) as f64 * 2.0],
+                    cost: (s + 1) as f64 * (1.5 + 2.5 * x) + (i % 3) as f64 * 0.01,
+                    probe_cost: s as f64 + 0.5,
+                });
+            }
+        }
+        fit_cost_model(
+            if m == 1 {
+                ModelForm::Coincident
+            } else {
+                ModelForm::General
+            },
+            states,
+            vec![0, 2],
+            vec!["N_O".into(), "N_R".into()],
+            &obs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_model_roundtrip_exact() {
+        for m in [1usize, 3, 5] {
+            let model = sample_model(m);
+            let text = model.to_catalog_entry();
+            let back = CostModel::from_catalog_entry(&text).unwrap();
+            assert_eq!(back, model, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn single_state_infinite_edges_roundtrip() {
+        let model = sample_model(1);
+        assert!(model.states.edges()[0].is_infinite());
+        let back = CostModel::from_catalog_entry(&model.to_catalog_entry()).unwrap();
+        assert_eq!(back.states.edges(), model.states.edges());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CostModel::from_catalog_entry("").is_err());
+        assert!(CostModel::from_catalog_entry("costmodel v999\nend\n").is_err());
+        assert!(CostModel::from_catalog_entry("costmodel v1\nbogus line\nend\n").is_err());
+        // Truncated: missing coefficients for one state.
+        let model = sample_model(3);
+        let text = model.to_catalog_entry();
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("coef 2"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(CostModel::from_catalog_entry(&truncated).is_err());
+    }
+
+    #[test]
+    fn class_tags_roundtrip() {
+        for class in QueryClass::all() {
+            assert_eq!(QueryClass::parse(class.as_str()).unwrap(), class);
+        }
+        assert!(QueryClass::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn form_tags_roundtrip() {
+        for form in [
+            ModelForm::Coincident,
+            ModelForm::Parallel,
+            ModelForm::Concurrent,
+            ModelForm::General,
+        ] {
+            assert_eq!(ModelForm::parse(form.as_str()).unwrap(), form);
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut catalog = GlobalCatalog::new();
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, sample_model(3));
+        catalog.insert_model("site-a".into(), QueryClass::JoinNoIndex, sample_model(2));
+        catalog.insert_model("site-b".into(), QueryClass::UnaryNoIndex, sample_model(4));
+        let text = catalog.export();
+        let back = GlobalCatalog::import(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        for (site, class) in [
+            ("site-a", QueryClass::UnaryNoIndex),
+            ("site-a", QueryClass::JoinNoIndex),
+            ("site-b", QueryClass::UnaryNoIndex),
+        ] {
+            assert_eq!(
+                back.model(&site.into(), class),
+                catalog.model(&site.into(), class),
+                "{site}/{class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_import_rejects_bad_header() {
+        assert!(GlobalCatalog::import("not a catalog\n").is_err());
+        assert!(GlobalCatalog::import("").is_err());
+    }
+}

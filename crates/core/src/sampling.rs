@@ -1,0 +1,323 @@
+//! Sample-query generation and sample-size rules (paper §4.1).
+//!
+//! Sample queries are drawn per class so that every query in the sample
+//! would be *classified* into that class (same observable criteria as
+//! [`classes::classify`](crate::classes::classify)); sizes follow the
+//! paper's Proposition 4.1 — "sample at least 10 observations for every
+//! parameter to be estimated" — and its practical eq. (4), which budgets
+//! for the basic variables, about half the secondary variables, the
+//! intercept, and the maximum number of contention states.
+
+use crate::classes::QueryClass;
+use crate::variables::VariableFamily;
+use mdbs_sim::catalog::{IndexKind, LocalCatalog, TableDef};
+use mdbs_sim::query::{JoinQuery, Predicate, Query, UnaryQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Proposition 4.1: the general qualitative model with `p` quantitative
+/// variables and `m` states has `(p + 1)·m` coefficients plus the error
+/// variance; the 10-observations-per-parameter rule then demands at least
+/// `10·(p + 1)·m + 1` observations.
+pub fn minimum_sample_size(p: usize, m: usize) -> usize {
+    10 * (p + 1) * m + 1
+}
+
+/// Eq. (4): a practical sample size budgeted *before* selection has run —
+/// expect most basic variables and about half the secondary ones to be
+/// selected, for up to `m_max` contention states.
+pub fn planned_sample_size(family: VariableFamily, m_max: usize) -> usize {
+    let b = family.basic_indexes().len();
+    let s = family.secondary_indexes().len();
+    let p_expected = b + s.div_ceil(2);
+    minimum_sample_size(p_expected, m_max.max(1))
+}
+
+/// A deterministic per-class query generator.
+#[derive(Debug, Clone)]
+pub struct SampleGenerator {
+    rng: StdRng,
+    /// Largest operand cardinality allowed for join samples (joins over the
+    /// quarter-million-tuple tables would dominate wall-clock for little
+    /// statistical benefit; the paper's join workloads are similar).
+    pub max_join_card: u64,
+}
+
+impl SampleGenerator {
+    /// A generator with its own seed (distinct seeds → distinct workloads).
+    pub fn new(seed: u64) -> Self {
+        SampleGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            max_join_card: 60_000,
+        }
+    }
+
+    /// Generates one query guaranteed to belong to `class`.
+    pub fn generate(&mut self, class: QueryClass, catalog: &LocalCatalog) -> Query {
+        match class {
+            QueryClass::UnaryNoIndex => self.unary_no_index(catalog),
+            QueryClass::UnaryNonClusteredIndex => self.unary_nonclustered(catalog),
+            QueryClass::UnaryClusteredIndex => self.unary_clustered(catalog),
+            QueryClass::JoinNoIndex => self.join(catalog, false),
+            QueryClass::JoinIndexed => self.join(catalog, true),
+        }
+    }
+
+    /// Generates `n` queries of a class.
+    pub fn generate_many(
+        &mut self,
+        class: QueryClass,
+        catalog: &LocalCatalog,
+        n: usize,
+    ) -> Vec<Query> {
+        (0..n).map(|_| self.generate(class, catalog)).collect()
+    }
+
+    fn pick_table<'a>(
+        &mut self,
+        catalog: &'a LocalCatalog,
+        filter: impl Fn(&TableDef) -> bool,
+    ) -> &'a TableDef {
+        let candidates: Vec<&TableDef> = catalog.tables().iter().filter(|t| filter(t)).collect();
+        assert!(!candidates.is_empty(), "no table matches the class filter");
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    /// Columns of `t` without any index.
+    fn unindexed_columns(t: &TableDef) -> Vec<usize> {
+        t.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.index == IndexKind::None)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A range predicate on `col` with roughly the given selectivity,
+    /// randomly positioned within the domain.
+    fn range_predicate(&mut self, t: &TableDef, col: usize, selectivity: f64) -> Predicate {
+        let domain = t.columns[col].domain_max;
+        let width = ((domain as f64 + 1.0) * selectivity).round().max(1.0) as u64;
+        let max_lo = domain.saturating_sub(width.saturating_sub(1));
+        let lo = if max_lo == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=max_lo)
+        };
+        Predicate::between(col, lo, lo + width - 1)
+    }
+
+    fn random_projection(&mut self, t: &TableDef) -> Vec<usize> {
+        let k = self.rng.gen_range(1..=t.columns.len());
+        let mut cols: Vec<usize> = (0..t.columns.len()).collect();
+        // Partial Fisher–Yates: take the first k of a shuffle.
+        for i in 0..k {
+            let j = self.rng.gen_range(i..cols.len());
+            cols.swap(i, j);
+        }
+        cols.truncate(k);
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Extra (non-index-usable) predicates on unindexed columns.
+    fn extra_predicates(&mut self, t: &TableDef, count: usize) -> Vec<Predicate> {
+        let pool = Self::unindexed_columns(t);
+        (0..count.min(pool.len()))
+            .map(|i| {
+                let sel = self.rng.gen_range(0.15..0.9);
+                self.range_predicate(t, pool[i], sel)
+            })
+            .collect()
+    }
+
+    /// About a third of unary samples order their result — the SORT
+    /// candidate variable needs exercise to be selectable.
+    fn random_order_by(&mut self, t: &TableDef) -> Option<usize> {
+        if self.rng.gen_bool(1.0 / 3.0) {
+            Some(self.rng.gen_range(0..t.columns.len()))
+        } else {
+            None
+        }
+    }
+
+    fn unary_no_index(&mut self, catalog: &LocalCatalog) -> Query {
+        let t = self.pick_table(catalog, |_| true);
+        let n_preds = self.rng.gen_range(1..=3usize);
+        let predicates = self.extra_predicates(t, n_preds);
+        Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: self.random_projection(t),
+            predicates,
+            order_by: self.random_order_by(t),
+        })
+    }
+
+    fn unary_nonclustered(&mut self, catalog: &LocalCatalog) -> Query {
+        // a3 (column index 2) carries a non-clustered index on every table.
+        let t = self.pick_table(catalog, |t| t.columns[2].index == IndexKind::NonClustered);
+        let sel = self.rng.gen_range(0.004..0.09);
+        let mut predicates = vec![self.range_predicate(t, 2, sel)];
+        let extra = self.rng.gen_range(0..=2usize);
+        predicates.extend(self.extra_predicates(t, extra));
+        Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: self.random_projection(t),
+            predicates,
+            order_by: self.random_order_by(t),
+        })
+    }
+
+    fn unary_clustered(&mut self, catalog: &LocalCatalog) -> Query {
+        let t = self.pick_table(catalog, |t| t.clustered_column().is_some());
+        let col = t.clustered_column().expect("filtered on clustered index");
+        let sel = self.rng.gen_range(0.02..0.6);
+        let mut predicates = vec![self.range_predicate(t, col, sel)];
+        let extra = self.rng.gen_range(0..=2usize);
+        predicates.extend(self.extra_predicates(t, extra));
+        Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: self.random_projection(t),
+            predicates,
+            order_by: self.random_order_by(t),
+        })
+    }
+
+    fn join(&mut self, catalog: &LocalCatalog, indexed: bool) -> Query {
+        let max_card = self.max_join_card;
+        let left = self.pick_table(catalog, |t| t.cardinality <= max_card);
+        let right_id = loop {
+            let c = self.pick_table(catalog, |t| t.cardinality <= max_card);
+            if c.id != left.id {
+                break c.id;
+            }
+        };
+        let right = catalog.table(right_id).expect("just picked");
+        // Columns 4..6 (a5, a6, a7) are unindexed everywhere; column 2
+        // (a3) is indexed. Varying the join column varies the join-column
+        // domains and therefore the result-size coverage of the sample —
+        // important so the model is not asked to extrapolate later.
+        let unindexed_join_col = self.rng.gen_range(4..=6usize);
+        let (left_col, right_col) = if indexed {
+            (unindexed_join_col, 2)
+        } else {
+            (unindexed_join_col, unindexed_join_col)
+        };
+        let lp = self.rng.gen_range(0..=2usize);
+        let rp = self.rng.gen_range(0..=2usize);
+        let left_predicates = self.filtered_join_preds(left, left_col, lp);
+        let right_predicates = self.filtered_join_preds(right, right_col, rp);
+        let projection = vec![(true, 0), (true, 4), (false, 1)];
+        Query::Join(JoinQuery {
+            left: left.id,
+            right: right.id,
+            left_col,
+            right_col,
+            left_predicates,
+            right_predicates,
+            projection,
+        })
+    }
+
+    fn filtered_join_preds(
+        &mut self,
+        t: &TableDef,
+        join_col: usize,
+        count: usize,
+    ) -> Vec<Predicate> {
+        let pool: Vec<usize> = Self::unindexed_columns(t)
+            .into_iter()
+            .filter(|&c| c != join_col) // Keep the join column predicate-free.
+            .collect();
+        (0..count.min(pool.len()))
+            .map(|i| {
+                let sel = self.rng.gen_range(0.1..0.7);
+                self.range_predicate(t, pool[i], sel)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::classify;
+    use mdbs_sim::datagen::standard_database;
+
+    #[test]
+    fn sizes_follow_the_rule_of_ten() {
+        assert_eq!(minimum_sample_size(3, 1), 41);
+        assert_eq!(minimum_sample_size(3, 4), 161);
+        // Eq. (4) for the unary family, m_max = 6: p_exp = 3 basic +
+        // ceil(5/2) secondary (incl. the SORT extension) = 6.
+        assert_eq!(planned_sample_size(VariableFamily::Unary, 6), 421);
+        // Join family: p_exp = 6 + 3 = 9.
+        assert_eq!(planned_sample_size(VariableFamily::Join, 6), 601);
+    }
+
+    #[test]
+    fn generated_queries_classify_into_their_class() {
+        let db = standard_database(42);
+        let mut g = SampleGenerator::new(7);
+        for class in QueryClass::all() {
+            for _ in 0..50 {
+                let q = g.generate(class, &db);
+                assert_eq!(
+                    classify(&db, &q),
+                    Some(class),
+                    "query {q:?} misclassified for {class:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let db = standard_database(42);
+        let a = SampleGenerator::new(3).generate_many(QueryClass::UnaryNoIndex, &db, 5);
+        let b = SampleGenerator::new(3).generate_many(QueryClass::UnaryNoIndex, &db, 5);
+        assert_eq!(a, b);
+        let c = SampleGenerator::new(4).generate_many(QueryClass::UnaryNoIndex, &db, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_varies_tables_and_predicates() {
+        let db = standard_database(42);
+        let mut g = SampleGenerator::new(5);
+        let queries = g.generate_many(QueryClass::UnaryNoIndex, &db, 60);
+        let tables: std::collections::BTreeSet<_> = queries.iter().map(|q| q.tables()[0]).collect();
+        assert!(tables.len() > 5, "only {} distinct tables", tables.len());
+        let pred_counts: std::collections::BTreeSet<_> = queries
+            .iter()
+            .map(|q| match q {
+                Query::Unary(u) => u.predicates.len(),
+                _ => 0,
+            })
+            .collect();
+        assert!(pred_counts.len() >= 2, "predicate counts do not vary");
+    }
+
+    #[test]
+    fn join_samples_respect_cardinality_cap() {
+        let db = standard_database(42);
+        let mut g = SampleGenerator::new(6);
+        for q in g.generate_many(QueryClass::JoinNoIndex, &db, 40) {
+            for tid in q.tables() {
+                assert!(db.table(tid).unwrap().cardinality <= g.max_join_card);
+            }
+        }
+    }
+
+    #[test]
+    fn range_predicates_hit_target_selectivity() {
+        let db = standard_database(42);
+        let mut g = SampleGenerator::new(9);
+        let t = &db.tables()[4];
+        for _ in 0..100 {
+            let p = g.range_predicate(t, 5, 0.25);
+            let sel = mdbs_sim::selectivity::predicate_selectivity(t, &p);
+            assert!((sel - 0.25).abs() < 0.02, "selectivity {sel}");
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Mixed backward/forward variable selection (paper §4.2) with
+//! multicollinearity screening (§4.3).
+//!
+//! The candidate explanatory variables of a class family split into a
+//! **basic** set `B` and a **secondary** set `S` (Table 3). Selection
+//! proceeds as in the paper:
+//!
+//! 1. Any variable whose *maximum* simple correlation with the response
+//!    over all contention states is too small "has little linear
+//!    relationship with the response in any state" and is removed outright.
+//! 2. **Backward elimination** starts from the full basic model and
+//!    repeatedly removes the variable with the smallest *average* per-state
+//!    correlation with the response, as long as doing so improves the
+//!    standard error of estimation or barely changes it.
+//! 3. **Forward selection** then offers secondary variables: the candidate
+//!    with the largest average per-state correlation with the *residuals*
+//!    of the current model is added when it significantly improves the SEE.
+//! 4. Variables with a large **variance inflation factor** in some state
+//!    are excluded to avoid multicollinearity.
+
+use crate::model::{fit_cost_model, min_obs_per_state, CostModel, ModelForm};
+use crate::observation::Observation;
+use crate::qualvar::StateSet;
+use crate::variables::VariableFamily;
+use crate::CoreError;
+use mdbs_stats::pearson;
+use mdbs_stats::vif::variance_inflation_factors;
+
+/// Tuning knobs of the selection procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionConfig {
+    /// Variables whose max-over-states |correlation| with the response is
+    /// below this are dropped outright.
+    pub min_corr: f64,
+    /// Relative SEE increase tolerated when removing a basic variable
+    /// (the paper's ε for the backward condition `(SE_r − SE)/SE < ε`).
+    pub backward_tolerance: f64,
+    /// Relative SEE decrease required before a secondary variable is added
+    /// (the paper's δ for the forward condition `(SE − SE_a)/SE > δ`).
+    pub forward_min_gain: f64,
+    /// Variance-inflation-factor threshold. Neter et al. suggest 10 for
+    /// general data, but size-derived cost-model variables (`N_O`, `N_I`,
+    /// `N_R`, …) are *inherently* correlated — the intermediate and result
+    /// cardinalities are fractions of the operand cardinality — so the
+    /// default screens only pathological collinearity (exact or near-exact
+    /// linear dependence) and leaves the moderate kind to the SEE-driven
+    /// backward/forward steps.
+    pub vif_threshold: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            min_corr: 0.05,
+            backward_tolerance: 0.01,
+            forward_min_gain: 0.02,
+            vif_threshold: 100.0,
+        }
+    }
+}
+
+/// The outcome of variable selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Indexes of the chosen variables (canonical family order, ascending).
+    pub var_indexes: Vec<usize>,
+    /// Names aligned with `var_indexes`.
+    pub var_names: Vec<String>,
+    /// The model fitted on the chosen variables.
+    pub model: CostModel,
+}
+
+/// Runs the full mixed procedure for `family` over `observations`
+/// partitioned by `states`, fitting models in the given `form`.
+pub fn select_variables(
+    family: VariableFamily,
+    observations: &[Observation],
+    states: &StateSet,
+    form: ModelForm,
+    cfg: &SelectionConfig,
+) -> Result<Selection, CoreError> {
+    let all = family.all();
+    let names =
+        |idx: &[usize]| -> Vec<String> { idx.iter().map(|&i| all[i].name.to_string()).collect() };
+    let groups = group_by_state(states, observations);
+    let y_by_state: Vec<Vec<f64>> = groups
+        .iter()
+        .map(|g| g.iter().map(|o| o.cost).collect())
+        .collect();
+
+    // Step 1: basic set, pre-filtered by max-over-states correlation.
+    let mut current: Vec<usize> = family
+        .basic_indexes()
+        .into_iter()
+        .filter(|&j| max_abs_corr(&groups, &y_by_state, j) >= cfg.min_corr)
+        .collect();
+    if current.is_empty() {
+        // Degenerate workload; fall back to the full basic set and let the
+        // fit itself report what is wrong.
+        current = family.basic_indexes();
+    }
+
+    // Step 1b: multicollinearity screen on the starting set. Among a
+    // collinear group, the variable least correlated with the response is
+    // the one sacrificed.
+    drop_high_vif(&mut current, observations, states, cfg.vif_threshold, |j| {
+        avg_abs_corr(&groups, &y_by_state, j)
+    })?;
+
+    let form_for = |st: &StateSet| {
+        if st.is_single() {
+            ModelForm::Coincident
+        } else {
+            form
+        }
+    };
+    let fit = |idx: &[usize]| {
+        fit_cost_model(
+            form_for(states),
+            states.clone(),
+            idx.to_vec(),
+            names(idx),
+            observations,
+        )
+    };
+
+    let mut model = fit(&current)?;
+
+    // Step 2: backward elimination over the basic variables.
+    while current.len() > 1 {
+        // Candidate: smallest average per-state |corr| with the response.
+        let &cand = current
+            .iter()
+            .min_by(|&&a, &&b| {
+                avg_abs_corr(&groups, &y_by_state, a)
+                    .partial_cmp(&avg_abs_corr(&groups, &y_by_state, b))
+                    .expect("correlations are finite")
+            })
+            .expect("non-empty set");
+        let reduced: Vec<usize> = current.iter().copied().filter(|&i| i != cand).collect();
+        match fit(&reduced) {
+            Ok(reduced_model) => {
+                let see = model.fit.see.max(f64::MIN_POSITIVE);
+                let delta = (reduced_model.fit.see - model.fit.see) / see;
+                if delta < cfg.backward_tolerance {
+                    current = reduced;
+                    model = reduced_model;
+                } else {
+                    break;
+                }
+            }
+            // A singular reduced fit means the candidate was load-bearing
+            // only through collinearity; keep the current model.
+            Err(_) => break,
+        }
+    }
+
+    // Step 3: forward selection over the secondary variables.
+    let mut pool: Vec<usize> = family.secondary_indexes();
+    while !pool.is_empty() {
+        let residuals_by_state: Vec<Vec<f64>> = groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|o| o.cost - model.estimate_observation(o))
+                    .collect()
+            })
+            .collect();
+        // Candidate: largest average per-state |corr| with the residuals.
+        let (pos, &cand) = pool
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                avg_abs_corr(&groups, &residuals_by_state, a)
+                    .partial_cmp(&avg_abs_corr(&groups, &residuals_by_state, b))
+                    .expect("correlations are finite")
+            })
+            .expect("non-empty pool");
+        pool.swap_remove(pos);
+        if avg_abs_corr(&groups, &residuals_by_state, cand) < cfg.min_corr {
+            break; // Nothing left that explains the residuals.
+        }
+        let mut augmented = current.clone();
+        augmented.push(cand);
+        augmented.sort_unstable();
+        // Reject candidates that would introduce multicollinearity.
+        if exceeds_vif(&augmented, cand, observations, states, cfg.vif_threshold)? {
+            continue;
+        }
+        let Ok(aug_model) = fit(&augmented) else {
+            continue; // Singular with this candidate; try the next one.
+        };
+        let see = model.fit.see.max(f64::MIN_POSITIVE);
+        let gain = (model.fit.see - aug_model.fit.see) / see;
+        if aug_model.fit.see < model.fit.see && gain > cfg.forward_min_gain {
+            current = augmented;
+            model = aug_model;
+        }
+    }
+
+    Ok(Selection {
+        var_names: names(&current),
+        var_indexes: current,
+        model,
+    })
+}
+
+/// Splits observations into per-state groups.
+fn group_by_state<'a>(
+    states: &StateSet,
+    observations: &'a [Observation],
+) -> Vec<Vec<&'a Observation>> {
+    let mut groups: Vec<Vec<&Observation>> = vec![Vec::new(); states.len()];
+    for o in observations {
+        groups[states.state_of(o.probe_cost)].push(o);
+    }
+    groups
+}
+
+/// |Pearson correlation| between variable `j` and a per-state target,
+/// aggregated as the maximum over states (ignoring states that are too
+/// small to measure).
+fn max_abs_corr(groups: &[Vec<&Observation>], target: &[Vec<f64>], j: usize) -> f64 {
+    per_state_corrs(groups, target, j)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Same, aggregated as the average over measurable states.
+fn avg_abs_corr(groups: &[Vec<&Observation>], target: &[Vec<f64>], j: usize) -> f64 {
+    let corrs = per_state_corrs(groups, target, j);
+    if corrs.is_empty() {
+        0.0
+    } else {
+        corrs.iter().sum::<f64>() / corrs.len() as f64
+    }
+}
+
+fn per_state_corrs(groups: &[Vec<&Observation>], target: &[Vec<f64>], j: usize) -> Vec<f64> {
+    groups
+        .iter()
+        .zip(target)
+        .filter(|(g, _)| g.len() >= 3)
+        .map(|(g, t)| {
+            let xs: Vec<f64> = g.iter().map(|o| o.x[j]).collect();
+            pearson(&xs, t).abs()
+        })
+        .collect()
+}
+
+/// While any variable's VIF exceeds the threshold, removes — among those
+/// over the threshold — the one contributing least to explaining the
+/// response (`relevance`), preserving the strongest predictors.
+fn drop_high_vif(
+    current: &mut Vec<usize>,
+    observations: &[Observation],
+    states: &StateSet,
+    threshold: f64,
+    relevance: impl Fn(usize) -> f64,
+) -> Result<(), CoreError> {
+    while current.len() > 1 {
+        let vifs = max_vif_over_states(current, observations, states)?;
+        let Some(drop_pos) = vifs
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(pos, _)| pos)
+            .min_by(|&a, &b| {
+                relevance(current[a])
+                    .partial_cmp(&relevance(current[b]))
+                    .expect("finite correlations")
+            })
+        else {
+            return Ok(());
+        };
+        current.remove(drop_pos);
+    }
+    Ok(())
+}
+
+/// Whether adding `cand` to the set pushes *its own* VIF over the threshold.
+fn exceeds_vif(
+    augmented: &[usize],
+    cand: usize,
+    observations: &[Observation],
+    states: &StateSet,
+    threshold: f64,
+) -> Result<bool, CoreError> {
+    let vifs = max_vif_over_states(augmented, observations, states)?;
+    let pos = augmented
+        .iter()
+        .position(|&i| i == cand)
+        .expect("candidate is in the augmented set");
+    Ok(vifs[pos] > threshold)
+}
+
+/// VIF of each variable, computed within every sufficiently populated state
+/// (paper §4.3: `VIF_j^{(i)}`), aggregated as the maximum over states; a
+/// pooled computation is the fallback when no state is big enough.
+fn max_vif_over_states(
+    vars: &[usize],
+    observations: &[Observation],
+    states: &StateSet,
+) -> Result<Vec<f64>, CoreError> {
+    let p = vars.len();
+    let groups = group_by_state(states, observations);
+    let need = (min_obs_per_state(p)).max(p + 2);
+    let mut agg = vec![0.0f64; p];
+    let mut measured = false;
+    for g in &groups {
+        if g.len() < need {
+            continue;
+        }
+        let columns: Vec<Vec<f64>> = vars
+            .iter()
+            .map(|&j| g.iter().map(|o| o.x[j]).collect())
+            .collect();
+        let vifs = variance_inflation_factors(&columns)?;
+        for (a, v) in agg.iter_mut().zip(vifs) {
+            *a = a.max(v);
+        }
+        measured = true;
+    }
+    if !measured {
+        let columns: Vec<Vec<f64>> = vars
+            .iter()
+            .map(|&j| observations.iter().map(|o| o.x[j]).collect())
+            .collect();
+        agg = variance_inflation_factors(&columns)?;
+    }
+    Ok(agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unary-family observations where cost depends on N_O and N_R but not
+    /// on N_I beyond its correlation with the others, and where the
+    /// secondary variable N_R*L_R carries genuine extra signal.
+    fn synth_unary(n: usize) -> Vec<Observation> {
+        let mut obs = Vec::with_capacity(n);
+        for i in 0..n {
+            let n_o = 1_000.0 + (i % 37) as f64 * 600.0;
+            let n_i = n_o * (0.2 + (i % 11) as f64 * 0.06);
+            let n_r = n_i * (0.3 + (i % 7) as f64 * 0.09);
+            let l_o = 44.0 + (i % 5) as f64 * 12.0;
+            let l_r = 12.0 + (i % 3) as f64 * 8.0;
+            let probe = (i % 100) as f64 / 10.0;
+            let factor = 1.0 + probe / 5.0;
+            let cost = factor * (0.5 + 0.002 * n_o + 0.004 * n_r + 0.0002 * n_r * l_r)
+                + (i % 13) as f64 * 0.01;
+            obs.push(Observation {
+                x: vec![n_o, n_i, n_r, l_o, l_r, n_o * l_o, n_r * l_r, 0.0],
+                cost,
+                probe_cost: probe,
+            });
+        }
+        obs
+    }
+
+    fn states() -> StateSet {
+        StateSet::from_edges(vec![0.0, 2.5, 5.0, 7.5, 10.0]).unwrap()
+    }
+
+    #[test]
+    fn keeps_load_bearing_basics_drops_inert_one() {
+        let obs = synth_unary(600);
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        // N_O (0) and N_R (2) must survive.
+        assert!(sel.var_indexes.contains(&0), "{:?}", sel.var_names);
+        assert!(sel.var_indexes.contains(&2), "{:?}", sel.var_names);
+        assert!(sel.model.fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn forward_step_adds_informative_secondary() {
+        let obs = synth_unary(600);
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        // The true cost depends on N_R*L_R beyond the basics; the forward
+        // step must pick up a secondary variable carrying that signal —
+        // either N_R*L_R itself (index 6) or its close proxy L_R (index 4).
+        let secondaries: Vec<usize> = sel
+            .var_indexes
+            .iter()
+            .copied()
+            .filter(|i| VariableFamily::Unary.secondary_indexes().contains(i))
+            .collect();
+        assert!(
+            secondaries.iter().any(|i| *i == 4 || *i == 6),
+            "no informative secondary variable selected: {:?}",
+            sel.var_names
+        );
+    }
+
+    #[test]
+    fn collinear_variable_is_screened_out() {
+        // Make N_I exactly proportional to N_O -> infinite VIF.
+        let mut obs = synth_unary(400);
+        for o in &mut obs {
+            o.x[1] = 2.0 * o.x[0];
+        }
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            !(sel.var_indexes.contains(&0) && sel.var_indexes.contains(&1)),
+            "perfectly collinear pair survived: {:?}",
+            sel.var_names
+        );
+    }
+
+    #[test]
+    fn constant_variable_never_selected() {
+        let mut obs = synth_unary(400);
+        for o in &mut obs {
+            o.x[3] = 44.0; // L_O constant (all tables same tuple length).
+        }
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        assert!(!sel.var_indexes.contains(&3), "{:?}", sel.var_names);
+    }
+
+    #[test]
+    fn single_state_selection_works() {
+        let obs = synth_unary(300);
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &StateSet::single(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        assert!(!sel.var_indexes.is_empty());
+        assert_eq!(sel.model.num_states(), 1);
+    }
+
+    /// Join-family observations: cost driven by the Cartesian product and
+    /// the result size.
+    #[test]
+    fn join_family_selection_keeps_cartesian() {
+        let mut obs = Vec::new();
+        for i in 0..500 {
+            let n1 = 1_000.0 + (i % 23) as f64 * 700.0;
+            let n2 = 2_000.0 + (i % 17) as f64 * 900.0;
+            let i1 = n1 * (0.3 + (i % 7) as f64 * 0.08);
+            let i2 = n2 * (0.2 + (i % 5) as f64 * 0.12);
+            let n_r = i1 * i2 / 50_000.0;
+            let probe = (i % 90) as f64 / 10.0;
+            let factor = 1.0 + probe / 4.0;
+            let cost = factor * (1.0 + 1e-6 * i1 * i2 + 2e-4 * n_r) + (i % 11) as f64 * 0.01;
+            obs.push(Observation {
+                x: vec![
+                    n1,
+                    n2,
+                    i1,
+                    i2,
+                    n_r,
+                    i1 * i2,
+                    44.0 + (i % 3) as f64 * 12.0,
+                    56.0,
+                    30.0,
+                    n1 * 44.0,
+                    n2 * 56.0,
+                    n_r * 30.0,
+                ],
+                cost,
+                probe_cost: probe,
+            });
+        }
+        let states = StateSet::from_edges(vec![0.0, 3.0, 6.0, 9.0]).unwrap();
+        let sel = select_variables(
+            VariableFamily::Join,
+            &obs,
+            &states,
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        // The Cartesian-product term (index 5) is the dominant driver.
+        assert!(
+            sel.var_indexes.contains(&5),
+            "N_I1*N_I2 not selected: {:?}",
+            sel.var_names
+        );
+        assert!(sel.model.fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn var_names_align_with_indexes() {
+        let obs = synth_unary(300);
+        let sel = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        let all = VariableFamily::Unary.all();
+        for (i, &idx) in sel.var_indexes.iter().enumerate() {
+            assert_eq!(sel.var_names[i], all[idx].name);
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Contention-state determination: **IUPMA** and **ICMA** (paper §3.3).
+//!
+//! Both algorithms share the same two-phase skeleton (paper Algorithm 3.1):
+//!
+//! * **Phase 1 — iterative refinement.** Starting from one state, the
+//!   number of states `m` grows while each added state still improves the
+//!   model "sufficiently" in terms of the coefficient of total
+//!   determination R² and the standard error of estimation SEE, up to a cap
+//!   that keeps the model maintainable.
+//! * **Phase 2 — merging adjustment.** Adjacent states whose *adjusted
+//!   coefficients* differ by only a small relative error do not have
+//!   significantly different effects on the cost model; they are merged and
+//!   the model refitted until no merge candidates remain.
+//!
+//! They differ only in how a candidate partition of the probing-cost range
+//! is proposed: **IUPMA** slices it uniformly; **ICMA** runs agglomerative
+//! (centroid-linkage) clustering on the sampled probing costs and cuts at
+//! the gaps between clusters — better when the contention level follows a
+//! non-uniform, clustered distribution (paper Table 6 / Figure 10).
+//!
+//! When a proposed state contains too few observations for regression, the
+//! paper prescribes drawing *additional* sample queries rather than
+//! discarding the state; the [`ObservationSource`] trait is that hook.
+//! States that stay thin are merged into a neighbor.
+
+use crate::model::{counts_per_state, fit_cost_model, min_obs_per_state, CostModel, ModelForm};
+use crate::observation::Observation;
+use crate::qualvar::StateSet;
+use crate::CoreError;
+use mdbs_stats::cluster_1d;
+
+/// Which state-determination algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateAlgorithm {
+    /// Iterative Uniform Partition with Merging Adjustment.
+    Iupma,
+    /// Iterative Clustering with Merging Adjustment.
+    Icma,
+}
+
+/// Tuning knobs of the determination procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatesConfig {
+    /// Upper bound on the number of states (paper: 3–6 usually suffice).
+    pub max_states: usize,
+    /// Minimum R² gain for an extra state to be "sufficient".
+    pub min_r2_gain: f64,
+    /// Minimum *relative* SEE reduction for an extra state.
+    pub min_see_gain: f64,
+    /// Maximum relative difference between adjacent states' adjusted
+    /// coefficients below which the states are merged in phase 2.
+    pub merge_threshold: f64,
+    /// Regression form fitted at each step (the paper uses General).
+    pub form: ModelForm,
+    /// Consecutive insufficient-improvement steps tolerated before phase 1
+    /// stops. Gains are not monotone in `m` (uniform boundaries shift as
+    /// the partition refines), so stopping at the first flat step can
+    /// strand the model at a too-coarse partition.
+    pub patience: usize,
+}
+
+impl Default for StatesConfig {
+    fn default() -> Self {
+        StatesConfig {
+            max_states: 6,
+            min_r2_gain: 0.01,
+            min_see_gain: 0.02,
+            merge_threshold: 0.15,
+            form: ModelForm::General,
+            patience: 2,
+        }
+    }
+}
+
+/// A supplier of extra observations targeted at a probing-cost subrange.
+///
+/// `draw_in_range(lo, hi)` should execute one more sample query in an
+/// environment whose probing cost lies in `[lo, hi)` and return its
+/// observation, or `None` when that environment cannot be produced.
+pub trait ObservationSource {
+    /// Attempts to produce one observation with `probe_cost ∈ [lo, hi)`.
+    fn draw_in_range(&mut self, lo: f64, hi: f64) -> Option<Observation>;
+}
+
+/// A source that never supplies anything — thin states then merge instead.
+pub struct NoResampling;
+
+impl ObservationSource for NoResampling {
+    fn draw_in_range(&mut self, _lo: f64, _hi: f64) -> Option<Observation> {
+        None
+    }
+}
+
+/// One phase-1 iteration record (for reports and the E-STATES experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Number of states of this candidate model.
+    pub states: usize,
+    /// Pooled R².
+    pub r_squared: f64,
+    /// Pooled SEE.
+    pub see: f64,
+}
+
+/// The outcome of state determination: the model (Algorithm 3.1 produces a
+/// cost model as a by-product), the phase-1 history, and how many merges
+/// phase 2 performed.
+#[derive(Debug, Clone)]
+pub struct StatesResult {
+    /// The final fitted model (with its state set inside).
+    pub model: CostModel,
+    /// Phase-1 iteration history, one entry per attempted `m`.
+    pub history: Vec<IterationStats>,
+    /// Number of merging adjustments applied in phase 2.
+    pub merges: usize,
+}
+
+/// Runs IUPMA or ICMA over `observations`, mutating the vector when the
+/// source supplies extra samples for thin states.
+pub fn determine_states(
+    algorithm: StateAlgorithm,
+    observations: &mut Vec<Observation>,
+    var_indexes: &[usize],
+    var_names: &[String],
+    cfg: &StatesConfig,
+    source: &mut dyn ObservationSource,
+) -> Result<StatesResult, CoreError> {
+    if cfg.max_states == 0 {
+        return Err(CoreError::Degenerate("max_states must be >= 1".into()));
+    }
+    let fit = |obs: &[Observation], states: StateSet| {
+        let form = if states.is_single() {
+            ModelForm::Coincident
+        } else {
+            cfg.form
+        };
+        fit_cost_model(form, states, var_indexes.to_vec(), var_names.to_vec(), obs)
+    };
+
+    // Phase 1, m = 1: the static special case.
+    let mut best = fit(observations, StateSet::single())?;
+    let mut history = vec![IterationStats {
+        states: 1,
+        r_squared: best.fit.r_squared,
+        see: best.fit.see,
+    }];
+
+    let (c_min, c_max) = probe_range(observations)?;
+    let degenerate_range = c_max <= c_min;
+    let mut flat_steps = 0usize;
+
+    for m in 2..=cfg.max_states {
+        if degenerate_range {
+            break; // A constant probing cost admits only one state.
+        }
+        let proposed = match algorithm {
+            StateAlgorithm::Iupma => StateSet::uniform(c_min, c_max, m)?,
+            StateAlgorithm::Icma => {
+                let probes: Vec<f64> = observations.iter().map(|o| o.probe_cost).collect();
+                let clusters = cluster_1d(&probes, m);
+                StateSet::from_clusters(&clusters)?
+            }
+        };
+        if proposed.len() < m && proposed.len() <= best.num_states() {
+            continue; // Clustering could not produce more states.
+        }
+        let states = populate_or_merge(proposed, observations, var_indexes.len(), source);
+        if states.len() <= history.last().map_or(1, |h| h.states)
+            && states.len() <= best.num_states()
+        {
+            continue; // Thin-state merging collapsed the proposal.
+        }
+        let model = fit(observations, states)?;
+        history.push(IterationStats {
+            states: model.num_states(),
+            r_squared: model.fit.r_squared,
+            see: model.fit.see,
+        });
+        let r2_gain = model.fit.r_squared - best.fit.r_squared;
+        let see_gain = (best.fit.see - model.fit.see) / best.fit.see.max(f64::MIN_POSITIVE);
+        if r2_gain < cfg.min_r2_gain && see_gain < cfg.min_see_gain {
+            // Not improving sufficiently (Algorithm 3.1 l. 13) — but give
+            // the refinement a little patience before giving up.
+            flat_steps += 1;
+            if flat_steps >= cfg.patience.max(1) {
+                break;
+            }
+        } else {
+            flat_steps = 0;
+            best = model;
+        }
+    }
+
+    // Phase 2: merging adjustment.
+    let mut merges = 0;
+    while let Some(i) = first_merge_candidate(&best, cfg.merge_threshold) {
+        let merged_states = best.states.merge_with_next(i)?;
+        best = fit(observations, merged_states)?;
+        merges += 1;
+    }
+
+    Ok(StatesResult {
+        model: best,
+        history,
+        merges,
+    })
+}
+
+/// The observed probing-cost range `[Cmin, Cmax]`.
+fn probe_range(observations: &[Observation]) -> Result<(f64, f64), CoreError> {
+    if observations.is_empty() {
+        return Err(CoreError::InsufficientSamples { needed: 1, got: 0 });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for o in observations {
+        lo = lo.min(o.probe_cost);
+        hi = hi.max(o.probe_cost);
+    }
+    Ok((lo, hi))
+}
+
+/// Ensures every state holds enough observations: first asks the source for
+/// targeted extra samples (paper: "we draw additional sample data points …
+/// rather than simply treat the data points in the cluster as outliers"),
+/// then merges states that remain thin into a neighbor.
+fn populate_or_merge(
+    mut states: StateSet,
+    observations: &mut Vec<Observation>,
+    p: usize,
+    source: &mut dyn ObservationSource,
+) -> StateSet {
+    let need = min_obs_per_state(p);
+    loop {
+        let counts = counts_per_state(&states, observations);
+        let Some(thin) = counts.iter().position(|&c| c < need) else {
+            return states;
+        };
+        // Try to fill the thin state with targeted samples.
+        let (lo, hi) = states.bounds(thin);
+        let missing = need - counts[thin];
+        let mut drawn = 0;
+        for _ in 0..missing {
+            match source.draw_in_range(lo, hi) {
+                Some(obs) => {
+                    debug_assert!(states.state_of(obs.probe_cost) == thin);
+                    observations.push(obs);
+                    drawn += 1;
+                }
+                None => break,
+            }
+        }
+        if drawn == missing {
+            continue; // Filled; re-check all states.
+        }
+        // Could not fill: merge the thin state with a neighbor.
+        if states.len() == 1 {
+            return states;
+        }
+        let merge_at = if thin == states.len() - 1 {
+            thin - 1
+        } else {
+            thin
+        };
+        states = states
+            .merge_with_next(merge_at)
+            .expect("merge index verified in range");
+    }
+}
+
+/// Finds the first adjacent pair of states whose adjusted coefficients are
+/// so close that separating them is unnecessary (Algorithm 3.1 l. 17–21).
+fn first_merge_candidate(model: &CostModel, threshold: f64) -> Option<usize> {
+    let m = model.num_states();
+    (0..m.saturating_sub(1)).find(|&i| {
+        max_relative_coef_error(&model.coefficients[i], &model.coefficients[i + 1]) < threshold
+    })
+}
+
+/// `max_j |a_j − b_j| / max(|a_j|, |b_j|)` over the coefficient vectors.
+fn max_relative_coef_error(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let scale = x.abs().max(y.abs());
+            if scale <= f64::MIN_POSITIVE {
+                0.0
+            } else {
+                (x - y).abs() / scale
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground truth with `k` genuinely different contention regimes spread
+    /// uniformly over probe costs 0..10.
+    fn regime_observations(regimes: usize, per_regime: usize) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for r in 0..regimes {
+            for i in 0..per_regime {
+                let x = (i % 25) as f64 * 4.0;
+                let factor = (r + 1) as f64;
+                // Probe cost spread *within* the regime's band.
+                let probe =
+                    10.0 * (r as f64 + (i as f64 + 0.5) / per_regime as f64) / regimes as f64;
+                obs.push(Observation {
+                    x: vec![x],
+                    cost: factor * (2.0 + 3.0 * x) + (i % 5) as f64 * 0.1,
+                    probe_cost: probe,
+                });
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn iupma_finds_multiple_states_for_multi_regime_data() {
+        let mut obs = regime_observations(4, 60);
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .unwrap();
+        assert!(
+            result.model.num_states() >= 3,
+            "{}",
+            result.model.num_states()
+        );
+        assert!(result.model.fit.r_squared > 0.98);
+        // Phase-1 history starts at the static case.
+        assert_eq!(result.history[0].states, 1);
+        assert!(result.history[0].r_squared < result.model.fit.r_squared);
+    }
+
+    #[test]
+    fn single_regime_data_stays_single_state() {
+        // Cost independent of probe cost -> extra states buy ~nothing.
+        let mut obs: Vec<Observation> = (0..200)
+            .map(|i| Observation {
+                x: vec![(i % 25) as f64],
+                cost: 5.0 + 2.0 * (i % 25) as f64 + (i % 7) as f64 * 0.05,
+                probe_cost: (i % 100) as f64 / 10.0,
+            })
+            .collect();
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .unwrap();
+        // Either phase 1 stops immediately or phase 2 merges everything back.
+        assert!(result.model.num_states() <= 2);
+    }
+
+    #[test]
+    fn merging_adjustment_collapses_identical_neighbors() {
+        // Two true regimes; ask phase 1 not to stop early by giving a tiny
+        // threshold, then verify phase 2 merged superfluous states.
+        let mut obs = regime_observations(2, 120);
+        let cfg = StatesConfig {
+            max_states: 6,
+            min_r2_gain: -1.0, // Force phase 1 to keep splitting.
+            min_see_gain: -1.0,
+            ..StatesConfig::default()
+        };
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &cfg,
+            &mut NoResampling,
+        )
+        .unwrap();
+        assert!(result.merges > 0, "expected phase 2 to merge some states");
+        assert!(result.model.num_states() <= 4);
+        assert!(result.model.fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn icma_matches_clustered_probe_distribution() {
+        // Probe costs cluster at 1, 5 and 9 with distinct cost regimes.
+        let mut obs = Vec::new();
+        for (ci, center) in [1.0, 5.0, 9.0].iter().enumerate() {
+            for i in 0..80 {
+                let x = (i % 20) as f64 * 5.0;
+                let factor = (ci + 1) as f64 * 1.8;
+                obs.push(Observation {
+                    x: vec![x],
+                    cost: factor * (1.0 + 2.0 * x),
+                    probe_cost: center + ((i % 9) as f64 - 4.0) * 0.05,
+                });
+            }
+        }
+        let result = determine_states(
+            StateAlgorithm::Icma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .unwrap();
+        assert_eq!(result.model.num_states(), 3);
+        // The cluster-induced boundaries should split at the gaps.
+        let edges = result.model.states.edges();
+        assert!(edges[1] > 1.5 && edges[1] < 4.5, "{edges:?}");
+        assert!(edges[2] > 5.5 && edges[2] < 8.5, "{edges:?}");
+        assert!(result.model.fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn thin_states_trigger_the_source() {
+        // Uniform data but with a hole in (5, 7.5]; the source fills it.
+        let mut obs: Vec<Observation> = Vec::new();
+        for i in 0..160 {
+            let probe = (i % 100) as f64 / 10.0;
+            if (5.0..7.5).contains(&probe) {
+                continue;
+            }
+            let factor = 1.0 + probe / 2.0;
+            obs.push(Observation {
+                x: vec![(i % 25) as f64],
+                cost: factor * (1.0 + (i % 25) as f64),
+                probe_cost: probe,
+            });
+        }
+        struct Filler {
+            draws: usize,
+        }
+        impl ObservationSource for Filler {
+            fn draw_in_range(&mut self, lo: f64, hi: f64) -> Option<Observation> {
+                self.draws += 1;
+                let probe = 0.5 * (lo + hi);
+                let x = (self.draws % 25) as f64;
+                Some(Observation {
+                    x: vec![x],
+                    cost: (1.0 + probe / 2.0) * (1.0 + x),
+                    probe_cost: probe,
+                })
+            }
+        }
+        let mut source = Filler { draws: 0 };
+        let before = obs.len();
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut source,
+        )
+        .unwrap();
+        assert!(source.draws > 0, "hole never triggered resampling");
+        assert!(obs.len() > before);
+        assert!(result.model.fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn degenerate_probe_range_yields_single_state() {
+        let mut obs: Vec<Observation> = (0..50)
+            .map(|i| Observation {
+                x: vec![i as f64],
+                cost: 1.0 + 2.0 * i as f64,
+                probe_cost: 3.0,
+            })
+            .collect();
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .unwrap();
+        assert_eq!(result.model.num_states(), 1);
+    }
+
+    #[test]
+    fn empty_observations_error() {
+        let mut obs = Vec::new();
+        assert!(determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn relative_error_helper() {
+        assert_eq!(max_relative_coef_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((max_relative_coef_error(&[1.0, 2.0], &[1.0, 3.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(max_relative_coef_error(&[0.0], &[0.0]), 0.0);
+    }
+}

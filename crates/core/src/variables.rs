@@ -1,0 +1,333 @@
+//! Candidate explanatory variables (paper Table 3).
+//!
+//! Each query-class *family* (unary vs join) has a fixed set of candidate
+//! explanatory variables, split into **basic** variables — expected to
+//! matter for almost any cost model — and **secondary** variables that the
+//! forward-selection step may add:
+//!
+//! | Family | Basic | Secondary |
+//! |--------|-------|-----------|
+//! | Unary  | `N_O` (operand card), `N_I` (intermediate card), `N_R` (result card) | `L_O`, `L_R` (tuple lengths), `N_O·L_O`, `N_R·L_R` (table lengths), `SORT` (= `N_R·log₂N_R` when the query orders its result, else 0) |
+//! | Join   | `N_O1`, `N_O2`, `N_I1`, `N_I2`, `N_R`, `N_I1·N_I2` | `L_O1`, `L_O2`, `L_R`, `N_O1·L_O1`, `N_O2·L_O2`, `N_R·L_R` |
+//!
+//! `SORT` extends the paper's Table 3 the way its own framework intends:
+//! a workload feature with a known cost shape enters as a candidate
+//! variable and survives selection only when the class's sample actually
+//! exercises it.
+//!
+//! The values are things the MDBS can derive at the global level (catalog
+//! cardinalities × selectivities) or observe from the returned result.
+
+use mdbs_sim::catalog::LocalCatalog;
+use mdbs_sim::query::Query;
+use mdbs_sim::selectivity::{join_sizes, unary_sizes};
+
+/// Whether a query class is unary or join shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariableFamily {
+    /// Unary (single-table select-project) classes.
+    Unary,
+    /// Two-way join classes.
+    Join,
+}
+
+/// One candidate explanatory variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariableDef {
+    /// Short name used in reports (matches the paper's notation).
+    pub name: &'static str,
+    /// Basic (always tried first) or secondary (forward-selection pool).
+    pub basic: bool,
+}
+
+const UNARY_VARS: &[VariableDef] = &[
+    VariableDef {
+        name: "N_O",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_I",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_R",
+        basic: true,
+    },
+    VariableDef {
+        name: "L_O",
+        basic: false,
+    },
+    VariableDef {
+        name: "L_R",
+        basic: false,
+    },
+    VariableDef {
+        name: "N_O*L_O",
+        basic: false,
+    },
+    VariableDef {
+        name: "N_R*L_R",
+        basic: false,
+    },
+    VariableDef {
+        name: "SORT",
+        basic: false,
+    },
+];
+
+const JOIN_VARS: &[VariableDef] = &[
+    VariableDef {
+        name: "N_O1",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_O2",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_I1",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_I2",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_R",
+        basic: true,
+    },
+    VariableDef {
+        name: "N_I1*N_I2",
+        basic: true,
+    },
+    VariableDef {
+        name: "L_O1",
+        basic: false,
+    },
+    VariableDef {
+        name: "L_O2",
+        basic: false,
+    },
+    VariableDef {
+        name: "L_R",
+        basic: false,
+    },
+    VariableDef {
+        name: "N_O1*L_O1",
+        basic: false,
+    },
+    VariableDef {
+        name: "N_O2*L_O2",
+        basic: false,
+    },
+    VariableDef {
+        name: "N_R*L_R",
+        basic: false,
+    },
+];
+
+impl VariableFamily {
+    /// All candidate variables of the family, in canonical order.
+    pub fn all(self) -> &'static [VariableDef] {
+        match self {
+            VariableFamily::Unary => UNARY_VARS,
+            VariableFamily::Join => JOIN_VARS,
+        }
+    }
+
+    /// Indexes (into [`Self::all`]) of the basic variables.
+    pub fn basic_indexes(self) -> Vec<usize> {
+        self.all()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.basic)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indexes (into [`Self::all`]) of the secondary variables.
+    pub fn secondary_indexes(self) -> Vec<usize> {
+        self.all()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.basic)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Evaluates all candidate variables for a query against the schema the
+    /// MDBS sees. Returns `None` when the query shape does not match the
+    /// family or references unknown tables.
+    pub fn extract(self, catalog: &LocalCatalog, query: &Query) -> Option<Vec<f64>> {
+        match (self, query) {
+            (VariableFamily::Unary, Query::Unary(u)) => {
+                let t = catalog.table(u.table)?;
+                let s = unary_sizes(t, u);
+                let l_o = t.tuple_len() as f64;
+                let l_r = if u.projection.is_empty() {
+                    l_o
+                } else {
+                    t.projected_len(&u.projection) as f64
+                };
+                let (n_o, n_i, n_r) = (s.operand as f64, s.intermediate as f64, s.result as f64);
+                let sort = if u.order_by.is_some() && s.result > 1 {
+                    n_r * n_r.log2()
+                } else {
+                    0.0
+                };
+                Some(vec![n_o, n_i, n_r, l_o, l_r, n_o * l_o, n_r * l_r, sort])
+            }
+            (VariableFamily::Join, Query::Join(j)) => {
+                let l = catalog.table(j.left)?;
+                let r = catalog.table(j.right)?;
+                let s = join_sizes(l, r, j);
+                let l_o1 = l.tuple_len() as f64;
+                let l_o2 = r.tuple_len() as f64;
+                // Result tuples carry the projected columns of both sides.
+                let l_r = if j.projection.is_empty() {
+                    l_o1 + l_o2
+                } else {
+                    let lw: u32 = j
+                        .projection
+                        .iter()
+                        .filter(|(from_left, _)| *from_left)
+                        .filter_map(|&(_, c)| l.columns.get(c))
+                        .map(|c| c.width)
+                        .sum();
+                    let rw: u32 = j
+                        .projection
+                        .iter()
+                        .filter(|(from_left, _)| !*from_left)
+                        .filter_map(|&(_, c)| r.columns.get(c))
+                        .map(|c| c.width)
+                        .sum();
+                    (lw + rw + l.tuple_overhead) as f64
+                };
+                let (n_o1, n_o2) = (s.left_operand as f64, s.right_operand as f64);
+                let (n_i1, n_i2) = (s.left_intermediate as f64, s.right_intermediate as f64);
+                let n_r = s.result as f64;
+                Some(vec![
+                    n_o1,
+                    n_o2,
+                    n_i1,
+                    n_i2,
+                    n_r,
+                    n_i1 * n_i2,
+                    l_o1,
+                    l_o2,
+                    l_r,
+                    n_o1 * l_o1,
+                    n_o2 * l_o2,
+                    n_r * l_r,
+                ])
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_sim::datagen::standard_database;
+    use mdbs_sim::query::{JoinQuery, Predicate, UnaryQuery};
+
+    #[test]
+    fn unary_family_shape() {
+        let f = VariableFamily::Unary;
+        assert_eq!(f.all().len(), 8);
+        assert_eq!(f.basic_indexes(), vec![0, 1, 2]);
+        assert_eq!(f.secondary_indexes(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn join_family_shape() {
+        let f = VariableFamily::Join;
+        assert_eq!(f.all().len(), 12);
+        assert_eq!(f.basic_indexes().len(), 6);
+        assert_eq!(f.secondary_indexes().len(), 6);
+    }
+
+    #[test]
+    fn unary_extraction_matches_sizes() {
+        let db = standard_database(42);
+        let t = &db.tables()[5];
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0, 1],
+            predicates: vec![Predicate::between(4, 0, t.columns[4].domain_max / 4)],
+            order_by: None,
+        });
+        let x = VariableFamily::Unary.extract(&db, &q).unwrap();
+        assert_eq!(x.len(), 8);
+        assert_eq!(x[7], 0.0); // No ORDER BY -> the SORT term is zero.
+        assert_eq!(x[0], t.cardinality as f64); // N_O
+        assert!(x[1] <= x[0]); // N_I <= N_O
+        assert!(x[2] <= x[1]); // N_R <= N_I
+        assert_eq!(x[3], t.tuple_len() as f64); // L_O
+        assert!(x[4] < x[3]); // projected narrower than full tuple
+        assert_eq!(x[5], x[0] * x[3]);
+        assert_eq!(x[6], x[2] * x[4]);
+    }
+
+    #[test]
+    fn join_extraction_matches_sizes() {
+        let db = standard_database(42);
+        let (a, b) = (&db.tables()[2], &db.tables()[3]);
+        let q = Query::Join(JoinQuery {
+            left: a.id,
+            right: b.id,
+            left_col: 4,
+            right_col: 4,
+            left_predicates: vec![Predicate::lt(5, a.columns[5].domain_max / 2)],
+            right_predicates: vec![],
+            projection: vec![(true, 0), (false, 1)],
+        });
+        let x = VariableFamily::Join.extract(&db, &q).unwrap();
+        assert_eq!(x.len(), 12);
+        assert_eq!(x[0], a.cardinality as f64);
+        assert_eq!(x[1], b.cardinality as f64);
+        assert!((x[5] - x[2] * x[3]).abs() < 1e-6); // cartesian product
+    }
+
+    #[test]
+    fn sort_variable_tracks_order_by() {
+        let db = standard_database(42);
+        let t = &db.tables()[5];
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0],
+            predicates: vec![Predicate::between(4, 0, t.columns[4].domain_max / 4)],
+            order_by: Some(6),
+        });
+        let x = VariableFamily::Unary.extract(&db, &q).unwrap();
+        let n_r = x[2];
+        assert!(n_r > 1.0);
+        assert!((x[7] - n_r * n_r.log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn family_mismatch_returns_none() {
+        let db = standard_database(42);
+        let t = &db.tables()[0];
+        let u = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![],
+            predicates: vec![],
+            order_by: None,
+        });
+        assert!(VariableFamily::Join.extract(&db, &u).is_none());
+    }
+
+    #[test]
+    fn unknown_table_returns_none() {
+        let db = standard_database(42);
+        let u = Query::Unary(UnaryQuery {
+            table: mdbs_sim::catalog::TableId(99),
+            projection: vec![],
+            predicates: vec![],
+            order_by: None,
+        });
+        assert!(VariableFamily::Unary.extract(&db, &u).is_none());
+    }
+}

@@ -1,0 +1,584 @@
+//! The MDBS agent façade.
+//!
+//! In CORDS-MDBS each local DBS is fronted by an *MDBS agent* that offers a
+//! uniform relational interface, hosts the load builder and (optionally) an
+//! environment monitor (paper §5, Figure 3). [`MdbsAgent`] is that agent:
+//! the only handle the `mdbs-core` method gets on a local site. It can
+//!
+//! * submit a local query and observe its elapsed cost ([`MdbsAgent::run`]),
+//! * execute the probing query ([`MdbsAgent::probe`]),
+//! * read system statistics ([`MdbsAgent::stats`]),
+//! * let the load builder move the environment ([`MdbsAgent::tick`]) or pin
+//!   a specific load ([`MdbsAgent::set_load`]).
+//!
+//! Time is virtual; every observation carries multiplicative and additive
+//! noise so repeated executions of the same query in the same state differ
+//! slightly — exactly the measurement reality regression has to cope with.
+
+use crate::access::{JoinAccess, UnaryAccess};
+use crate::catalog::{LocalCatalog, TableDef, TableId};
+use crate::contention::{Load, LoadBuilder};
+use crate::engine::{cost_join, cost_unary};
+use crate::machine::{Machine, MachineSpec};
+use crate::query::{Predicate, Query, UnaryQuery};
+use crate::selectivity::{JoinSizes, UnarySizes};
+use crate::sysstats::SystemStats;
+use crate::trace::{ExecutionTrace, TraceEntry};
+use crate::util::{noise_factor, normal};
+use crate::vendor::VendorProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The physical operator the local DBS chose for an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChosenAccess {
+    /// A unary operator.
+    Unary(UnaryAccess),
+    /// A join operator.
+    Join(JoinAccess),
+}
+
+/// Result-size information attached to an execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionSizes {
+    /// Cardinalities of a unary query.
+    Unary(UnarySizes),
+    /// Cardinalities of a join query.
+    Join(JoinSizes),
+}
+
+/// One observed local query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// Observed elapsed cost in (virtual) seconds.
+    pub cost_s: f64,
+    /// Physical operator chosen by the local DBS.
+    pub access: ChosenAccess,
+    /// Operand/intermediate/result cardinalities.
+    pub sizes: ExecutionSizes,
+    /// Number of background processes at execution time (for diagnostics
+    /// and plots only — the method itself must not use this).
+    pub procs_at_execution: f64,
+}
+
+/// Errors the agent can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentError {
+    /// The query references a table the local database does not have.
+    UnknownTable(TableId),
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::UnknownTable(t) => write!(f, "unknown table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// An MDBS agent wrapping one simulated local DBS.
+#[derive(Debug, Clone)]
+pub struct MdbsAgent {
+    vendor: VendorProfile,
+    catalog: LocalCatalog,
+    machine: Machine,
+    load_builder: Option<LoadBuilder>,
+    rng: StdRng,
+    executions: u64,
+    clock_s: f64,
+    trace: Option<ExecutionTrace>,
+}
+
+impl MdbsAgent {
+    /// Creates an agent for a local DBS with the given vendor profile,
+    /// database and RNG seed. The environment starts idle and static; call
+    /// [`Self::set_load_builder`] to make it dynamic.
+    pub fn new(vendor: VendorProfile, catalog: LocalCatalog, seed: u64) -> Self {
+        MdbsAgent {
+            vendor,
+            catalog,
+            machine: Machine::new(MachineSpec::default()),
+            load_builder: None,
+            rng: StdRng::seed_from_u64(seed),
+            executions: 0,
+            clock_s: 0.0,
+            trace: None,
+        }
+    }
+
+    /// Enables execution tracing with a bounded window (replacing any
+    /// existing trace).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(ExecutionTrace::new(capacity));
+    }
+
+    /// The execution trace, when enabled.
+    pub fn trace(&self) -> Option<&ExecutionTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The vendor profile (display purposes).
+    pub fn vendor(&self) -> &VendorProfile {
+        &self.vendor
+    }
+
+    /// The local schema (what the MDBS global catalog legitimately knows).
+    pub fn catalog(&self) -> &LocalCatalog {
+        &self.catalog
+    }
+
+    /// Installs a load builder driving the dynamic environment. Each query
+    /// execution then runs under a freshly drawn load.
+    pub fn set_load_builder(&mut self, builder: LoadBuilder) {
+        self.load_builder = Some(builder);
+    }
+
+    /// Removes the load builder and pins the given static load.
+    pub fn set_load(&mut self, load: Load) {
+        self.load_builder = None;
+        self.machine.set_load(load);
+    }
+
+    /// Advances the environment: draws the next load from the builder.
+    /// No-op in a static environment.
+    pub fn tick(&mut self) {
+        if let Some(builder) = &self.load_builder {
+            let load = builder.next_load(&mut self.rng);
+            self.machine.set_load(load);
+        }
+    }
+
+    /// The machine (read-only; used by tests and plots).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of queries executed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Virtual seconds of query time accumulated so far.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Reads the system statistics the environment monitor would report.
+    pub fn stats(&mut self) -> SystemStats {
+        SystemStats::observe(&self.machine, &mut self.rng)
+    }
+
+    /// Executes a local query under the *current* load and returns the
+    /// observed cost. Call [`Self::tick`] first to move the environment.
+    pub fn run(&mut self, query: &Query) -> Result<Execution, AgentError> {
+        let (demand, access, sizes) = match query {
+            Query::Unary(u) => {
+                let t = self.table(u.table)?;
+                let (d, a, s) = cost_unary(t, u, &self.vendor);
+                (d, ChosenAccess::Unary(a), ExecutionSizes::Unary(s))
+            }
+            Query::Join(j) => {
+                let l = self.table(j.left)?;
+                let r = self.table(j.right)?;
+                let (d, a, s) = cost_join(l, r, j, &self.vendor);
+                (d, ChosenAccess::Join(a), ExecutionSizes::Join(s))
+            }
+        };
+        let stretched = self
+            .machine
+            .elapsed(demand.init_s, demand.io_s, demand.cpu_s);
+        // Momentary environmental fluctuation: multiplicative noise plus a
+        // small absolute floor that dominates only for tiny queries — the
+        // reason the paper finds small-cost queries harder to estimate.
+        let cost = stretched * noise_factor(&mut self.rng, self.vendor.noise_rel)
+            + normal(&mut self.rng, 0.0, 0.04).abs();
+        self.executions += 1;
+        self.clock_s += cost;
+        if let Some(trace) = &mut self.trace {
+            let result_card = match sizes {
+                ExecutionSizes::Unary(s) => s.result,
+                ExecutionSizes::Join(s) => s.result,
+            };
+            trace.record(TraceEntry {
+                seq: self.executions,
+                at_s: self.clock_s,
+                query: query.describe(),
+                cost_s: cost,
+                access,
+                result_card,
+                procs: self.machine.load().procs,
+            });
+        }
+        Ok(Execution {
+            cost_s: cost,
+            access,
+            sizes,
+            procs_at_execution: self.machine.load().procs,
+        })
+    }
+
+    /// The canonical probing query: a cheap unary query on the smallest
+    /// table. Its cost gauges the contention level (paper §3.3).
+    pub fn probing_query(&self) -> Query {
+        let smallest = self
+            .catalog
+            .tables()
+            .iter()
+            .min_by_key(|t| t.cardinality)
+            .expect("local database has at least one table");
+        Query::Unary(UnaryQuery {
+            table: smallest.id,
+            projection: vec![0, 1],
+            // Moderately selective predicate on an unindexed column so the
+            // probe exercises CPU and I/O without being free.
+            predicates: vec![Predicate::lt(4, smallest.columns[4].domain_max / 2)],
+            order_by: None,
+        })
+    }
+
+    /// Executes the probing query under the current load and returns its
+    /// observed cost.
+    pub fn probe(&mut self) -> f64 {
+        let q = self.probing_query();
+        self.run(&q)
+            .expect("probing query references a catalog table")
+            .cost_s
+    }
+
+    fn table(&self, id: TableId) -> Result<&TableDef, AgentError> {
+        self.catalog.table(id).ok_or(AgentError::UnknownTable(id))
+    }
+
+    /// Registers a table in the local schema — the local DBS creating a
+    /// temporary table for shipped tuples during global query execution.
+    /// Panics on a duplicate id (caller controls temp-table ids).
+    pub fn register_table(&mut self, table: TableDef) {
+        self.catalog.add_table(table);
+    }
+
+    /// Drops a (temporary) table; returns whether it existed.
+    pub fn drop_table(&mut self, id: TableId) -> bool {
+        self.catalog.remove_table(id)
+    }
+
+    /// Applies an occasionally-changing environmental factor (paper §2):
+    /// a durable hardware, configuration, schema or data change. Cost
+    /// models derived before the event may no longer describe this site —
+    /// detecting that and re-deriving is `mdbs-core`'s maintenance job.
+    pub fn apply_event(
+        &mut self,
+        event: &crate::events::EnvironmentEvent,
+    ) -> Result<(), crate::events::EventError> {
+        use crate::events::{EnvironmentEvent as E, EventError};
+        match event {
+            E::MemoryUpgrade { new_phys_mem_mb } => {
+                if !new_phys_mem_mb.is_finite() || *new_phys_mem_mb <= 0.0 {
+                    return Err(EventError::InvalidParameter(format!(
+                        "physical memory must be positive, got {new_phys_mem_mb}"
+                    )));
+                }
+                self.machine.spec_mut().phys_mem_mb = *new_phys_mem_mb;
+            }
+            E::BufferPoolResize { pages } => {
+                if *pages < 3 {
+                    return Err(EventError::InvalidParameter(format!(
+                        "buffer pool needs at least 3 pages, got {pages}"
+                    )));
+                }
+                self.vendor.buffer_pages = *pages;
+            }
+            E::CreateIndex {
+                table,
+                column,
+                kind,
+            } => {
+                let t = self
+                    .catalog
+                    .table_mut(*table)
+                    .ok_or(EventError::UnknownTable(*table))?;
+                let col = t
+                    .columns
+                    .get_mut(*column)
+                    .ok_or(EventError::UnknownColumn {
+                        table: *table,
+                        column: *column,
+                    })?;
+                col.index = *kind;
+            }
+            E::DropIndex { table, column } => {
+                let t = self
+                    .catalog
+                    .table_mut(*table)
+                    .ok_or(EventError::UnknownTable(*table))?;
+                let col = t
+                    .columns
+                    .get_mut(*column)
+                    .ok_or(EventError::UnknownColumn {
+                        table: *table,
+                        column: *column,
+                    })?;
+                col.index = crate::catalog::IndexKind::None;
+            }
+            E::TableGrowth { table, factor } => {
+                if !factor.is_finite() || *factor <= 0.0 {
+                    return Err(EventError::InvalidParameter(format!(
+                        "growth factor must be positive, got {factor}"
+                    )));
+                }
+                let t = self
+                    .catalog
+                    .table_mut(*table)
+                    .ok_or(EventError::UnknownTable(*table))?;
+                t.cardinality = ((t.cardinality as f64 * factor).round() as u64).max(1);
+            }
+            E::DiskReplacement { io_cost_factor } => {
+                if !io_cost_factor.is_finite() || *io_cost_factor <= 0.0 {
+                    return Err(EventError::InvalidParameter(format!(
+                        "I/O cost factor must be positive, got {io_cost_factor}"
+                    )));
+                }
+                self.vendor.seq_page_io_s *= io_cost_factor;
+                self.vendor.rand_page_io_s *= io_cost_factor;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::{ContentionProfile, LoadBuilder};
+    use crate::datagen::standard_database;
+
+    fn agent() -> MdbsAgent {
+        MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 7)
+    }
+
+    fn any_query(a: &MdbsAgent) -> Query {
+        let t = &a.catalog().tables()[5];
+        Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0, 4, 6],
+            predicates: vec![Predicate::gt(4, t.columns[4].domain_max / 3)],
+            order_by: None,
+        })
+    }
+
+    #[test]
+    fn run_returns_positive_cost() {
+        let mut a = agent();
+        let q = any_query(&a);
+        let e = a.run(&q).unwrap();
+        assert!(e.cost_s > 0.0);
+        assert_eq!(a.executions(), 1);
+        assert!(a.clock_s() > 0.0);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let mut a = agent();
+        let q = Query::Unary(UnaryQuery {
+            table: TableId(99),
+            projection: vec![],
+            predicates: vec![],
+            order_by: None,
+        });
+        assert_eq!(a.run(&q), Err(AgentError::UnknownTable(TableId(99))));
+    }
+
+    #[test]
+    fn repeated_runs_differ_by_noise_only() {
+        let mut a = agent();
+        let q = any_query(&a);
+        let c1 = a.run(&q).unwrap().cost_s;
+        let c2 = a.run(&q).unwrap().cost_s;
+        assert_ne!(c1, c2);
+        assert!((c1 - c2).abs() / c1 < 0.5, "noise too large: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let mut a1 = agent();
+        let mut a2 = agent();
+        let q = any_query(&a1);
+        assert_eq!(a1.run(&q).unwrap().cost_s, a2.run(&q).unwrap().cost_s);
+    }
+
+    #[test]
+    fn load_increases_cost() {
+        let mut calm = agent();
+        let mut busy = agent();
+        busy.set_load(Load::background(120.0));
+        let q = any_query(&calm);
+        let avg =
+            |a: &mut MdbsAgent| (0..10).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 10.0;
+        assert!(avg(&mut busy) > 3.0 * avg(&mut calm));
+    }
+
+    #[test]
+    fn probe_tracks_contention() {
+        let mut a = agent();
+        a.set_load(Load::background(10.0));
+        let low = (0..8).map(|_| a.probe()).sum::<f64>() / 8.0;
+        a.set_load(Load::background(120.0));
+        let high = (0..8).map(|_| a.probe()).sum::<f64>() / 8.0;
+        assert!(high > 2.0 * low, "probe {low} -> {high}");
+    }
+
+    #[test]
+    fn tick_moves_the_environment() {
+        let mut a = agent();
+        a.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform {
+            lo: 5.0,
+            hi: 125.0,
+        }));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..20 {
+            a.tick();
+            seen.insert((a.machine().load().procs * 100.0) as i64);
+        }
+        assert!(seen.len() > 10, "load builder did not vary the load");
+    }
+
+    #[test]
+    fn memory_upgrade_removes_thrashing() {
+        let mut a = agent();
+        a.set_load(Load::background(125.0));
+        let q = any_query(&a);
+        let before: f64 = (0..6).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 6.0;
+        a.apply_event(&crate::events::EnvironmentEvent::MemoryUpgrade {
+            new_phys_mem_mb: 4096.0,
+        })
+        .unwrap();
+        let after: f64 = (0..6).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 6.0;
+        assert!(
+            after < before / 3.0,
+            "upgrade did not help: {before:.1} -> {after:.1}"
+        );
+    }
+
+    #[test]
+    fn create_index_changes_the_access_path() {
+        let mut a = agent();
+        let t = a.catalog().tables()[8].clone();
+        // Selective predicate on an unindexed column: sequential scan.
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0],
+            predicates: vec![Predicate::lt(5, t.columns[5].domain_max / 50)],
+            order_by: None,
+        });
+        let before = a.run(&q).unwrap();
+        assert_eq!(
+            before.access,
+            ChosenAccess::Unary(crate::access::UnaryAccess::SeqScan)
+        );
+        a.apply_event(&crate::events::EnvironmentEvent::CreateIndex {
+            table: t.id,
+            column: 5,
+            kind: crate::catalog::IndexKind::NonClustered,
+        })
+        .unwrap();
+        let after = a.run(&q).unwrap();
+        assert_eq!(
+            after.access,
+            ChosenAccess::Unary(crate::access::UnaryAccess::NonClusteredIndexScan)
+        );
+    }
+
+    #[test]
+    fn table_growth_increases_cost() {
+        let mut a = agent();
+        let q = any_query(&a);
+        let before: f64 = (0..5).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 5.0;
+        a.apply_event(&crate::events::EnvironmentEvent::TableGrowth {
+            table: q.tables()[0],
+            factor: 4.0,
+        })
+        .unwrap();
+        let after: f64 = (0..5).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 5.0;
+        assert!(after > 2.0 * before, "{before:.2} -> {after:.2}");
+    }
+
+    #[test]
+    fn disk_replacement_speeds_up_io() {
+        let mut a = agent();
+        let q = any_query(&a);
+        let before: f64 = (0..5).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 5.0;
+        a.apply_event(&crate::events::EnvironmentEvent::DiskReplacement {
+            io_cost_factor: 0.2,
+        })
+        .unwrap();
+        let after: f64 = (0..5).map(|_| a.run(&q).unwrap().cost_s).sum::<f64>() / 5.0;
+        assert!(after < before, "{before:.2} -> {after:.2}");
+    }
+
+    #[test]
+    fn invalid_events_are_rejected() {
+        let mut a = agent();
+        use crate::events::{EnvironmentEvent as E, EventError};
+        assert!(matches!(
+            a.apply_event(&E::MemoryUpgrade {
+                new_phys_mem_mb: -1.0
+            }),
+            Err(EventError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            a.apply_event(&E::TableGrowth {
+                table: TableId(99),
+                factor: 2.0
+            }),
+            Err(EventError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            a.apply_event(&E::CreateIndex {
+                table: TableId(1),
+                column: 99,
+                kind: crate::catalog::IndexKind::NonClustered
+            }),
+            Err(EventError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            a.apply_event(&E::BufferPoolResize { pages: 1 }),
+            Err(EventError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn trace_records_executions_when_enabled() {
+        let mut a = agent();
+        assert!(a.trace().is_none());
+        a.enable_trace(3);
+        let q = any_query(&a);
+        for _ in 0..5 {
+            a.run(&q).unwrap();
+        }
+        let t = a.trace().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        assert!(t.mean_cost() > 0.0);
+        assert!(t.report().contains("SeqScan") || t.report().contains("Index"));
+    }
+
+    #[test]
+    fn join_queries_execute() {
+        let mut a = agent();
+        let tables = a.catalog().tables();
+        let (l, r) = (tables[2].id, tables[3].id);
+        let q = Query::Join(crate::query::JoinQuery {
+            left: l,
+            right: r,
+            left_col: 4,
+            right_col: 4,
+            left_predicates: vec![],
+            right_predicates: vec![],
+            projection: vec![(true, 0), (false, 1)],
+        });
+        let e = a.run(&q).unwrap();
+        assert!(e.cost_s > 0.0);
+        assert!(matches!(e.sizes, ExecutionSizes::Join(_)));
+    }
+}

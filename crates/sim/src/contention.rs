@@ -1,0 +1,233 @@
+//! The load builder: background-process populations and contention
+//! trajectories.
+//!
+//! The CORDS-MDBS agent of the paper contains "a load builder which
+//! generates dynamic loads to simulate dynamic application environments"
+//! (§5). This module is that load builder. A [`Load`] summarizes the
+//! background process population at one instant; a [`ContentionProfile`]
+//! describes how contention-level points are drawn over time — uniformly
+//! over a range (the paper's default sampling assumption) or from a
+//! mixture of clusters (the Table 6 / Figure 10 "clustered case").
+
+use crate::util::normal;
+use rand::Rng;
+
+/// The background load applied to a machine at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Load {
+    /// Number of concurrent background processes.
+    pub procs: f64,
+    /// How CPU-hungry a background process is (1.0 = fully CPU bound).
+    pub cpu_intensity: f64,
+    /// How I/O-hungry a background process is (1.0 = fully I/O bound).
+    pub io_intensity: f64,
+}
+
+impl Load {
+    /// No background activity at all.
+    pub fn idle() -> Load {
+        Load {
+            procs: 0.0,
+            cpu_intensity: 0.0,
+            io_intensity: 0.0,
+        }
+    }
+
+    /// A typical mixed background population of `procs` processes.
+    pub fn background(procs: f64) -> Load {
+        Load {
+            procs: procs.max(0.0),
+            cpu_intensity: 0.8,
+            io_intensity: 0.7,
+        }
+    }
+}
+
+/// How the contention level moves over time in a dynamic environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentionProfile {
+    /// A fixed number of background processes — the *static* environment of
+    /// the earlier query sampling method.
+    Constant(f64),
+    /// Every contention level in `[lo, hi]` is equally likely — the
+    /// assumption behind the IUPMA uniform partition.
+    Uniform {
+        /// Fewest background processes.
+        lo: f64,
+        /// Most background processes.
+        hi: f64,
+    },
+    /// The contention level clusters around a few operating points (e.g.
+    /// "overnight batch", "office hours", "quarter close") — the
+    /// distribution of paper Figure 10, where ICMA shines.
+    Clustered {
+        /// `(center, std_dev, weight)` per cluster; weights need not sum
+        /// to 1 (they are normalized when sampling).
+        modes: Vec<(f64, f64, f64)>,
+    },
+}
+
+impl ContentionProfile {
+    /// The paper's clustered example: three operating points with distinct
+    /// popularity, spanning roughly the same range as the uniform case.
+    pub fn paper_clustered() -> ContentionProfile {
+        ContentionProfile::Clustered {
+            modes: vec![(25.0, 4.0, 0.45), (70.0, 5.0, 0.35), (115.0, 4.0, 0.20)],
+        }
+    }
+
+    /// Draws one contention-level point (a number of processes).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            ContentionProfile::Constant(p) => *p,
+            ContentionProfile::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(*lo..=*hi)
+                } else {
+                    *lo
+                }
+            }
+            ContentionProfile::Clustered { modes } => {
+                let total: f64 = modes.iter().map(|m| m.2).sum();
+                let mut pick = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
+                for (center, sd, w) in modes {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        return normal(rng, *center, *sd).max(0.0);
+                    }
+                }
+                // Numerical fallthrough: use the last mode.
+                let (center, sd, _) = modes.last().copied().unwrap_or((0.0, 0.0, 1.0));
+                normal(rng, center, sd).max(0.0)
+            }
+        }
+    }
+}
+
+/// Draws contention levels from a profile and converts them into [`Load`]s,
+/// adding small per-instant jitter to the process mix — the "momentary
+/// changes" that make small-cost queries hard to estimate (paper §5).
+#[derive(Debug, Clone)]
+pub struct LoadBuilder {
+    profile: ContentionProfile,
+    mix_jitter: f64,
+}
+
+impl LoadBuilder {
+    /// A load builder over the given contention profile.
+    pub fn new(profile: ContentionProfile) -> Self {
+        LoadBuilder {
+            profile,
+            mix_jitter: 0.06,
+        }
+    }
+
+    /// Overrides the per-instant jitter of the process mix.
+    pub fn with_mix_jitter(mut self, jitter: f64) -> Self {
+        self.mix_jitter = jitter.max(0.0);
+        self
+    }
+
+    /// The underlying contention profile.
+    pub fn profile(&self) -> &ContentionProfile {
+        &self.profile
+    }
+
+    /// Produces the next instantaneous background load.
+    pub fn next_load<R: Rng + ?Sized>(&self, rng: &mut R) -> Load {
+        let base = Load::background(self.profile.sample(rng));
+        Load {
+            procs: base.procs,
+            cpu_intensity: (base.cpu_intensity + normal(rng, 0.0, self.mix_jitter))
+                .clamp(0.05, 1.5),
+            io_intensity: (base.io_intensity + normal(rng, 0.0, self.mix_jitter)).clamp(0.05, 1.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_profile_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ContentionProfile::Constant(42.0);
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn uniform_profile_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ContentionProfile::Uniform { lo: 10.0, hi: 90.0 };
+        let mut lo_seen = f64::MAX;
+        let mut hi_seen = f64::MIN;
+        for _ in 0..5000 {
+            let v = p.sample(&mut rng);
+            assert!((10.0..=90.0).contains(&v));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        // The whole range is actually exercised.
+        assert!(lo_seen < 15.0 && hi_seen > 85.0);
+    }
+
+    #[test]
+    fn degenerate_uniform_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ContentionProfile::Uniform { lo: 30.0, hi: 30.0 };
+        assert_eq!(p.sample(&mut rng), 30.0);
+    }
+
+    #[test]
+    fn clustered_profile_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ContentionProfile::paper_clustered();
+        let draws: Vec<f64> = (0..4000).map(|_| p.sample(&mut rng)).collect();
+        // Nearly all mass should be within 3 sigma of some mode.
+        let near_mode = draws
+            .iter()
+            .filter(|&&v| {
+                [(25.0, 4.0), (70.0, 5.0), (115.0, 4.0)]
+                    .iter()
+                    .any(|(c, s)| (v - c).abs() < 3.5 * s)
+            })
+            .count();
+        assert!(near_mode as f64 / draws.len() as f64 > 0.98);
+        // Weights are respected: the first mode is the most popular.
+        let in_first = draws.iter().filter(|&&v| v < 45.0).count() as f64;
+        let in_last = draws.iter().filter(|&&v| v > 95.0).count() as f64;
+        assert!(in_first > in_last);
+    }
+
+    #[test]
+    fn load_builder_jitters_the_mix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lb = LoadBuilder::new(ContentionProfile::Constant(50.0));
+        let a = lb.next_load(&mut rng);
+        let b = lb.next_load(&mut rng);
+        assert_eq!(a.procs, 50.0);
+        assert!(a.cpu_intensity != b.cpu_intensity || a.io_intensity != b.io_intensity);
+    }
+
+    #[test]
+    fn load_never_negative() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = ContentionProfile::Clustered {
+            modes: vec![(2.0, 5.0, 1.0)],
+        };
+        for _ in 0..2000 {
+            assert!(p.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn idle_load_is_truly_idle() {
+        let l = Load::idle();
+        assert_eq!(l.procs, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Occasionally-changing environmental factors (paper §2).
+//!
+//! Besides the frequently-changing factors the qualitative variable
+//! captures, the paper lists factors that change *occasionally*: DBMS
+//! configuration parameters (buffer pool size), database physical or
+//! conceptual schema (new indexes, table growth) and hardware
+//! configuration (physical memory). "A simple and effective approach to
+//! capturing them in a cost model is to invoke the static query sampling
+//! method periodically or whenever a significant change for the factors
+//! occurs."
+//!
+//! [`EnvironmentEvent`] models those changes; applying one to an
+//! [`MdbsAgent`](crate::agent::MdbsAgent) durably alters the local system,
+//! after which previously derived cost models may drift — the trigger for
+//! the model-maintenance machinery in `mdbs-core`.
+
+use crate::catalog::{IndexKind, TableId};
+
+/// A durable change to a local site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvironmentEvent {
+    /// Hardware change: physical memory replaced/extended (MB). Moves the
+    /// thrashing knee, reshaping the whole contention response.
+    MemoryUpgrade {
+        /// New physical memory size in megabytes.
+        new_phys_mem_mb: f64,
+    },
+    /// DBMS configuration change: buffer pool resized (pages). Changes
+    /// nested-loop join block counts.
+    BufferPoolResize {
+        /// New buffer pool size in pages.
+        pages: u64,
+    },
+    /// Schema change: an index created on a column.
+    CreateIndex {
+        /// Affected table.
+        table: TableId,
+        /// Column index within the table.
+        column: usize,
+        /// Kind of the new index.
+        kind: IndexKind,
+    },
+    /// Schema change: the index on a column dropped.
+    DropIndex {
+        /// Affected table.
+        table: TableId,
+        /// Column index within the table.
+        column: usize,
+    },
+    /// Data change accumulated to a significant degree: the table grew (or
+    /// shrank) by the given factor.
+    TableGrowth {
+        /// Affected table.
+        table: TableId,
+        /// Multiplicative cardinality factor (e.g. `2.0` = doubled).
+        factor: f64,
+    },
+    /// Hardware change: the disk subsystem replaced; sequential and random
+    /// page I/O get this multiplicative speedup (< 1.0 = faster).
+    DiskReplacement {
+        /// Multiplier applied to both page-I/O costs.
+        io_cost_factor: f64,
+    },
+}
+
+/// Errors from applying an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventError {
+    /// The referenced table does not exist.
+    UnknownTable(TableId),
+    /// The referenced column does not exist.
+    UnknownColumn {
+        /// The table that was found.
+        table: TableId,
+        /// The missing column index.
+        column: usize,
+    },
+    /// A numeric parameter is out of its valid domain.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            EventError::UnknownColumn { table, column } => {
+                write!(f, "table {table} has no column {column}")
+            }
+            EventError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_cloneable_and_comparable() {
+        let e = EnvironmentEvent::MemoryUpgrade {
+            new_phys_mem_mb: 2048.0,
+        };
+        assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EventError::UnknownColumn {
+            table: TableId(3),
+            column: 42,
+        };
+        assert!(e.to_string().contains("R3"));
+        assert!(e.to_string().contains("42"));
+    }
+}

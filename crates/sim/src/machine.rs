@@ -1,0 +1,199 @@
+//! The simulated host machine.
+//!
+//! Local query cost in the paper's dynamic environment is dominated by the
+//! *combined net effect* of frequently-changing factors: CPU load, I/O
+//! traffic and memory pressure from concurrent processes. The machine model
+//! here turns a background [`Load`] into three
+//! inflation factors:
+//!
+//! * **CPU factor** — round-robin time-slicing: with `n` CPU-hungry
+//!   competitors a query receives `1/(1 + w·n)` of the CPU, so its CPU time
+//!   stretches by `1 + w·n`.
+//! * **I/O factor** — queueing at the disk: service time stretches linearly
+//!   in the number of I/O-issuing competitors, then multiplies with the
+//!   thrashing factor.
+//! * **Thrashing factor** — once the resident sets of the background
+//!   processes exceed physical memory, the machine starts paging and the
+//!   effective cost explodes exponentially. This is what bends the curve of
+//!   paper Figure 1 upward from ~3.8 s at 50 processes to ~124 s at 130.
+
+use crate::contention::Load;
+
+/// Static hardware description of a simulated host.
+///
+/// Defaults approximate the paper's late-90s SUN UltraSparc 2 workstation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Physical memory in megabytes.
+    pub phys_mem_mb: f64,
+    /// Memory consumed by the OS plus the DBMS itself (MB).
+    pub base_mem_mb: f64,
+    /// Average resident set of one background process (MB).
+    pub mem_per_proc_mb: f64,
+    /// CPU stretch per CPU-bound competitor.
+    pub cpu_weight: f64,
+    /// I/O stretch per I/O-bound competitor.
+    pub io_weight: f64,
+    /// Exponential thrashing coefficient once memory runs out.
+    pub thrash_coeff: f64,
+    /// Fraction of physical memory at which thrashing sets in.
+    pub thrash_onset: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            phys_mem_mb: 512.0,
+            base_mem_mb: 96.0,
+            mem_per_proc_mb: 4.0,
+            cpu_weight: 0.045,
+            io_weight: 0.030,
+            thrash_coeff: 11.0,
+            thrash_onset: 0.90,
+        }
+    }
+}
+
+/// A simulated host: a spec plus the currently applied background load.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: MachineSpec,
+    load: Load,
+}
+
+impl Machine {
+    /// Creates a machine with the given spec and an idle load.
+    pub fn new(spec: MachineSpec) -> Self {
+        Machine {
+            spec,
+            load: Load::idle(),
+        }
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Mutable access to the spec — hardware changes (memory upgrades) are
+    /// occasionally-changing environmental factors (paper §2).
+    pub fn spec_mut(&mut self) -> &mut MachineSpec {
+        &mut self.spec
+    }
+
+    /// Replaces the background load (the load builder calls this).
+    pub fn set_load(&mut self, load: Load) {
+        self.load = load;
+    }
+
+    /// The background load currently applied.
+    pub fn load(&self) -> &Load {
+        &self.load
+    }
+
+    /// Fraction of physical memory in use (may exceed 1 under overload).
+    pub fn memory_fraction(&self) -> f64 {
+        (self.spec.base_mem_mb + self.load.procs * self.spec.mem_per_proc_mb)
+            / self.spec.phys_mem_mb
+    }
+
+    /// Multiplier applied to a foreground query's CPU time.
+    pub fn cpu_factor(&self) -> f64 {
+        1.0 + self.spec.cpu_weight * self.load.procs * self.load.cpu_intensity
+    }
+
+    /// Multiplier applied to a foreground query's I/O time
+    /// (queueing × thrashing).
+    pub fn io_factor(&self) -> f64 {
+        let queueing = 1.0 + self.spec.io_weight * self.load.procs * self.load.io_intensity;
+        queueing * self.thrash_factor()
+    }
+
+    /// The exponential paging penalty; 1.0 while memory suffices.
+    pub fn thrash_factor(&self) -> f64 {
+        let over = (self.memory_fraction() - self.spec.thrash_onset).max(0.0);
+        (self.spec.thrash_coeff * over).exp()
+    }
+
+    /// Converts a resource demand `(init_s, io_s, cpu_s)` measured on an
+    /// idle machine into elapsed seconds under the current load.
+    ///
+    /// Initialization (opening cursors, process startup) is mostly CPU-bound
+    /// and stretches with the CPU factor.
+    pub fn elapsed(&self, init_s: f64, io_s: f64, cpu_s: f64) -> f64 {
+        init_s * self.cpu_factor() + io_s * self.io_factor() + cpu_s * self.cpu_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::Load;
+
+    fn loaded(procs: f64) -> Machine {
+        let mut m = Machine::new(MachineSpec::default());
+        m.set_load(Load::background(procs));
+        m
+    }
+
+    #[test]
+    fn idle_machine_has_unit_factors() {
+        let m = Machine::new(MachineSpec::default());
+        assert_eq!(m.cpu_factor(), 1.0);
+        assert!((m.io_factor() - 1.0).abs() < 1e-9);
+        assert_eq!(m.elapsed(1.0, 2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn factors_grow_monotonically_with_load() {
+        let mut prev_io = 0.0;
+        let mut prev_cpu = 0.0;
+        for p in (0..140).step_by(10) {
+            let m = loaded(p as f64);
+            assert!(m.cpu_factor() >= prev_cpu);
+            assert!(m.io_factor() >= prev_io);
+            prev_cpu = m.cpu_factor();
+            prev_io = m.io_factor();
+        }
+    }
+
+    #[test]
+    fn thrashing_kicks_in_superlinearly() {
+        // Figure 1 shape: cost ratio between 130 and 50 processes should be
+        // large (paper observed 124 s / 3.8 s ≈ 33×).
+        let low = loaded(50.0);
+        let high = loaded(130.0);
+        let cost_low = low.elapsed(0.05, 1.0, 0.5);
+        let cost_high = high.elapsed(0.05, 1.0, 0.5);
+        let ratio = cost_high / cost_low;
+        assert!(ratio > 10.0, "ratio only {ratio:.1}");
+        // And the curve must be convex: marginal slowdown grows.
+        let d1 = loaded(90.0).elapsed(0.05, 1.0, 0.5) - loaded(70.0).elapsed(0.05, 1.0, 0.5);
+        let d2 = loaded(130.0).elapsed(0.05, 1.0, 0.5) - loaded(110.0).elapsed(0.05, 1.0, 0.5);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn no_thrashing_below_onset() {
+        let m = loaded(20.0);
+        assert!((m.thrash_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_fraction_accounts_for_base_usage() {
+        let m = Machine::new(MachineSpec::default());
+        assert!((m.memory_fraction() - 96.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_scales_contention() {
+        let mut m = Machine::new(MachineSpec::default());
+        m.set_load(Load {
+            procs: 40.0,
+            cpu_intensity: 0.0,
+            io_intensity: 1.0,
+        });
+        assert_eq!(m.cpu_factor(), 1.0);
+        assert!(m.io_factor() > 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Local queries: select-project unary queries and two-way joins.
+//!
+//! These are the "local (component) queries" a global MDBS optimizer
+//! decomposes a global query into. The shapes match the paper's examples
+//! (`select a1, a5, a7 from R7 where a3 > 300 and a8 < 2000`) and the two
+//! query-class families of Table 3 (unary classes and join classes).
+
+use crate::catalog::TableId;
+
+/// A range predicate on one column of uniform integer values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Index of the column within the table definition.
+    pub column: usize,
+    /// Inclusive lower bound of the accepted range (`None` = open).
+    pub lo: Option<u64>,
+    /// Inclusive upper bound of the accepted range (`None` = open).
+    pub hi: Option<u64>,
+}
+
+impl Predicate {
+    /// `column > v` (exclusive lower bound expressed inclusively).
+    pub fn gt(column: usize, v: u64) -> Predicate {
+        Predicate {
+            column,
+            lo: Some(v.saturating_add(1)),
+            hi: None,
+        }
+    }
+
+    /// `column < v`.
+    pub fn lt(column: usize, v: u64) -> Predicate {
+        Predicate {
+            column,
+            lo: None,
+            hi: Some(v.saturating_sub(1)),
+        }
+    }
+
+    /// `lo <= column <= hi`.
+    pub fn between(column: usize, lo: u64, hi: u64) -> Predicate {
+        Predicate {
+            column,
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+}
+
+/// A unary select-project query over one table with conjunctive range
+/// predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnaryQuery {
+    /// The operand table.
+    pub table: TableId,
+    /// Projected column indexes (empty = all columns).
+    pub projection: Vec<usize>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+    /// Column the result is ordered by, if any (`ORDER BY`). Sorting adds
+    /// an N·log N CPU term and, for large results, external-sort I/O —
+    /// unless the local DBS can read the order off a clustered index.
+    pub order_by: Option<usize>,
+}
+
+/// A two-way equijoin with optional local predicates on each operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinQuery {
+    /// Left operand table.
+    pub left: TableId,
+    /// Right operand table.
+    pub right: TableId,
+    /// Join column index on the left table.
+    pub left_col: usize,
+    /// Join column index on the right table.
+    pub right_col: usize,
+    /// Local predicates applied to the left operand before joining.
+    pub left_predicates: Vec<Predicate>,
+    /// Local predicates applied to the right operand before joining.
+    pub right_predicates: Vec<Predicate>,
+    /// Projected columns `(from_left, column_index)`.
+    pub projection: Vec<(bool, usize)>,
+}
+
+/// Any local query the simulated DBS accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A unary select-project query.
+    Unary(UnaryQuery),
+    /// A two-way join query.
+    Join(JoinQuery),
+}
+
+impl Query {
+    /// The tables this query reads.
+    pub fn tables(&self) -> Vec<TableId> {
+        match self {
+            Query::Unary(u) => vec![u.table],
+            Query::Join(j) => vec![j.left, j.right],
+        }
+    }
+
+    /// A short human-readable rendering for logs and reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Query::Unary(u) => format!(
+                "SELECT {} FROM {} WHERE {} preds",
+                if u.projection.is_empty() {
+                    "*".to_string()
+                } else {
+                    format!("{} cols", u.projection.len())
+                },
+                u.table,
+                u.predicates.len()
+            ),
+            Query::Join(j) => format!(
+                "SELECT .. FROM {} JOIN {} ON c{}=c{} ({}+{} preds)",
+                j.left,
+                j.right,
+                j.left_col,
+                j.right_col,
+                j.left_predicates.len(),
+                j.right_predicates.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_constructors() {
+        assert_eq!(
+            Predicate::gt(2, 300),
+            Predicate {
+                column: 2,
+                lo: Some(301),
+                hi: None
+            }
+        );
+        assert_eq!(
+            Predicate::lt(7, 2000),
+            Predicate {
+                column: 7,
+                lo: None,
+                hi: Some(1999)
+            }
+        );
+        assert_eq!(
+            Predicate::between(0, 5, 10),
+            Predicate {
+                column: 0,
+                lo: Some(5),
+                hi: Some(10)
+            }
+        );
+    }
+
+    #[test]
+    fn gt_at_domain_edge_saturates() {
+        let p = Predicate::gt(0, u64::MAX);
+        assert_eq!(p.lo, Some(u64::MAX));
+    }
+
+    #[test]
+    fn lt_zero_saturates() {
+        let p = Predicate::lt(0, 0);
+        assert_eq!(p.hi, Some(0));
+    }
+
+    #[test]
+    fn query_tables() {
+        let u = Query::Unary(UnaryQuery {
+            table: TableId(7),
+            projection: vec![0, 4, 6],
+            predicates: vec![Predicate::gt(2, 300), Predicate::lt(7, 2000)],
+            order_by: None,
+        });
+        assert_eq!(u.tables(), vec![TableId(7)]);
+        let j = Query::Join(JoinQuery {
+            left: TableId(1),
+            right: TableId(2),
+            left_col: 0,
+            right_col: 0,
+            left_predicates: vec![],
+            right_predicates: vec![],
+            projection: vec![(true, 0), (false, 1)],
+        });
+        assert_eq!(j.tables(), vec![TableId(1), TableId(2)]);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let u = Query::Unary(UnaryQuery {
+            table: TableId(7),
+            projection: vec![],
+            predicates: vec![],
+            order_by: None,
+        });
+        assert!(u.describe().contains("R7"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Execution tracing for the MDBS agent.
+//!
+//! The CORDS-MDBS agent observes every local query it submits; a bounded
+//! trace of those observations is what drift monitors, dashboards and
+//! post-mortems read. [`ExecutionTrace`] is a ring buffer of
+//! [`TraceEntry`] records with cheap aggregate queries over the window.
+
+use crate::agent::ChosenAccess;
+use std::collections::VecDeque;
+
+/// One traced execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Monotonic sequence number (the agent's execution counter).
+    pub seq: u64,
+    /// Virtual timestamp (the agent's clock when the query finished).
+    pub at_s: f64,
+    /// Short description of the query.
+    pub query: String,
+    /// Observed elapsed cost.
+    pub cost_s: f64,
+    /// The physical operator used.
+    pub access: ChosenAccess,
+    /// Result cardinality.
+    pub result_card: u64,
+    /// Background processes at execution time.
+    pub procs: f64,
+}
+
+/// A bounded ring buffer of recent executions.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    total_recorded: u64,
+}
+
+impl ExecutionTrace {
+    /// A trace keeping the most recent `capacity` executions.
+    pub fn new(capacity: usize) -> Self {
+        ExecutionTrace {
+            capacity: capacity.max(1),
+            entries: VecDeque::with_capacity(capacity.max(1)),
+            total_recorded: 0,
+        }
+    }
+
+    /// Records one execution, evicting the oldest entry when full.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+        self.total_recorded += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total executions ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Mean cost over the window.
+    pub fn mean_cost(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.cost_s).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// The most expensive retained execution.
+    pub fn slowest(&self) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.cost_s.partial_cmp(&b.cost_s).expect("finite costs"))
+    }
+
+    /// Per-access-path counts over the window.
+    pub fn access_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for e in &self.entries {
+            let key = match e.access {
+                ChosenAccess::Unary(a) => format!("{a:?}"),
+                ChosenAccess::Join(a) => format!("{a:?}"),
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Renders a compact report of the window.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "trace: {} retained of {} recorded, mean cost {:.2}s\n",
+            self.len(),
+            self.total_recorded(),
+            self.mean_cost()
+        );
+        for (access, n) in self.access_histogram() {
+            out.push_str(&format!("  {access}: {n}\n"));
+        }
+        if let Some(s) = self.slowest() {
+            out.push_str(&format!(
+                "  slowest: {:.2}s ({}) under {:.0} procs\n",
+                s.cost_s, s.query, s.procs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::UnaryAccess;
+
+    fn entry(seq: u64, cost: f64) -> TraceEntry {
+        TraceEntry {
+            seq,
+            at_s: seq as f64,
+            query: format!("q{seq}"),
+            cost_s: cost,
+            access: ChosenAccess::Unary(UnaryAccess::SeqScan),
+            result_card: 10,
+            procs: 50.0,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = ExecutionTrace::new(3);
+        for i in 0..5 {
+            t.record(entry(i, i as f64));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let seqs: Vec<u64> = t.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn aggregates_over_the_window() {
+        let mut t = ExecutionTrace::new(10);
+        for (i, c) in [1.0, 5.0, 3.0].iter().enumerate() {
+            t.record(entry(i as u64, *c));
+        }
+        assert!((t.mean_cost() - 3.0).abs() < 1e-12);
+        assert_eq!(t.slowest().unwrap().cost_s, 5.0);
+        let hist = t.access_histogram();
+        assert_eq!(hist, vec![("SeqScan".to_string(), 3)]);
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = ExecutionTrace::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_cost(), 0.0);
+        assert!(t.slowest().is_none());
+        assert!(t.report().contains("0 retained"));
+    }
+
+    #[test]
+    fn report_mentions_the_slowest_query() {
+        let mut t = ExecutionTrace::new(4);
+        t.record(entry(0, 1.0));
+        t.record(entry(1, 9.0));
+        assert!(t.report().contains("q1"));
+    }
+}

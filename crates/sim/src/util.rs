@@ -1,0 +1,68 @@
+//! Small numeric helpers shared across the simulator.
+
+use rand::Rng;
+
+/// Draws a standard-normal variate via the Box–Muller transform.
+///
+/// `rand_distr` is outside the allowed dependency set for this workspace,
+/// so the handful of Gaussian draws the simulator needs are generated here.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    // Two uniforms in (0, 1]; guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Multiplicative noise factor `max(floor, 1 + N(0, rel))`.
+///
+/// The lower clamp keeps simulated costs strictly positive even for
+/// generous noise levels.
+pub fn noise_factor<R: Rng + ?Sized>(rng: &mut R, rel: f64) -> f64 {
+    normal(rng, 1.0, rel).max(0.2)
+}
+
+/// Number of pages needed for `tuples` tuples of `tuple_len` bytes with the
+/// given page size (ceiling division, at least one page for any data).
+pub fn pages(tuples: u64, tuple_len: u32, page_size: u32) -> u64 {
+    if tuples == 0 {
+        return 1;
+    }
+    let bytes = tuples * tuple_len as u64;
+    bytes.div_ceil(page_size as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn noise_factor_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = noise_factor(&mut rng, 0.5);
+            assert!(f >= 0.2);
+        }
+    }
+
+    #[test]
+    fn pages_rounds_up() {
+        assert_eq!(pages(1, 100, 8192), 1);
+        assert_eq!(pages(82, 100, 8192), 2); // 8200 bytes -> 2 pages
+        assert_eq!(pages(0, 100, 8192), 1);
+        assert_eq!(pages(81, 100, 8192), 1); // 8100 bytes -> 1 page
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the local-DBS and environment simulator.
+
+use mdbs_sim::catalog::{ColumnDef, IndexKind, TableDef, TableId};
+use mdbs_sim::contention::{ContentionProfile, Load};
+use mdbs_sim::datagen::standard_database;
+use mdbs_sim::engine::cost_unary;
+use mdbs_sim::machine::{Machine, MachineSpec};
+use mdbs_sim::query::{Predicate, Query, UnaryQuery};
+use mdbs_sim::selectivity::{predicate_selectivity, unary_sizes};
+use mdbs_sim::sql::{parse_query, to_sql};
+use mdbs_sim::util::pages;
+use mdbs_sim::vendor::VendorProfile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn table(card: u64, domain: u64) -> TableDef {
+    TableDef {
+        id: TableId(1),
+        cardinality: card,
+        columns: (0..9)
+            .map(|i| ColumnDef {
+                name: format!("a{}", i + 1),
+                width: 4,
+                domain_max: domain,
+                index: IndexKind::None,
+            })
+            .collect(),
+        tuple_overhead: 8,
+    }
+}
+
+proptest! {
+    #[test]
+    fn selectivity_is_a_probability(
+        card in 1u64..1_000_000,
+        domain in 1u64..1_000_000,
+        lo in proptest::option::of(0u64..1_000_000),
+        hi in proptest::option::of(0u64..1_000_000),
+        col in 0usize..12,
+    ) {
+        let t = table(card, domain);
+        let p = Predicate { column: col, lo, hi };
+        let sel = predicate_selectivity(&t, &p);
+        prop_assert!((0.0..=1.0).contains(&sel), "selectivity {sel}");
+    }
+
+    #[test]
+    fn unary_sizes_are_ordered(
+        card in 1u64..500_000,
+        domain in 10u64..100_000,
+        cut1 in 0u64..100_000,
+        cut2 in 0u64..100_000,
+    ) {
+        let t = table(card, domain);
+        let q = UnaryQuery {
+            table: t.id,
+            projection: vec![0, 3],
+            predicates: vec![Predicate::lt(1, cut1), Predicate::gt(2, cut2)],
+            order_by: None,
+        };
+        let s = unary_sizes(&t, &q);
+        prop_assert!(s.result <= s.intermediate);
+        prop_assert!(s.intermediate <= s.operand);
+        prop_assert_eq!(s.operand, card);
+    }
+
+    #[test]
+    fn pages_monotone_in_tuples(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        len in 1u32..512,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(pages(lo, len, 8192) <= pages(hi, len, 8192));
+        // Enough space for all bytes.
+        prop_assert!(pages(hi, len, 8192) * 8192 >= hi * len as u64);
+    }
+
+    #[test]
+    fn machine_factors_monotone_in_load(p1 in 0.0..200.0f64, p2 in 0.0..200.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let mut m = Machine::new(MachineSpec::default());
+        m.set_load(Load::background(lo));
+        let (c_lo, i_lo) = (m.cpu_factor(), m.io_factor());
+        m.set_load(Load::background(hi));
+        prop_assert!(m.cpu_factor() >= c_lo);
+        prop_assert!(m.io_factor() >= i_lo);
+        prop_assert!(m.cpu_factor() >= 1.0 && m.io_factor() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn elapsed_scales_with_demand(
+        io in 0.0..100.0f64,
+        cpu in 0.0..100.0f64,
+        procs in 0.0..150.0f64,
+    ) {
+        let mut m = Machine::new(MachineSpec::default());
+        m.set_load(Load::background(procs));
+        let once = m.elapsed(0.1, io, cpu);
+        let twice = m.elapsed(0.1, 2.0 * io, 2.0 * cpu);
+        prop_assert!(twice >= once);
+        prop_assert!(once >= 0.1); // At least the (stretched) init cost.
+    }
+
+    #[test]
+    fn uniform_contention_sampling_in_range(
+        lo in 0.0..100.0f64,
+        width in 0.0..100.0f64,
+        seed in 0u64..500,
+    ) {
+        let hi = lo + width;
+        let p = ContentionProfile::Uniform { lo, hi };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let v = p.sample(&mut rng);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_sampling_never_negative(
+        centers in proptest::collection::vec((0.0..150.0f64, 0.1..20.0f64, 0.01..1.0f64), 1..4),
+        seed in 0u64..200,
+    ) {
+        let p = ContentionProfile::Clustered { modes: centers };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(p.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn engine_demand_is_finite_and_positive(
+        card in 1u64..500_000,
+        cut in 0u64..10_000,
+        vendor_pick in 0u8..2,
+    ) {
+        let vendor = if vendor_pick == 0 {
+            VendorProfile::oracle8()
+        } else {
+            VendorProfile::db2v5()
+        };
+        let t = table(card, 10_000);
+        let q = UnaryQuery {
+            table: t.id,
+            projection: vec![0],
+            predicates: vec![Predicate::lt(4, cut)],
+            order_by: None,
+        };
+        let (d, _, _) = cost_unary(&t, &q, &vendor);
+        prop_assert!(d.init_s > 0.0);
+        prop_assert!(d.io_s.is_finite() && d.io_s >= 0.0);
+        prop_assert!(d.cpu_s.is_finite() && d.cpu_s >= 0.0);
+    }
+
+    #[test]
+    fn observed_cost_positive_under_any_load(
+        procs in 0.0..180.0f64,
+        seed in 0u64..100,
+        tbl in 0usize..12,
+    ) {
+        let mut agent = mdbs_sim::MdbsAgent::new(
+            VendorProfile::oracle8(),
+            standard_database(42),
+            seed,
+        );
+        agent.set_load(Load::background(procs));
+        let t = &agent.catalog().tables()[tbl];
+        let q = mdbs_sim::Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: vec![0],
+            predicates: vec![Predicate::lt(4, t.columns[4].domain_max / 2)],
+            order_by: None,
+        });
+        let e = agent.run(&q).unwrap();
+        prop_assert!(e.cost_s > 0.0 && e.cost_s.is_finite());
+    }
+    /// SQL render/parse round-trips for arbitrary valid unary queries.
+    #[test]
+    fn sql_roundtrip_unary(
+        tbl in 0usize..12,
+        proj in proptest::collection::btree_set(0usize..9, 0..5),
+        preds in proptest::collection::vec((0usize..9, 0u64..5000, 0u64..5000), 0..3),
+    ) {
+        let db = standard_database(42);
+        let t = &db.tables()[tbl];
+        let predicates: Vec<Predicate> = preds
+            .iter()
+            .map(|&(c, a, b)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                Predicate::between(c, lo, hi)
+            })
+            .collect();
+        let q = Query::Unary(UnaryQuery {
+            table: t.id,
+            projection: proj.into_iter().collect(),
+            predicates,
+            order_by: None,
+        });
+        let sql = to_sql(&db, &q);
+        let parsed = parse_query(&db, &sql)
+            .unwrap_or_else(|e| panic!("`{sql}` failed to re-parse: {e}"));
+        prop_assert_eq!(parsed, q, "sql was `{}`", sql);
+    }
+
+}

@@ -1,0 +1,170 @@
+//! Agglomerative hierarchical clustering (centroid linkage).
+//!
+//! The ICMA contention-state algorithm (paper §3.3, "Determining states via
+//! data clustering") groups sampled probing-query costs with "an
+//! agglomerative hierarchical algorithm … place each data object in its own
+//! cluster initially and then gradually merge clusters … the criterion used
+//! to merge two clusters Cᵢ and Cⱼ is to make their distance minimized …
+//! the distance between the centroids".
+//!
+//! Probing costs are one-dimensional, and in one dimension centroid-linkage
+//! agglomeration only ever merges *adjacent* clusters in sorted order. The
+//! implementation exploits that: sort once, then repeatedly merge the
+//! adjacent pair with minimal centroid distance — O(n log n + k·n) instead
+//! of the naive O(n³).
+
+/// A cluster of one-dimensional points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster1D {
+    /// Smallest member.
+    pub min: f64,
+    /// Largest member.
+    pub max: f64,
+    /// Number of members.
+    pub count: usize,
+    /// Mean of the members (the centroid).
+    pub centroid: f64,
+}
+
+impl Cluster1D {
+    fn singleton(v: f64) -> Self {
+        Cluster1D {
+            min: v,
+            max: v,
+            count: 1,
+            centroid: v,
+        }
+    }
+
+    fn merge(&self, other: &Cluster1D) -> Cluster1D {
+        let count = self.count + other.count;
+        Cluster1D {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            count,
+            centroid: (self.centroid * self.count as f64 + other.centroid * other.count as f64)
+                / count as f64,
+        }
+    }
+}
+
+/// Clusters `values` into exactly `k` clusters (or fewer when there are not
+/// enough distinct points) by centroid-linkage agglomeration.
+///
+/// The result is sorted ascending by centroid and the clusters' `[min, max]`
+/// extents are pairwise disjoint. An empty input yields an empty vector.
+pub fn cluster_1d(values: &[f64], k: usize) -> Vec<Cluster1D> {
+    if values.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut clusters: Vec<Cluster1D> = sorted.into_iter().map(Cluster1D::singleton).collect();
+    while clusters.len() > k {
+        // Find the adjacent pair with minimal centroid distance.
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..clusters.len() - 1 {
+            let d = clusters[i + 1].centroid - clusters[i].centroid;
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let merged = clusters[best].merge(&clusters[best + 1]);
+        clusters[best] = merged;
+        clusters.remove(best + 1);
+    }
+    clusters
+}
+
+/// The full agglomeration path: clusterings for every level `1..=k_max`.
+///
+/// Index `i` of the result holds the clustering with `i + 1` clusters
+/// (when that many are attainable). ICMA walks this path from coarse to
+/// fine while checking model-fit improvements.
+pub fn cluster_path_1d(values: &[f64], k_max: usize) -> Vec<Vec<Cluster1D>> {
+    (1..=k_max).map(|k| cluster_1d(values, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(cluster_1d(&[], 3).is_empty());
+        assert!(cluster_1d(&[1.0, 2.0], 0).is_empty());
+        let single = cluster_1d(&[5.0], 3);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].centroid, 5.0);
+    }
+
+    #[test]
+    fn two_well_separated_groups() {
+        let mut vals = vec![1.0, 1.1, 0.9, 1.05];
+        vals.extend([10.0, 10.2, 9.8]);
+        let cl = cluster_1d(&vals, 2);
+        assert_eq!(cl.len(), 2);
+        assert_eq!(cl[0].count, 4);
+        assert_eq!(cl[1].count, 3);
+        assert!(cl[0].max < cl[1].min);
+        assert!((cl[0].centroid - 1.0125).abs() < 1e-9);
+        assert!((cl[1].centroid - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_groups_recovered() {
+        let vals = [0.0, 0.1, 5.0, 5.1, 5.2, 20.0, 20.3];
+        let cl = cluster_1d(&vals, 3);
+        assert_eq!(cl.len(), 3);
+        assert_eq!(
+            cl.iter().map(|c| c.count).collect::<Vec<_>>(),
+            vec![2, 3, 2]
+        );
+    }
+
+    #[test]
+    fn extents_are_disjoint_and_sorted() {
+        let vals: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        for k in 1..8 {
+            let cl = cluster_1d(&vals, k);
+            assert_eq!(cl.len(), k.min(vals.len()));
+            for w in cl.windows(2) {
+                assert!(w[0].max < w[1].min, "clusters overlap: {w:?}");
+                assert!(w[0].centroid <= w[1].centroid);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_input_size() {
+        let vals: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let cl = cluster_1d(&vals, 5);
+        assert_eq!(cl.iter().map(|c| c.count).sum::<usize>(), 57);
+    }
+
+    #[test]
+    fn k_larger_than_n_gives_singletons() {
+        let cl = cluster_1d(&[3.0, 1.0, 2.0], 10);
+        assert_eq!(cl.len(), 3);
+        assert_eq!(cl[0].centroid, 1.0);
+        assert_eq!(cl[2].centroid, 3.0);
+    }
+
+    #[test]
+    fn path_has_one_clustering_per_level() {
+        let vals = [1.0, 2.0, 8.0, 9.0, 20.0];
+        let path = cluster_path_1d(&vals, 4);
+        assert_eq!(path.len(), 4);
+        for (i, c) in path.iter().enumerate() {
+            assert_eq!(c.len(), (i + 1).min(5));
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let cl = cluster_1d(&[1.0, f64::NAN, 2.0, f64::INFINITY], 2);
+        assert_eq!(cl.iter().map(|c| c.count).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Descriptive statistics and histograms.
+//!
+//! Used to characterise workloads (average sample-query cost in paper
+//! Table 5) and to reproduce Figure 10 (the frequency distribution of the
+//! contention level in a clustered case).
+
+/// Summary statistics of a one-dimensional sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of finite observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics, ignoring non-finite values.
+    ///
+    /// Returns `None` when no finite observations remain.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let median = if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            max: v[n - 1],
+            median,
+        })
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with the last bin closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the data
+    /// range (or `[lo, hi]` when given). Non-finite values are skipped.
+    pub fn build(values: &[f64], bins: usize, range: Option<(f64, f64)>) -> Option<Histogram> {
+        if bins == 0 {
+            return None;
+        }
+        let finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        let (lo, hi) = match range {
+            Some(r) => r,
+            None => {
+                let s = Summary::of(&finite)?;
+                (s.min, s.max)
+            }
+        };
+        if hi <= lo || !(hi - lo).is_finite() {
+            // Degenerate range: everything lands in one bin.
+            let mut counts = vec![0; bins];
+            counts[0] = finite.len();
+            return Some(Histogram { lo, hi, counts });
+        }
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for v in finite {
+            if v < lo || v > hi {
+                continue;
+            }
+            let idx = (((v - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Some(Histogram { lo, hi, counts })
+    }
+
+    /// The `(lower, upper)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Renders an ASCII bar chart, one line per bin — used by the
+    /// reproduction harness to print Figure 10.
+    pub fn ascii(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar_len = c * max_width / peak;
+            out.push_str(&format!(
+                "[{lo:8.2} – {hi:8.2}) {c:5} |{}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((s.std_dev - 2.13808993).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_skips_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::NEG_INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn histogram_counts_everything_in_range() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&vals, 10, Some((0.0, 100.0))).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 100);
+        for c in &h.counts {
+            assert_eq!(*c, 10);
+        }
+    }
+
+    #[test]
+    fn histogram_upper_edge_closed() {
+        let h = Histogram::build(&[10.0], 5, Some((0.0, 10.0))).unwrap();
+        assert_eq!(h.counts[4], 1);
+    }
+
+    #[test]
+    fn histogram_degenerate_range() {
+        let h = Histogram::build(&[5.0, 5.0, 5.0], 4, None).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn histogram_bin_edges_partition_range() {
+        let h = Histogram::build(&[0.0, 1.0, 2.0], 4, Some((0.0, 2.0))).unwrap();
+        let (lo0, _) = h.bin_edges(0);
+        let (_, hi3) = h.bin_edges(3);
+        assert_eq!(lo0, 0.0);
+        assert!((hi3 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let h = Histogram::build(&[0.0, 0.5, 1.0, 1.5], 4, Some((0.0, 2.0))).unwrap();
+        assert_eq!(h.ascii(20).lines().count(), 4);
+    }
+}

@@ -1,0 +1,476 @@
+//! Dense, row-major matrices with the factorizations needed for OLS.
+//!
+//! The regression problems in this workspace are small (tens of columns,
+//! hundreds to thousands of rows), so a straightforward dense implementation
+//! with Householder QR is both adequate and numerically robust — QR avoids
+//! squaring the condition number the way normal equations would, which
+//! matters because explanatory variables such as "result cardinality" and
+//! "result table length" are often strongly correlated.
+
+use crate::StatsError;
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, StatsError> {
+        if data.len() != rows * cols {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "from_vec: {} elements for a {rows}x{cols} matrix",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(StatsError::DimensionMismatch {
+                    context: format!("row {i} has {} elements, expected {ncols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` out into a vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if self.cols != v.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("matvec: {}x{} * len-{}", self.rows, self.cols, v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
+            .collect())
+    }
+
+    /// Householder QR factorization.
+    ///
+    /// Requires `rows >= cols`. Returns `(q, r)` with `q` of shape
+    /// `rows × cols` (thin Q, orthonormal columns) and `r` upper triangular
+    /// `cols × cols` such that `self ≈ q · r`.
+    pub fn qr(&self) -> Result<(Matrix, Matrix), StatsError> {
+        let (m, n) = (self.rows, self.cols);
+        if m < n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("qr: need rows >= cols, got {m}x{n}"),
+            });
+        }
+        // Work on a copy; accumulate Householder reflectors.
+        let mut r = self.clone();
+        // Full Q accumulated implicitly by applying reflectors to identity.
+        let mut q = Matrix::identity(m);
+        let mut v = vec![0.0; m];
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue; // Column already zero below (and at) the diagonal.
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut vnorm2 = 0.0;
+            for i in k..m {
+                v[i] = r[(i, k)];
+                if i == k {
+                    v[i] -= alpha;
+                }
+                vnorm2 += v[i] * v[i];
+            }
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R (columns k..n).
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            // Apply H to Q from the right: Q ← Q·H (H symmetric).
+            for i in 0..m {
+                let mut dot = 0.0;
+                for l in k..m {
+                    dot += q[(i, l)] * v[l];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for l in k..m {
+                    q[(i, l)] -= scale * v[l];
+                }
+            }
+        }
+        // Thin factors.
+        let mut q_thin = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                q_thin[(i, j)] = q[(i, j)];
+            }
+        }
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+        Ok((q_thin, r_thin))
+    }
+
+    /// Solves the least-squares problem `min ‖self·x − y‖₂` via QR.
+    ///
+    /// Returns [`StatsError::Singular`] when a diagonal entry of `R` is
+    /// (numerically) zero, i.e. the design matrix is rank-deficient.
+    pub fn least_squares(&self, y: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if y.len() != self.rows {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "least_squares: {} observations, {} rows",
+                    y.len(),
+                    self.rows
+                ),
+            });
+        }
+        if self.rows < self.cols {
+            return Err(StatsError::InsufficientData {
+                needed: self.cols,
+                got: self.rows,
+            });
+        }
+        let (q, r) = self.qr()?;
+        // x = R⁻¹ Qᵀ y  (back substitution).
+        let qty = q.transpose().matvec(y)?;
+        back_substitute(&r, &qty)
+    }
+
+    /// Solves the square linear system `self · x = b` via QR.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("solve: matrix is {}x{}, not square", self.rows, self.cols),
+            });
+        }
+        self.least_squares(b)
+    }
+
+    /// Inverts the upper-triangular matrix in-place semantics free manner;
+    /// used for coefficient covariance `(XᵀX)⁻¹ = R⁻¹ R⁻ᵀ`.
+    pub fn invert_upper_triangular(&self) -> Result<Matrix, StatsError> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                context: "invert_upper_triangular: not square".into(),
+            });
+        }
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Solve R x = e_j.
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let x = back_substitute(self, &e)?;
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Maximum absolute element; useful for tolerance checks in tests.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves `r · x = b` for upper-triangular `r` by back substitution.
+fn back_substitute(r: &Matrix, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let n = r.cols();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        // Relative singularity threshold against the largest diagonal entry.
+        let scale = (0..n).fold(0.0f64, |acc, k| acc.max(r[(k, k)].abs()));
+        if d.abs() <= 1e-12 * scale.max(1.0) {
+            return Err(StatsError::Singular);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Matrix::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 1, vec![1.0, 0.0, -1.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.col(0), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 0.0, 3.0]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 2.0]).unwrap(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, //
+                7.0, 8.0, 10.0, //
+                2.0, -1.0, 0.5,
+            ],
+        )
+        .unwrap();
+        let (q, r) = a.qr().unwrap();
+        let back = q.matmul(&r).unwrap();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!(approx(back[(i, j)], a[(i, j)], 1e-10), "({i},{j})");
+            }
+        }
+        // Q has orthonormal columns.
+        let qtq = q.transpose().matmul(&q).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(qtq[(i, j)], expect, 1e-10));
+            }
+        }
+        // R upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // y = 2 + 3x fitted exactly.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let y = [2.0, 5.0, 8.0, 11.0];
+        let beta = x.least_squares(&y).unwrap();
+        assert!(approx(beta[0], 2.0, 1e-10));
+        assert!(approx(beta[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // Residuals of OLS must be orthogonal to design columns.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        let y = [1.1, 1.9, 3.2, 3.8, 5.1];
+        let beta = x.least_squares(&y).unwrap();
+        let fitted = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+        for c in 0..2 {
+            let dot: f64 = x.col(c).iter().zip(&resid).map(|(a, b)| a * b).sum();
+            assert!(dot.abs() < 1e-9, "column {c} dot {dot}");
+        }
+    }
+
+    #[test]
+    fn least_squares_detects_rank_deficiency() {
+        // Second column is an exact duplicate of the first.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        assert_eq!(x.least_squares(&[1.0, 2.0, 3.0]), Err(StatsError::Singular));
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn invert_upper_triangular_roundtrip() {
+        let r = Matrix::from_vec(3, 3, vec![2.0, 1.0, -1.0, 0.0, 3.0, 0.5, 0.0, 0.0, 1.5]).unwrap();
+        let inv = r.invert_upper_triangular().unwrap();
+        let prod = r.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(prod[(i, j)], expect, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_rejects_underdetermined() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            x.least_squares(&[1.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+}

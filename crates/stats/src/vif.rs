@@ -1,0 +1,160 @@
+//! Variance inflation factors.
+//!
+//! Multicollinearity — explanatory variables highly correlated among
+//! themselves — makes estimated regression coefficients unstable. The paper
+//! (§4.3, citing Neter et al.) detects it with the variance inflation
+//! factor: regress each explanatory variable on all the others and compute
+//! `VIF_j = 1 / (1 − R²_j)`. Variables with large VIF are dropped from the
+//! cost model.
+
+use crate::matrix::Matrix;
+use crate::regression::OlsFit;
+use crate::StatsError;
+
+/// Conventional "large VIF" threshold (Neter et al. suggest 10).
+pub const DEFAULT_VIF_THRESHOLD: f64 = 10.0;
+
+/// Computes the variance inflation factor of every column of `columns`.
+///
+/// `columns` holds the candidate explanatory variables as equally long
+/// slices (no intercept column — one is added internally to each auxiliary
+/// regression). A column that is perfectly explained by the others gets
+/// `f64::INFINITY`.
+pub fn variance_inflation_factors(columns: &[Vec<f64>]) -> Result<Vec<f64>, StatsError> {
+    let p = columns.len();
+    if p == 0 {
+        return Ok(Vec::new());
+    }
+    let n = columns[0].len();
+    for (j, c) in columns.iter().enumerate() {
+        if c.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("vif: column {j} has {} rows, expected {n}", c.len()),
+            });
+        }
+    }
+    if p == 1 {
+        // A single variable cannot be collinear with others.
+        return Ok(vec![1.0]);
+    }
+    let mut vifs = Vec::with_capacity(p);
+    for j in 0..p {
+        // Auxiliary regression of column j on the remaining columns.
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(p);
+            row.push(1.0);
+            for (k, col) in columns.iter().enumerate() {
+                if k != j {
+                    row.push(col[i]);
+                }
+            }
+            rows.push(row);
+        }
+        let x = Matrix::from_rows(&rows)?;
+        if n < p + 1 {
+            return Err(StatsError::InsufficientData {
+                needed: p + 1,
+                got: n,
+            });
+        }
+        let r2 = match OlsFit::fit(&x, &columns[j], true) {
+            Ok(fit) => fit.r_squared,
+            // Exact linear dependence *among the other columns* makes plain
+            // OLS fail, but column j may still be far from their span. A
+            // tiny ridge penalty regularizes the redundancy without
+            // materially changing the projection, so R² stays meaningful.
+            Err(StatsError::Singular) => ridge_r_squared(&x, &columns[j])?,
+            Err(e) => return Err(e),
+        };
+        vifs.push(if r2 >= 1.0 - 1e-12 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - r2)
+        });
+    }
+    Ok(vifs)
+}
+
+/// R² of a ridge regression `min ‖Xβ − y‖² + λ‖β‖²` with a vanishingly
+/// small λ, used only when the auxiliary design is exactly rank-deficient.
+fn ridge_r_squared(x: &Matrix, y: &[f64]) -> Result<f64, StatsError> {
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x)?;
+    let k = xtx.cols();
+    let lambda = {
+        let max_diag = (0..k).fold(0.0f64, |acc, i| acc.max(xtx[(i, i)].abs()));
+        1e-10 * max_diag.max(1.0)
+    };
+    for i in 0..k {
+        xtx[(i, i)] += lambda;
+    }
+    let xty = xt.matvec(y)?;
+    let beta = xtx.solve(&xty)?;
+    let fitted = x.matvec(&beta)?;
+    let sse: f64 = y.iter().zip(&fitted).map(|(a, b)| (a - b) * (a - b)).sum();
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let sst: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    Ok(if sst > 0.0 {
+        (1.0 - sse / sst).clamp(0.0, 1.0)
+    } else {
+        1.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_columns_have_vif_one() {
+        // Two orthogonal (uncorrelated) columns.
+        let c1: Vec<f64> = (0..20).map(|i| (i % 2) as f64).collect();
+        let c2: Vec<f64> = (0..20).map(|i| ((i / 2) % 2) as f64).collect();
+        let v = variance_inflation_factors(&[c1, c2]).unwrap();
+        for vif in v {
+            assert!((vif - 1.0).abs() < 1e-6, "{vif}");
+        }
+    }
+
+    #[test]
+    fn duplicated_column_has_infinite_vif() {
+        let c1: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let c2 = c1.clone();
+        let c3: Vec<f64> = (0..15).map(|i| ((i * 31) % 7) as f64).collect();
+        let v = variance_inflation_factors(&[c1, c2, c3]).unwrap();
+        assert!(v[0].is_infinite());
+        assert!(v[1].is_infinite());
+        assert!(v[2].is_finite());
+    }
+
+    #[test]
+    fn near_collinear_columns_have_large_vif() {
+        let c1: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let c2: Vec<f64> = c1
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let v = variance_inflation_factors(&[c1, c2]).unwrap();
+        assert!(v[0] > DEFAULT_VIF_THRESHOLD);
+        assert!(v[1] > DEFAULT_VIF_THRESHOLD);
+    }
+
+    #[test]
+    fn single_column_is_trivially_one() {
+        let v = variance_inflation_factors(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(v, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(variance_inflation_factors(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let r = variance_inflation_factors(&[vec![1.0, 2.0], vec![1.0]]);
+        assert!(r.is_err());
+    }
+}

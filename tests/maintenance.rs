@@ -1,0 +1,217 @@
+//! Model maintenance under occasionally-changing factors (paper §2):
+//! durable hardware changes degrade a derived model, drift is detected from
+//! production traffic, re-derivation restores quality — while mere data
+//! growth, which the explanatory variables absorb, raises no alarm.
+
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::maintenance::{MaintenanceConfig, ModelMaintainer};
+use mdbs_core::sampling::SampleGenerator;
+use mdbs_core::states::StateAlgorithm;
+use mdbs_core::variables::VariableFamily;
+use mdbs_sim::datagen::standard_database;
+use mdbs_sim::{ContentionProfile, EnvironmentEvent, LoadBuilder, MdbsAgent, VendorProfile};
+
+fn dynamic_agent(env_seed: u64) -> MdbsAgent {
+    let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), env_seed);
+    agent.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform {
+        lo: 20.0,
+        hi: 125.0,
+    }));
+    agent
+}
+
+fn maintainer(agent: &mut MdbsAgent) -> ModelMaintainer {
+    let cfg = DerivationConfig {
+        sample_size: Some(240),
+        fit_probe_estimator: false,
+        ..DerivationConfig::default()
+    };
+    let derived = derive_cost_model(
+        agent,
+        QueryClass::UnaryNoIndex,
+        StateAlgorithm::Iupma,
+        &cfg,
+        5,
+    )
+    .expect("initial derivation succeeds");
+    ModelMaintainer::new(
+        derived,
+        MaintenanceConfig {
+            window: 40,
+            min_observations: 25,
+            // Baseline traffic sits near 0.75-0.85 good (the sorted
+            // queries in the workload are the hardest to price); durable
+            // changes in the scenarios below push it to ~0.5.
+            min_good_fraction: 0.55,
+        },
+        cfg,
+        StateAlgorithm::Iupma,
+    )
+}
+
+/// Routes `n` production queries through the model, feeding the monitor;
+/// returns whether drift was ever reported.
+fn run_traffic(m: &mut ModelMaintainer, agent: &mut MdbsAgent, n: usize, seed: u64) -> bool {
+    let mut generator = SampleGenerator::new(seed);
+    let family = VariableFamily::Unary;
+    let mut drifted = false;
+    for _ in 0..n {
+        let q = generator.generate(QueryClass::UnaryNoIndex, agent.catalog());
+        let Some(x) = family.extract(agent.catalog(), &q) else {
+            continue;
+        };
+        agent.tick();
+        let probe = agent.probe();
+        let x_sel: Vec<f64> = m.derived.model.var_indexes.iter().map(|&i| x[i]).collect();
+        let est = m.derived.model.estimate(&x_sel, probe);
+        let obs = agent.run(&q).expect("query runs").cost_s;
+        drifted |= m.observe(obs, est);
+    }
+    drifted
+}
+
+#[test]
+fn stable_site_raises_no_alarm() {
+    let mut agent = dynamic_agent(61);
+    let mut m = maintainer(&mut agent);
+    let drifted = run_traffic(&mut m, &mut agent, 60, 62);
+    assert!(!drifted, "false alarm on an unchanged site");
+    assert!(m.monitor.good_fraction() > 0.6);
+}
+
+/// A notable property of the probing approach: a memory upgrade that
+/// reshapes the contention response affects the probing query and the
+/// workload *alike*, so the probe keeps indexing into behaviourally
+/// equivalent states and the old model keeps estimating well — no false
+/// maintenance.
+#[test]
+fn memory_upgrade_is_absorbed_by_the_probe() {
+    let mut agent = dynamic_agent(63);
+    let mut m = maintainer(&mut agent);
+    agent
+        .apply_event(&EnvironmentEvent::MemoryUpgrade {
+            new_phys_mem_mb: 4096.0,
+        })
+        .expect("valid event");
+    let drifted = run_traffic(&mut m, &mut agent, 80, 64);
+    assert!(
+        !drifted,
+        "probe-relative model should absorb the upgrade (good fraction {})",
+        m.monitor.good_fraction()
+    );
+    assert!(m.monitor.good_fraction() > 0.6);
+}
+
+/// Changes the probe largely *cannot* see — here, storage degrading to
+/// 8x slower page I/O while the probe stays startup/CPU-dominated — do
+/// degrade the model; drift is detected from production traffic and
+/// re-derivation restores quality.
+#[test]
+fn storage_degradation_drifts_and_rederivation_recovers() {
+    let mut agent = dynamic_agent(63);
+    let mut m = maintainer(&mut agent);
+    agent
+        .apply_event(&EnvironmentEvent::DiskReplacement {
+            io_cost_factor: 8.0,
+        })
+        .expect("valid event");
+    let drifted = run_traffic(&mut m, &mut agent, 80, 64);
+    assert!(drifted, "8x slower storage went undetected");
+    let degraded = m.monitor.good_fraction();
+    assert!(degraded < 0.65, "good fraction still {degraded}");
+
+    // Re-derive against the changed site and verify production quality.
+    // (Judged on the *final* monitor state: the first few windowed
+    // observations can dip transiently without meaning anything.)
+    m.rederive(&mut agent, 65).expect("re-derivation succeeds");
+    assert_eq!(m.rederivations, 1);
+    run_traffic(&mut m, &mut agent, 60, 66);
+    assert!(!m.monitor.drifted(), "re-derived model still drifting");
+    assert!(
+        m.monitor.good_fraction() > degraded,
+        "quality did not recover: {} vs {}",
+        m.monitor.good_fraction(),
+        degraded
+    );
+}
+
+#[test]
+fn data_growth_alone_does_not_drift() {
+    let mut agent = dynamic_agent(67);
+    let mut m = maintainer(&mut agent);
+
+    // Every table doubles. The explanatory variables (operand/intermediate/
+    // result sizes) are re-extracted from the catalog per query, so the
+    // model keeps estimating well — no maintenance needed (paper §2 counts
+    // accumulated data change as occasionally-changing, but the regression
+    // *form* is unchanged; only the inputs moved).
+    let ids: Vec<_> = agent.catalog().tables().iter().map(|t| t.id).collect();
+    for id in ids {
+        agent
+            .apply_event(&EnvironmentEvent::TableGrowth {
+                table: id,
+                factor: 2.0,
+            })
+            .expect("valid event");
+    }
+    let drifted = run_traffic(&mut m, &mut agent, 60, 68);
+    assert!(
+        !drifted,
+        "pure data growth triggered maintenance (good fraction {})",
+        m.monitor.good_fraction()
+    );
+}
+
+/// A site migration — the database moves to a box with much faster disks
+/// *and* gets physically reorganized (tables re-clustered on the hot
+/// predicate column a2) — re-routes the *existing* production workload
+/// from sequential scans to clustered-index scans on cheap storage. The
+/// workload is frozen before the change (real production queries do not
+/// rewrite themselves), so the stale G1 model overestimates massively and
+/// the drift monitor notices.
+#[test]
+fn site_migration_drifts_on_stale_workload() {
+    let mut agent = dynamic_agent(69);
+    let mut m = maintainer(&mut agent);
+
+    // Freeze a production workload against the pre-change schema.
+    let mut generator = SampleGenerator::new(70);
+    let frozen: Vec<_> = (0..80)
+        .map(|_| generator.generate(QueryClass::UnaryNoIndex, agent.catalog()))
+        .collect();
+
+    // The migration: every table re-clustered on a2 (column 1, the column
+    // every G1 query filters on) plus much faster storage.
+    let ids: Vec<_> = agent.catalog().tables().iter().map(|t| t.id).collect();
+    for id in ids {
+        agent
+            .apply_event(&EnvironmentEvent::CreateIndex {
+                table: id,
+                column: 1,
+                kind: mdbs_sim::catalog::IndexKind::Clustered,
+            })
+            .expect("valid event");
+    }
+    agent
+        .apply_event(&EnvironmentEvent::DiskReplacement {
+            io_cost_factor: 0.15,
+        })
+        .expect("valid event");
+
+    // Replay the frozen workload through the stale model.
+    let family = VariableFamily::Unary;
+    let mut drifted = false;
+    for q in &frozen {
+        let Some(x) = family.extract(agent.catalog(), q) else {
+            continue;
+        };
+        agent.tick();
+        let probe = agent.probe();
+        let x_sel: Vec<f64> = m.derived.model.var_indexes.iter().map(|&i| x[i]).collect();
+        let est = m.derived.model.estimate(&x_sel, probe);
+        let obs = agent.run(q).expect("query runs").cost_s;
+        drifted |= m.observe(obs, est);
+    }
+    assert!(drifted, "site migration went undetected");
+}

@@ -1,0 +1,139 @@
+//! End-to-end MDBS flow: derive models on two autonomous sites, populate
+//! the global catalog, and verify the global optimizer's join-site decision
+//! responds to contention the way the derived models say it should.
+
+use mdbs_core::catalog::{GlobalCatalog, SiteId};
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::optimizer::{GlobalJoin, GlobalOptimizer, JoinOperand};
+use mdbs_core::states::StateAlgorithm;
+use mdbs_sim::contention::Load;
+use mdbs_sim::datagen::standard_database;
+use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
+
+struct TwoSites {
+    oracle: SiteId,
+    db2: SiteId,
+    oracle_agent: MdbsAgent,
+    db2_agent: MdbsAgent,
+    optimizer: GlobalOptimizer,
+}
+
+fn set_up() -> TwoSites {
+    let oracle: SiteId = "oracle-site".into();
+    let db2: SiteId = "db2-site".into();
+    let mut oracle_agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 3);
+    let mut db2_agent = MdbsAgent::new(VendorProfile::db2v5(), standard_database(43), 4);
+    let mut catalog = GlobalCatalog::new();
+    let cfg = DerivationConfig {
+        sample_size: Some(240),
+        fit_probe_estimator: false,
+        ..DerivationConfig::default()
+    };
+    for (site, agent, seed) in [
+        (&oracle, &mut oracle_agent, 100u64),
+        (&db2, &mut db2_agent, 200),
+    ] {
+        agent.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform {
+            lo: 20.0,
+            hi: 125.0,
+        }));
+        for class in [QueryClass::UnaryNoIndex, QueryClass::JoinNoIndex] {
+            let derived = derive_cost_model(agent, class, StateAlgorithm::Iupma, &cfg, seed)
+                .expect("derivation succeeds");
+            catalog.insert_model(site.clone(), class, derived.model);
+        }
+    }
+    TwoSites {
+        oracle,
+        db2,
+        oracle_agent,
+        db2_agent,
+        optimizer: GlobalOptimizer::new(catalog, 0.08),
+    }
+}
+
+fn plan_under_load(
+    s: &mut TwoSites,
+    ora_procs: f64,
+    db2_procs: f64,
+) -> Vec<mdbs_core::optimizer::PlanEstimate> {
+    s.oracle_agent.set_load(Load::background(ora_procs));
+    s.db2_agent.set_load(Load::background(db2_procs));
+    let ora_schema = s.oracle_agent.catalog().clone();
+    let db2_schema = s.db2_agent.catalog().clone();
+    let join = GlobalJoin {
+        left: JoinOperand {
+            site: s.oracle.clone(),
+            table: ora_schema.tables()[6].id,
+            join_col: 4,
+            predicates: vec![],
+        },
+        right: JoinOperand {
+            site: s.db2.clone(),
+            table: db2_schema.tables()[6].id,
+            join_col: 4,
+            predicates: vec![],
+        },
+    };
+    let probes = [
+        (s.oracle.clone(), s.oracle_agent.probe()),
+        (s.db2.clone(), s.db2_agent.probe()),
+    ];
+    s.optimizer
+        .plan_join(
+            &join,
+            &[
+                (s.oracle.clone(), &ora_schema),
+                (s.db2.clone(), &db2_schema),
+            ],
+            &probes,
+        )
+        .expect("planning succeeds")
+}
+
+#[test]
+fn optimizer_routes_away_from_the_contended_site() {
+    let mut sites = set_up();
+
+    // When the Oracle site thrashes, the join should run at the DB2 site,
+    // and vice versa.
+    let plans_ora_busy = plan_under_load(&mut sites, 122.0, 25.0);
+    assert_eq!(plans_ora_busy.len(), 2);
+    assert_eq!(
+        plans_ora_busy[0].join_site, sites.db2,
+        "join not routed away from the thrashing Oracle site"
+    );
+
+    let plans_db2_busy = plan_under_load(&mut sites, 25.0, 122.0);
+    assert_eq!(
+        plans_db2_busy[0].join_site, sites.oracle,
+        "join not routed away from the thrashing DB2 site"
+    );
+}
+
+#[test]
+fn plan_totals_are_positive_and_ordered() {
+    let mut sites = set_up();
+    let plans = plan_under_load(&mut sites, 50.0, 50.0);
+    assert_eq!(plans.len(), 2);
+    for p in &plans {
+        assert!(p.total().is_finite());
+        assert!(p.transfer_mb > 0.0);
+        assert!(p.transfer_cost > 0.0);
+    }
+    assert!(plans[0].total() <= plans[1].total());
+}
+
+#[test]
+fn contended_plans_cost_more_than_quiet_ones() {
+    let mut sites = set_up();
+    let quiet = plan_under_load(&mut sites, 25.0, 25.0);
+    let busy = plan_under_load(&mut sites, 120.0, 120.0);
+    assert!(
+        busy[0].total() > quiet[0].total(),
+        "busy {} <= quiet {}",
+        busy[0].total(),
+        quiet[0].total()
+    );
+}
