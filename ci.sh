@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full offline verification gate. The workspace has a zero-external-
+# dependency policy, so everything here must succeed with no network
+# access and a cold cargo cache.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all checks passed"

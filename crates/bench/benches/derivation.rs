@@ -3,7 +3,7 @@
 //! per query class, plus ablations over the regression form and the
 //! probing-cost estimator — the design choices DESIGN.md calls out.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mdbs_bench::harness::Harness;
 use mdbs_bench::workloads::Site;
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{collect_observations, derive_cost_model, DerivationConfig};
@@ -11,7 +11,6 @@ use mdbs_core::model::{fit_cost_model, ModelForm};
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
-use std::hint::black_box;
 
 fn quick_cfg() -> DerivationConfig {
     DerivationConfig {
@@ -25,31 +24,24 @@ fn quick_cfg() -> DerivationConfig {
     }
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("derive_cost_model");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("derivation");
+
     for (class, name) in [
         (QueryClass::UnaryNoIndex, "unary_g1"),
         (QueryClass::UnaryNonClusteredIndex, "unary_g2"),
         (QueryClass::JoinNoIndex, "join_g3"),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut agent = Site::Oracle.dynamic_agent(31);
-                black_box(
-                    derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &quick_cfg(), 32)
-                        .expect("derivation succeeds"),
-                )
-            });
+        h.bench(&format!("derive_cost_model/{name}"), 1, 10, || {
+            let mut agent = Site::Oracle.dynamic_agent(31);
+            derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &quick_cfg(), 32)
+                .expect("derivation succeeds")
         });
     }
-    group.finish();
-}
 
-/// Ablation: the same observations fitted under each regression form of
-/// paper Table 2 — quantifying what the general form costs over the
-/// restricted ones.
-fn bench_form_ablation(c: &mut Criterion) {
+    // Ablation: the same observations fitted under each regression form of
+    // paper Table 2 — quantifying what the general form costs over the
+    // restricted ones.
     let mut agent = Site::Oracle.dynamic_agent(41);
     let mut generator = SampleGenerator::new(42);
     let obs = collect_observations(
@@ -66,55 +58,34 @@ fn bench_form_ablation(c: &mut Criterion) {
             (a.min(o.probe_cost), b.max(o.probe_cost))
         });
     let states = StateSet::uniform(lo, hi, 4).expect("valid range");
-    let mut group = c.benchmark_group("form_ablation");
     for form in [
         ModelForm::Parallel,
         ModelForm::Concurrent,
         ModelForm::General,
     ] {
-        group.bench_function(format!("{form:?}"), |b| {
-            b.iter(|| {
-                black_box(
-                    fit_cost_model(
-                        form,
-                        states.clone(),
-                        vec![0, 1, 2],
-                        vec!["N_O".into(), "N_I".into(), "N_R".into()],
-                        &obs,
-                    )
-                    .expect("fit succeeds"),
-                )
-            });
+        h.bench(&format!("form_ablation/{form:?}"), 5, 50, || {
+            fit_cost_model(
+                form,
+                states.clone(),
+                vec![0, 1, 2],
+                vec!["N_O".into(), "N_I".into(), "N_R".into()],
+                &obs,
+            )
+            .expect("fit succeeds")
         });
     }
-    group.finish();
-}
 
-/// Ablation: IUPMA vs ICMA inside the full pipeline on clustered loads.
-fn bench_algorithm_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm_ablation");
-    group.sample_size(10);
+    // Ablation: IUPMA vs ICMA inside the full pipeline on clustered loads.
     for (algo, name) in [
         (StateAlgorithm::Iupma, "iupma"),
         (StateAlgorithm::Icma, "icma"),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut agent = Site::Oracle.clustered_agent(51);
-                black_box(
-                    derive_cost_model(&mut agent, QueryClass::UnaryNoIndex, algo, &quick_cfg(), 52)
-                        .expect("derivation succeeds"),
-                )
-            });
+        h.bench(&format!("algorithm_ablation/{name}"), 1, 10, || {
+            let mut agent = Site::Oracle.clustered_agent(51);
+            derive_cost_model(&mut agent, QueryClass::UnaryNoIndex, algo, &quick_cfg(), 52)
+                .expect("derivation succeeds")
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_full_pipeline,
-    bench_form_ablation,
-    bench_algorithm_ablation
-);
-criterion_main!(benches);
+    h.finish();
+}

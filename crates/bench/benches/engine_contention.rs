@@ -2,52 +2,42 @@
 //! probing throughput at increasing contention, plus the full Figure-1
 //! sweep — the substrate every experiment stands on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdbs_bench::experiments::fig1::{fig1, fig1_query};
+use mdbs_bench::harness::Harness;
 use mdbs_bench::workloads::Site;
 use mdbs_core::classes::QueryClass;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_sim::contention::Load;
-use std::hint::black_box;
 
-fn bench_query_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("agent_run");
+fn main() {
+    let mut h = Harness::new("engine_contention");
+
     for procs in [0.0, 60.0, 125.0] {
         let mut agent = Site::Oracle.agent(7);
         agent.set_load(Load::background(procs));
         let query = fig1_query(&agent);
-        group.bench_with_input(BenchmarkId::new("unary", procs as u64), &query, |b, q| {
-            b.iter(|| black_box(agent.run(q).expect("valid query")));
-        });
+        h.bench(
+            &format!("agent_run/unary/{}", procs as u64),
+            50,
+            500,
+            || agent.run(&query).expect("valid query"),
+        );
     }
+
     let mut agent = Site::Db2.agent(8);
     let mut generator = SampleGenerator::new(9);
     let join = generator.generate(QueryClass::JoinNoIndex, agent.catalog());
-    group.bench_function("join", |b| {
-        b.iter(|| black_box(agent.run(&join).expect("valid join")));
+    h.bench("agent_run/join", 50, 500, || {
+        agent.run(&join).expect("valid join")
     });
-    group.finish();
-}
 
-fn bench_probe_and_stats(c: &mut Criterion) {
     let mut agent = Site::Oracle.agent(11);
     agent.set_load(Load::background(80.0));
-    c.bench_function("agent_probe", |b| b.iter(|| black_box(agent.probe())));
-    c.bench_function("agent_stats", |b| b.iter(|| black_box(agent.stats())));
-}
+    h.bench("agent_probe", 50, 500, || agent.probe());
+    h.bench("agent_stats", 50, 500, || agent.stats());
 
-/// E-FIG1 as a bench target: regenerating the whole Figure-1 sweep.
-fn bench_fig1_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_sweep");
-    group.sample_size(20);
-    group.bench_function("reps=2", |b| b.iter(|| black_box(fig1(2))));
-    group.finish();
-}
+    // E-FIG1 as a bench target: regenerating the whole Figure-1 sweep.
+    h.bench("fig1_sweep/reps=2", 1, 10, || fig1(2));
 
-criterion_group!(
-    benches,
-    bench_query_execution,
-    bench_probe_and_stats,
-    bench_fig1_sweep
-);
-criterion_main!(benches);
+    h.finish();
+}

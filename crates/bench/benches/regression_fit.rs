@@ -3,36 +3,29 @@
 //! design sizes the derivation pipeline actually produces (a few hundred
 //! rows, up to ~25 design columns for 6 states × 4 variables).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_bench::harness::Harness;
 use mdbs_core::model::{fit_cost_model, ModelForm};
 use mdbs_core::observation::Observation;
 use mdbs_core::qualvar::StateSet;
-use mdbs_stats::{Matrix, OlsFit};
-use std::hint::black_box;
+use mdbs_stats::{Matrix, OlsFit, Rng};
 
 /// Deterministic pseudo-random design matrix.
 fn design(n: usize, k: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = Rng::seed_from_u64(0x0D15);
     let mut rows = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);
-    let mut state = 0x9E3779B97F4A7C15u64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64
-    };
     for _ in 0..n {
         let mut row = Vec::with_capacity(k);
         row.push(1.0);
         for _ in 1..k {
-            row.push(next() * 1_000.0);
+            row.push(rng.gen_f64() * 1_000.0);
         }
         let target: f64 = row
             .iter()
             .enumerate()
             .map(|(j, v)| v * (j as f64 + 0.5) * 1e-3)
             .sum::<f64>()
-            + next();
+            + rng.gen_f64();
         rows.push(row);
         y.push(target);
     }
@@ -57,38 +50,23 @@ fn observations(n: usize, states: usize) -> Vec<Observation> {
         .collect()
 }
 
-fn bench_qr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qr");
+fn main() {
+    let mut h = Harness::new("regression_fit");
+
     for &(n, k) in &[(100usize, 5usize), (400, 12), (600, 25)] {
         let (x, _) = design(n, k);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n}x{k}")),
-            &x,
-            |b, x| {
-                b.iter(|| black_box(x.qr().expect("full rank")));
-            },
-        );
+        h.bench(&format!("qr/{n}x{k}"), 10, 100, || {
+            x.qr().expect("full rank")
+        });
     }
-    group.finish();
-}
 
-fn bench_ols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ols_fit");
     for &(n, k) in &[(100usize, 5usize), (400, 12), (600, 25)] {
         let (x, y) = design(n, k);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n}x{k}")),
-            &(x, y),
-            |b, (x, y)| {
-                b.iter(|| black_box(OlsFit::fit(x, y, true).expect("full rank")));
-            },
-        );
+        h.bench(&format!("ols_fit/{n}x{k}"), 10, 100, || {
+            OlsFit::fit(&x, &y, true).expect("full rank")
+        });
     }
-    group.finish();
-}
 
-fn bench_qualitative_forms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qualitative_model_fit");
     let obs = observations(400, 4);
     let states = StateSet::from_edges(vec![0.0, 1.0, 2.0, 3.0, 4.0]).expect("ascending");
     for form in [
@@ -102,23 +80,17 @@ fn bench_qualitative_forms(c: &mut Criterion) {
         } else {
             states.clone()
         };
-        group.bench_function(format!("{form:?}"), |b| {
-            b.iter(|| {
-                black_box(
-                    fit_cost_model(
-                        form,
-                        st.clone(),
-                        vec![0, 1, 2],
-                        vec!["a".into(), "b".into(), "c".into()],
-                        &obs,
-                    )
-                    .expect("fit succeeds"),
-                )
-            });
+        h.bench(&format!("qualitative_model_fit/{form:?}"), 5, 50, || {
+            fit_cost_model(
+                form,
+                st.clone(),
+                vec![0, 1, 2],
+                vec!["a".into(), "b".into(), "c".into()],
+                &obs,
+            )
+            .expect("fit succeeds")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_qr, bench_ols, bench_qualitative_forms);
-criterion_main!(benches);
+    h.finish();
+}

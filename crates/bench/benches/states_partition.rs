@@ -2,7 +2,7 @@
 //! state lookup, and the full IUPMA/ICMA determination loop — the ablation
 //! the paper's §3.3 motivates (uniform vs clustering-based partitioning).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_bench::harness::Harness;
 use mdbs_core::observation::Observation;
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::states::{determine_states, NoResampling, StateAlgorithm, StatesConfig};
@@ -27,67 +27,46 @@ fn clustered_observations(n: usize, regimes: usize) -> Vec<Observation> {
         .collect()
 }
 
-fn bench_cluster_1d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_1d");
+fn main() {
+    let mut h = Harness::new("states_partition");
+
     for &n in &[200usize, 600, 2_000] {
         let probes: Vec<f64> = clustered_observations(n, 3)
             .iter()
             .map(|o| o.probe_cost)
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &probes, |b, p| {
-            b.iter(|| black_box(cluster_1d(p, 4)));
-        });
+        h.bench(&format!("cluster_1d/{n}"), 5, 50, || cluster_1d(&probes, 4));
     }
-    group.finish();
-}
 
-fn bench_state_lookup(c: &mut Criterion) {
     let states = StateSet::uniform(0.0, 10.0, 6).expect("valid partition");
-    c.bench_function("state_of_lookup", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for i in 0..1_000 {
-                acc += states.state_of(black_box(i as f64 * 0.011));
-            }
-            black_box(acc)
-        });
+    h.bench("state_of_lookup", 10, 200, || {
+        let mut acc = 0usize;
+        for i in 0..1_000 {
+            acc += states.state_of(black_box(i as f64 * 0.011));
+        }
+        acc
     });
-}
 
-fn bench_determination(c: &mut Criterion) {
-    let mut group = c.benchmark_group("determine_states");
-    group.sample_size(20);
     for (algo, name) in [
         (StateAlgorithm::Iupma, "iupma"),
         (StateAlgorithm::Icma, "icma"),
     ] {
         for &n in &[300usize, 600] {
             let base = clustered_observations(n, 4);
-            group.bench_function(format!("{name}/{n}"), |b| {
-                b.iter(|| {
-                    let mut obs = base.clone();
-                    black_box(
-                        determine_states(
-                            algo,
-                            &mut obs,
-                            &[0],
-                            &["x".to_string()],
-                            &StatesConfig::default(),
-                            &mut NoResampling,
-                        )
-                        .expect("determination succeeds"),
-                    )
-                });
+            h.bench(&format!("determine_states/{name}/{n}"), 2, 20, || {
+                let mut obs = base.clone();
+                determine_states(
+                    algo,
+                    &mut obs,
+                    &[0],
+                    &["x".to_string()],
+                    &StatesConfig::default(),
+                    &mut NoResampling,
+                )
+                .expect("determination succeeds")
             });
         }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_cluster_1d,
-    bench_state_lookup,
-    bench_determination
-);
-criterion_main!(benches);
+    h.finish();
+}

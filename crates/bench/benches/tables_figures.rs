@@ -3,12 +3,11 @@
 //! full-scale rows; these benches keep the regeneration path honest and
 //! measurable).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mdbs_bench::experiments::{
     fig1, fig10, fig4_9, states_sweep, table4, table5, table6, Table5Config,
 };
+use mdbs_bench::harness::Harness;
 use mdbs_core::classes::QueryClass;
-use std::hint::black_box;
 
 fn tiny_table5_config() -> Table5Config {
     Table5Config {
@@ -18,72 +17,26 @@ fn tiny_table5_config() -> Table5Config {
     }
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(20);
-    g.bench_function("fig1", |b| b.iter(|| black_box(fig1(1))));
-    g.finish();
-}
+fn main() {
+    let mut h = Harness::new("tables_figures");
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(20);
-    g.bench_function("fig10", |b| b.iter(|| black_box(fig10(200, 30))));
-    g.finish();
-}
-
-fn bench_states_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(10);
-    g.bench_function("states_sweep", |b| {
-        b.iter(|| {
-            black_box(
-                states_sweep(QueryClass::UnaryNonClusteredIndex, 200, 4).expect("sweep succeeds"),
-            )
-        })
+    h.bench("repro/fig1", 1, 10, || fig1(1));
+    h.bench("repro/fig10", 1, 10, || fig10(200, 30));
+    h.bench("repro/states_sweep", 1, 5, || {
+        states_sweep(QueryClass::UnaryNonClusteredIndex, 200, 4).expect("sweep succeeds")
     });
-    g.finish();
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(10);
-    g.bench_function("table4", |b| {
-        b.iter(|| black_box(table4(Some(130)).expect("table 4 succeeds")))
+    h.bench("repro/table4", 1, 5, || {
+        table4(Some(130)).expect("table 4 succeeds")
     });
-    g.finish();
-}
-
-fn bench_table5_and_fig4_9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(10);
-    g.bench_function("table5", |b| {
-        b.iter(|| black_box(table5(&tiny_table5_config()).expect("table 5 succeeds")))
+    h.bench("repro/table5", 1, 5, || {
+        table5(&tiny_table5_config()).expect("table 5 succeeds")
     });
     // Figures 4–9 derive from a Table-5 run; time only the figure assembly.
     let t5 = table5(&tiny_table5_config()).expect("table 5 succeeds");
-    g.bench_function("fig4_9_from_table5", |b| b.iter(|| black_box(fig4_9(&t5))));
-    g.finish();
-}
-
-fn bench_table6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("repro");
-    g.sample_size(10);
-    g.bench_function("table6", |b| {
-        b.iter(|| {
-            black_box(table6(QueryClass::UnaryNoIndex, Some(130), 20).expect("table 6 succeeds"))
-        })
+    h.bench("repro/fig4_9_from_table5", 1, 10, || fig4_9(&t5));
+    h.bench("repro/table6", 1, 5, || {
+        table6(QueryClass::UnaryNoIndex, Some(130), 20).expect("table 6 succeeds")
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_fig1,
-    bench_fig10,
-    bench_states_sweep,
-    bench_table4,
-    bench_table5_and_fig4_9,
-    bench_table6
-);
-criterion_main!(benches);
+    h.finish();
+}

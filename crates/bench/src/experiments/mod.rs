@@ -3,7 +3,7 @@
 //! Every runner returns a plain data struct with a `Display` impl that
 //! prints rows in the shape of the paper's artifact; the `repro` binary
 //! just prints them, the integration tests assert on the fields, and the
-//! Criterion benches time them.
+//! in-tree wall-clock benches time them.
 
 pub mod ablations;
 pub mod fig1;

@@ -1,8 +1,8 @@
 //! # mdbs-bench
 //!
 //! The reproduction harness: one runner per table and figure of the paper's
-//! evaluation (§5), shared by the `repro` binary, the Criterion benches and
-//! the integration tests.
+//! evaluation (§5), shared by the `repro` binary, the in-tree wall-clock
+//! benches ([`harness`]) and the integration tests.
 //!
 //! | Experiment | Paper artifact | Runner |
 //! |---|---|---|
@@ -18,4 +18,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 pub mod workloads;

@@ -112,13 +112,12 @@ mod tests {
     use mdbs_sim::contention::Load;
     use mdbs_sim::datagen::standard_database;
     use mdbs_sim::{MdbsAgent, VendorProfile};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mdbs_stats::rng::Rng;
 
     /// Gathers (stats, probe cost) pairs across the load range.
     fn gather(n: usize) -> Vec<(SystemStats, f64)> {
         let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 11);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         (0..n)
             .map(|_| {
                 agent.set_load(Load::background(rng.gen_range(0.0..130.0)));

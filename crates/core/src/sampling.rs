@@ -12,8 +12,7 @@ use crate::classes::QueryClass;
 use crate::variables::VariableFamily;
 use mdbs_sim::catalog::{IndexKind, LocalCatalog, TableDef};
 use mdbs_sim::query::{JoinQuery, Predicate, Query, UnaryQuery};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mdbs_stats::rng::Rng;
 
 /// Proposition 4.1: the general qualitative model with `p` quantitative
 /// variables and `m` states has `(p + 1)·m` coefficients plus the error
@@ -36,7 +35,7 @@ pub fn planned_sample_size(family: VariableFamily, m_max: usize) -> usize {
 /// A deterministic per-class query generator.
 #[derive(Debug, Clone)]
 pub struct SampleGenerator {
-    rng: StdRng,
+    rng: Rng,
     /// Largest operand cardinality allowed for join samples (joins over the
     /// quarter-million-tuple tables would dominate wall-clock for little
     /// statistical benefit; the paper's join workloads are similar).
@@ -47,7 +46,7 @@ impl SampleGenerator {
     /// A generator with its own seed (distinct seeds → distinct workloads).
     pub fn new(seed: u64) -> Self {
         SampleGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             max_join_card: 60_000,
         }
     }

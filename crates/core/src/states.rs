@@ -170,7 +170,17 @@ pub fn determine_states(
         {
             continue; // Thin-state merging collapsed the proposal.
         }
-        let model = fit(observations, states)?;
+        // A rank-deficient fit means some state's observations are
+        // collinear in the variables even though populate_or_merge gave it
+        // enough of them *by count* — this particular partition is simply
+        // not viable, the same situation as a collapsed proposal above, so
+        // it is skipped rather than aborting the whole derivation. Other
+        // numeric failures still propagate.
+        let model = match fit(observations, states) {
+            Ok(model) => model,
+            Err(CoreError::Numeric(mdbs_stats::StatsError::Singular)) => continue,
+            Err(e) => return Err(e),
+        };
         history.push(IterationStats {
             states: model.num_states(),
             r_squared: model.fit.r_squared,
@@ -485,6 +495,35 @@ mod tests {
             &mut NoResampling,
         )
         .unwrap();
+        assert_eq!(result.model.num_states(), 1);
+    }
+
+    #[test]
+    fn rank_deficient_partition_proposals_are_skipped_not_fatal() {
+        // In the upper half of the probe range the regressor is constant,
+        // so any partition that isolates that band produces a state whose
+        // design (intercept + x) is collinear. The proposal must be
+        // skipped; the derivation itself must still succeed.
+        let mut obs: Vec<Observation> = (0..120)
+            .map(|i| {
+                let probe = i as f64 / 12.0;
+                let x = if probe >= 5.0 { 7.0 } else { (i % 25) as f64 };
+                Observation {
+                    x: vec![x],
+                    cost: 1.0 + 2.0 * x + probe * 0.01,
+                    probe_cost: probe,
+                }
+            })
+            .collect();
+        let result = determine_states(
+            StateAlgorithm::Iupma,
+            &mut obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .expect("singular proposals must not abort determination");
         assert_eq!(result.model.num_states(), 1);
     }
 

@@ -1,108 +1,123 @@
-//! Property-based tests for the multi-states method's core data structures
-//! and invariants.
+//! Property-style tests for the multi-states method's core data structures
+//! and invariants, run as seeded deterministic case sweeps over the
+//! in-tree [`Rng`].
 
 use mdbs_core::model::{counts_per_state, fit_cost_model, CostModel, FitStats, ModelForm};
 use mdbs_core::observation::Observation;
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::sampling::minimum_sample_size;
 use mdbs_core::validate::TestPoint;
-use proptest::prelude::*;
+use mdbs_stats::rng::Rng;
 
-proptest! {
-    #[test]
-    fn uniform_partition_covers_range(
-        c_min in -100.0..100.0f64,
-        width in 0.001..1000.0f64,
-        m in 1usize..12,
-    ) {
+#[test]
+fn uniform_partition_covers_range() {
+    let mut rng = Rng::seed_from_u64(0xC0E1);
+    for _ in 0..300 {
+        let c_min = rng.gen_range(-100.0f64..100.0);
+        let width = rng.gen_range(0.001f64..1000.0);
+        let m = rng.gen_range(1usize..12);
         let c_max = c_min + width;
         let s = StateSet::uniform(c_min, c_max, m).unwrap();
-        prop_assert_eq!(s.len(), m);
+        assert_eq!(s.len(), m);
         let edges = s.edges();
         if m > 1 {
-            prop_assert_eq!(edges[0], c_min);
-            prop_assert_eq!(edges[m], c_max);
+            assert_eq!(edges[0], c_min);
+            assert_eq!(edges[m], c_max);
         }
         // Edges strictly increasing.
         for w in edges.windows(2) {
-            prop_assert!(w[1] > w[0]);
+            assert!(w[1] > w[0]);
         }
     }
+}
 
-    #[test]
-    fn state_lookup_is_total_and_monotone(
-        c_min in 0.0..10.0f64,
-        width in 0.1..100.0f64,
-        m in 1usize..10,
-        probes in proptest::collection::vec(-50.0..200.0f64, 1..50),
-    ) {
+#[test]
+fn state_lookup_is_total_and_monotone() {
+    let mut rng = Rng::seed_from_u64(0x70DE);
+    for _ in 0..200 {
+        let c_min = rng.gen_range(0.0f64..10.0);
+        let width = rng.gen_range(0.1f64..100.0);
+        let m = rng.gen_range(1usize..10);
+        let n_probes = rng.gen_range(1usize..50);
+        let probes: Vec<f64> = (0..n_probes)
+            .map(|_| rng.gen_range(-50.0f64..200.0))
+            .collect();
         let s = StateSet::uniform(c_min, c_min + width, m).unwrap();
         let mut sorted = probes.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0usize;
         for (i, p) in sorted.iter().enumerate() {
             let st = s.state_of(*p);
-            prop_assert!(st < m);
+            assert!(st < m);
             if i > 0 {
-                prop_assert!(st >= prev, "lookup not monotone");
+                assert!(st >= prev, "lookup not monotone");
             }
             prev = st;
         }
     }
+}
 
-    #[test]
-    fn indicators_are_one_hot(m in 1usize..10, probe in -10.0..110.0f64) {
+#[test]
+fn indicators_are_one_hot() {
+    let mut rng = Rng::seed_from_u64(0x10E0);
+    for _ in 0..300 {
+        let m = rng.gen_range(1usize..10);
+        let probe = rng.gen_range(-10.0f64..110.0);
         let s = StateSet::uniform(0.0, 100.0, m).unwrap();
         let st = s.state_of(probe);
         let z = s.indicators(st);
-        prop_assert_eq!(z.len(), m - 1);
+        assert_eq!(z.len(), m - 1);
         let ones = z.iter().filter(|&&v| v == 1.0).count();
-        prop_assert!(ones <= 1);
+        assert!(ones <= 1);
         // State 0 is the reference (all zeros); others set exactly one.
-        prop_assert_eq!(ones, usize::from(st > 0));
+        assert_eq!(ones, usize::from(st > 0));
     }
+}
 
-    #[test]
-    fn merging_reduces_state_count_and_preserves_cover(
-        m in 2usize..10,
-        at_frac in 0.0..1.0f64,
-    ) {
+#[test]
+fn merging_reduces_state_count_and_preserves_cover() {
+    let mut rng = Rng::seed_from_u64(0x3E6);
+    for _ in 0..300 {
+        let m = rng.gen_range(2usize..10);
+        let at_frac = rng.gen_range(0.0f64..1.0);
         let s = StateSet::uniform(0.0, 100.0, m).unwrap();
         let at = ((at_frac * (m - 1) as f64) as usize).min(m - 2);
         let merged = s.merge_with_next(at).unwrap();
-        prop_assert_eq!(merged.len(), m - 1);
-        prop_assert_eq!(merged.edges()[0], s.edges()[0]);
-        prop_assert_eq!(
-            *merged.edges().last().unwrap(),
-            *s.edges().last().unwrap()
-        );
+        assert_eq!(merged.len(), m - 1);
+        assert_eq!(merged.edges()[0], s.edges()[0]);
+        assert_eq!(*merged.edges().last().unwrap(), *s.edges().last().unwrap());
     }
+}
 
-    #[test]
-    fn counts_per_state_total(
-        m in 1usize..8,
-        probes in proptest::collection::vec(0.0..100.0f64, 1..80),
-    ) {
+#[test]
+fn counts_per_state_total() {
+    let mut rng = Rng::seed_from_u64(0xC07);
+    for _ in 0..200 {
+        let m = rng.gen_range(1usize..8);
+        let n_probes = rng.gen_range(1usize..80);
         let s = StateSet::uniform(0.0, 100.0, m).unwrap();
-        let obs: Vec<Observation> = probes
-            .iter()
-            .map(|&p| Observation { x: vec![1.0], cost: 1.0, probe_cost: p })
+        let obs: Vec<Observation> = (0..n_probes)
+            .map(|_| Observation {
+                x: vec![1.0],
+                cost: 1.0,
+                probe_cost: rng.gen_range(0.0f64..100.0),
+            })
             .collect();
         let counts = counts_per_state(&s, &obs);
-        prop_assert_eq!(counts.len(), m);
-        prop_assert_eq!(counts.iter().sum::<usize>(), obs.len());
+        assert_eq!(counts.len(), m);
+        assert_eq!(counts.iter().sum::<usize>(), obs.len());
     }
+}
 
-    /// Fitting noiseless per-state-linear data with the general form must
-    /// recover the ground truth and estimate consistently.
-    #[test]
-    fn general_fit_recovers_ground_truth(
-        intercepts in proptest::collection::vec(-50.0..50.0f64, 2..4),
-        slopes in proptest::collection::vec(-5.0..5.0f64, 2..4),
-    ) {
-        let m = intercepts.len().min(slopes.len());
-        let intercepts = &intercepts[..m];
-        let slopes = &slopes[..m];
+/// Fitting noiseless per-state-linear data with the general form must
+/// recover the ground truth and estimate consistently.
+#[test]
+fn general_fit_recovers_ground_truth() {
+    let mut rng = Rng::seed_from_u64(0x6F17);
+    for _ in 0..100 {
+        let m = rng.gen_range(2usize..4);
+        let intercepts: Vec<f64> = (0..m).map(|_| rng.gen_range(-50.0f64..50.0)).collect();
+        let slopes: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
         let states = StateSet::uniform(0.0, m as f64, m).unwrap();
         let mut obs = Vec::new();
         for s in 0..m {
@@ -115,60 +130,63 @@ proptest! {
                 });
             }
         }
-        let model = fit_cost_model(
-            ModelForm::General,
-            states,
-            vec![0],
-            vec!["x".into()],
-            &obs,
-        ).unwrap();
+        let model =
+            fit_cost_model(ModelForm::General, states, vec![0], vec!["x".into()], &obs).unwrap();
         for s in 0..m {
-            prop_assert!((model.coefficients[s][0] - intercepts[s]).abs() < 1e-6);
-            prop_assert!((model.coefficients[s][1] - slopes[s]).abs() < 1e-6);
+            assert!((model.coefficients[s][0] - intercepts[s]).abs() < 1e-6);
+            assert!((model.coefficients[s][1] - slopes[s]).abs() < 1e-6);
         }
-        prop_assert!(model.fit.see < 1e-6);
+        assert!(model.fit.see < 1e-6);
         // estimate() agrees with the per-state equation.
         for s in 0..m {
             let probe = s as f64 + 0.5;
             let est = model.estimate(&[3.0], probe);
-            prop_assert!((est - (intercepts[s] + slopes[s] * 3.0)).abs() < 1e-6);
+            assert!((est - (intercepts[s] + slopes[s] * 3.0)).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn estimates_are_finite_for_any_probe(
-        probe in -1e6..1e6f64,
-        x in -1e6..1e6f64,
-    ) {
-        let states = StateSet::uniform(0.0, 10.0, 3).unwrap();
-        let obs: Vec<Observation> = (0..60)
-            .map(|i| Observation {
-                x: vec![(i % 10) as f64],
-                cost: 1.0 + (i % 10) as f64 * (1.0 + (i % 3) as f64),
-                probe_cost: (i % 10) as f64 + 0.05,
-            })
-            .collect();
-        let model = fit_cost_model(
-            ModelForm::General,
-            states,
-            vec![0],
-            vec!["x".into()],
-            &obs,
-        ).unwrap();
-        prop_assert!(model.estimate(&[x], probe).is_finite());
+#[test]
+fn estimates_are_finite_for_any_probe() {
+    let mut rng = Rng::seed_from_u64(0xF17E);
+    let states = StateSet::uniform(0.0, 10.0, 3).unwrap();
+    let obs: Vec<Observation> = (0..60)
+        .map(|i| Observation {
+            x: vec![(i % 10) as f64],
+            cost: 1.0 + (i % 10) as f64 * (1.0 + (i % 3) as f64),
+            probe_cost: (i % 10) as f64 + 0.05,
+        })
+        .collect();
+    let model =
+        fit_cost_model(ModelForm::General, states, vec![0], vec!["x".into()], &obs).unwrap();
+    for _ in 0..500 {
+        let probe = rng.gen_range(-1e6f64..1e6);
+        let x = rng.gen_range(-1e6f64..1e6);
+        assert!(model.estimate(&[x], probe).is_finite());
     }
+}
 
-    #[test]
-    fn sample_size_rule_is_monotone(p1 in 0usize..20, p2 in 0usize..20, m in 1usize..10) {
+#[test]
+fn sample_size_rule_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0x5A3E);
+    for _ in 0..300 {
+        let p1 = rng.gen_range(0usize..20);
+        let p2 = rng.gen_range(0usize..20);
+        let m = rng.gen_range(1usize..10);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(minimum_sample_size(lo, m) <= minimum_sample_size(hi, m));
-        prop_assert!(minimum_sample_size(lo, m) <= minimum_sample_size(lo, m + 1));
+        assert!(minimum_sample_size(lo, m) <= minimum_sample_size(hi, m));
+        assert!(minimum_sample_size(lo, m) <= minimum_sample_size(lo, m + 1));
         // At least ten observations per coefficient.
-        prop_assert!(minimum_sample_size(lo, m) > 10 * (lo + 1) * m);
+        assert!(minimum_sample_size(lo, m) > 10 * (lo + 1) * m);
     }
+}
 
-    #[test]
-    fn goodness_bands_are_consistent(obs_cost in 0.001..1e6f64, factor in 0.01..100.0f64) {
+#[test]
+fn goodness_bands_are_consistent() {
+    let mut rng = Rng::seed_from_u64(0x600D);
+    for _ in 0..500 {
+        let obs_cost = rng.gen_range(0.001f64..1e6);
+        let factor = rng.gen_range(0.01f64..100.0);
         let p = TestPoint {
             observed: obs_cost,
             estimated: obs_cost * factor,
@@ -176,21 +194,29 @@ proptest! {
             probe_cost: 1.0,
         };
         if p.is_very_good() {
-            prop_assert!(p.is_good());
+            assert!(p.is_good());
         }
         // The good band is exactly the factor-2 band (plus very-good).
-        let expected_good = (0.5..=2.0).contains(&factor)
-            || (factor - 1.0).abs() <= 0.30;
-        prop_assert_eq!(p.is_good(), expected_good, "factor {}", factor);
+        let expected_good = (0.5..=2.0).contains(&factor) || (factor - 1.0).abs() <= 0.30;
+        assert_eq!(p.is_good(), expected_good, "factor {factor}");
     }
-    /// Catalog persistence round-trips arbitrary models exactly.
-    #[test]
-    fn persist_roundtrip_arbitrary_models(
-        edges_raw in proptest::collection::btree_set(-1000i64..1000, 2..8),
-        p in 1usize..5,
-        coef in -1e6..1e6f64,
-        r2 in 0.0..1.0f64,
-    ) {
+}
+
+/// Catalog persistence round-trips arbitrary models exactly.
+#[test]
+fn persist_roundtrip_arbitrary_models() {
+    let mut rng = Rng::seed_from_u64(0x9E85);
+    for _ in 0..200 {
+        let n_edges = rng.gen_range(2usize..8);
+        let edges_raw: std::collections::BTreeSet<i64> = (0..n_edges)
+            .map(|_| rng.gen_range(0u64..2000) as i64 - 1000)
+            .collect();
+        if edges_raw.len() < 2 {
+            continue;
+        }
+        let p = rng.gen_range(1usize..5);
+        let coef = rng.gen_range(-1e6f64..1e6);
+        let r2 = rng.gen_range(0.0f64..1.0);
         let edges: Vec<f64> = edges_raw.iter().map(|&e| e as f64 * 0.37).collect();
         let states = StateSet::from_edges(edges).unwrap();
         let m = states.len();
@@ -219,7 +245,6 @@ proptest! {
         };
         let text = model.to_catalog_entry();
         let back = CostModel::from_catalog_entry(&text).unwrap();
-        prop_assert_eq!(back, model);
+        assert_eq!(back, model);
     }
-
 }

@@ -24,10 +24,9 @@ use crate::query::{Predicate, Query, UnaryQuery};
 use crate::selectivity::{JoinSizes, UnarySizes};
 use crate::sysstats::SystemStats;
 use crate::trace::{ExecutionTrace, TraceEntry};
-use crate::util::{noise_factor, normal};
+use crate::util::noise_factor;
 use crate::vendor::VendorProfile;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mdbs_stats::rng::Rng;
 
 /// The physical operator the local DBS chose for an execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,7 +84,7 @@ pub struct MdbsAgent {
     catalog: LocalCatalog,
     machine: Machine,
     load_builder: Option<LoadBuilder>,
-    rng: StdRng,
+    rng: Rng,
     executions: u64,
     clock_s: f64,
     trace: Option<ExecutionTrace>,
@@ -101,7 +100,7 @@ impl MdbsAgent {
             catalog,
             machine: Machine::new(MachineSpec::default()),
             load_builder: None,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             executions: 0,
             clock_s: 0.0,
             trace: None,
@@ -193,7 +192,7 @@ impl MdbsAgent {
         // small absolute floor that dominates only for tiny queries — the
         // reason the paper finds small-cost queries harder to estimate.
         let cost = stretched * noise_factor(&mut self.rng, self.vendor.noise_rel)
-            + normal(&mut self.rng, 0.0, 0.04).abs();
+            + self.rng.normal(0.0, 0.04).abs();
         self.executions += 1;
         self.clock_s += cost;
         if let Some(trace) = &mut self.trace {

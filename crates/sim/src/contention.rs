@@ -9,8 +9,7 @@
 //! over a range (the paper's default sampling assumption) or from a
 //! mixture of clusters (the Table 6 / Figure 10 "clustered case").
 
-use crate::util::normal;
-use rand::Rng;
+use mdbs_stats::rng::Rng;
 
 /// The background load applied to a machine at one instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,7 +76,7 @@ impl ContentionProfile {
     }
 
     /// Draws one contention-level point (a number of processes).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
         match self {
             ContentionProfile::Constant(p) => *p,
             ContentionProfile::Uniform { lo, hi } => {
@@ -89,16 +88,16 @@ impl ContentionProfile {
             }
             ContentionProfile::Clustered { modes } => {
                 let total: f64 = modes.iter().map(|m| m.2).sum();
-                let mut pick = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
+                let mut pick = rng.gen_f64() * total.max(f64::MIN_POSITIVE);
                 for (center, sd, w) in modes {
                     pick -= w;
                     if pick <= 0.0 {
-                        return normal(rng, *center, *sd).max(0.0);
+                        return rng.normal(*center, *sd).max(0.0);
                     }
                 }
                 // Numerical fallthrough: use the last mode.
                 let (center, sd, _) = modes.last().copied().unwrap_or((0.0, 0.0, 1.0));
-                normal(rng, center, sd).max(0.0)
+                rng.normal(center, sd).max(0.0)
             }
         }
     }
@@ -134,13 +133,12 @@ impl LoadBuilder {
     }
 
     /// Produces the next instantaneous background load.
-    pub fn next_load<R: Rng + ?Sized>(&self, rng: &mut R) -> Load {
+    pub fn next_load(&self, rng: &mut Rng) -> Load {
         let base = Load::background(self.profile.sample(rng));
         Load {
             procs: base.procs,
-            cpu_intensity: (base.cpu_intensity + normal(rng, 0.0, self.mix_jitter))
-                .clamp(0.05, 1.5),
-            io_intensity: (base.io_intensity + normal(rng, 0.0, self.mix_jitter)).clamp(0.05, 1.5),
+            cpu_intensity: (base.cpu_intensity + rng.normal(0.0, self.mix_jitter)).clamp(0.05, 1.5),
+            io_intensity: (base.io_intensity + rng.normal(0.0, self.mix_jitter)).clamp(0.05, 1.5),
         }
     }
 }
@@ -148,12 +146,10 @@ impl LoadBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn constant_profile_is_constant() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let p = ContentionProfile::Constant(42.0);
         for _ in 0..10 {
             assert_eq!(p.sample(&mut rng), 42.0);
@@ -162,7 +158,7 @@ mod tests {
 
     #[test]
     fn uniform_profile_stays_in_range() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let p = ContentionProfile::Uniform { lo: 10.0, hi: 90.0 };
         let mut lo_seen = f64::MAX;
         let mut hi_seen = f64::MIN;
@@ -178,14 +174,14 @@ mod tests {
 
     #[test]
     fn degenerate_uniform_range() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let p = ContentionProfile::Uniform { lo: 30.0, hi: 30.0 };
         assert_eq!(p.sample(&mut rng), 30.0);
     }
 
     #[test]
     fn clustered_profile_concentrates_mass() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let p = ContentionProfile::paper_clustered();
         let draws: Vec<f64> = (0..4000).map(|_| p.sample(&mut rng)).collect();
         // Nearly all mass should be within 3 sigma of some mode.
@@ -206,7 +202,7 @@ mod tests {
 
     #[test]
     fn load_builder_jitters_the_mix() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let lb = LoadBuilder::new(ContentionProfile::Constant(50.0));
         let a = lb.next_load(&mut rng);
         let b = lb.next_load(&mut rng);
@@ -216,7 +212,7 @@ mod tests {
 
     #[test]
     fn load_never_negative() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let p = ContentionProfile::Clustered {
             modes: vec![(2.0, 5.0, 1.0)],
         };

@@ -8,8 +8,7 @@
 //! comparable (but not identical) data.
 
 use crate::catalog::{ColumnDef, IndexKind, LocalCatalog, TableDef, TableId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mdbs_stats::rng::Rng;
 
 /// Number of tables in the standard database.
 pub const NUM_TABLES: u32 = 12;
@@ -29,7 +28,7 @@ pub const MAX_CARD: u64 = 250_000;
 /// * Column domains vary so different predicates have very different
 ///   selectivities.
 pub fn standard_database(seed: u64) -> LocalCatalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut catalog = LocalCatalog::new();
     let ratio = (MAX_CARD as f64 / MIN_CARD as f64).powf(1.0 / (NUM_TABLES as f64 - 1.0));
     for i in 1..=NUM_TABLES {
@@ -48,7 +47,7 @@ pub fn standard_database(seed: u64) -> LocalCatalog {
                     name: format!("a{c}"),
                     width: 4,
                     // Domain sizes spread over decades -> varied selectivity.
-                    domain_max: 10u64.pow(2 + (c + i) % 4) + rng.gen_range(0..50),
+                    domain_max: 10u64.pow(2 + (c + i) % 4) + rng.gen_range(0u64..50),
                     index,
                 }
             })

@@ -12,8 +12,7 @@
 //! machine, mimicking what an environment monitor would read.
 
 use crate::machine::Machine;
-use crate::util::normal;
-use rand::Rng;
+use mdbs_stats::rng::Rng;
 
 /// A snapshot of the frequently-changing environmental statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +41,7 @@ impl SystemStats {
     /// The mapping is intentionally *indirect* (saturating, noisy): the
     /// method must not be able to read the true process count straight off
     /// a counter, because on real hardware it cannot.
-    pub fn observe<R: Rng + ?Sized>(machine: &Machine, rng: &mut R) -> SystemStats {
+    pub fn observe(machine: &Machine, rng: &mut Rng) -> SystemStats {
         let load = machine.load();
         let spec = machine.spec();
         let procs = load.procs;
@@ -51,7 +50,7 @@ impl SystemStats {
             (spec.base_mem_mb + procs * spec.mem_per_proc_mb - spec.phys_mem_mb).max(0.0);
         let cpu_busy = 100.0 * (1.0 - 1.0 / machine.cpu_factor());
         let disk_util = 100.0 * (1.0 - 1.0 / machine.io_factor());
-        let jitter = |rng: &mut R, v: f64, rel: f64| (v * normal(rng, 1.0, rel)).max(0.0);
+        let jitter = |rng: &mut Rng, v: f64, rel: f64| (v * rng.normal(1.0, rel)).max(0.0);
         SystemStats {
             running_procs: jitter(rng, procs * load.cpu_intensity * 0.6, 0.08),
             load_avg_1m: jitter(rng, procs * 0.05 * load.cpu_intensity, 0.05),
@@ -91,8 +90,6 @@ mod tests {
     use super::*;
     use crate::contention::Load;
     use crate::machine::{Machine, MachineSpec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn machine_with(procs: f64) -> Machine {
         let mut m = Machine::new(MachineSpec::default());
@@ -102,7 +99,7 @@ mod tests {
 
     #[test]
     fn idle_machine_reads_low() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let s = SystemStats::observe(&machine_with(0.0), &mut rng);
         assert!(s.cpu_busy_pct < 1.0);
         assert!(s.swap_used_mb == 0.0);
@@ -111,8 +108,8 @@ mod tests {
 
     #[test]
     fn stats_grow_with_load() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let avg = |procs: f64, rng: &mut StdRng| {
+        let mut rng = Rng::seed_from_u64(2);
+        let avg = |procs: f64, rng: &mut Rng| {
             let m = machine_with(procs);
             let draws: Vec<SystemStats> = (0..50).map(|_| SystemStats::observe(&m, rng)).collect();
             (
@@ -130,7 +127,7 @@ mod tests {
 
     #[test]
     fn swap_activity_only_under_memory_pressure() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let calm = SystemStats::observe(&machine_with(30.0), &mut rng);
         assert_eq!(calm.swap_in_per_sec, 0.0);
         let thrashing = SystemStats::observe(&machine_with(130.0), &mut rng);
@@ -140,7 +137,7 @@ mod tests {
 
     #[test]
     fn percentages_are_bounded() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         for procs in [0.0, 50.0, 200.0] {
             let s = SystemStats::observe(&machine_with(procs), &mut rng);
             assert!((0.0..=100.0).contains(&s.cpu_busy_pct));
@@ -150,7 +147,7 @@ mod tests {
 
     #[test]
     fn predictor_vector_matches_names() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let s = SystemStats::observe(&machine_with(10.0), &mut rng);
         assert_eq!(
             s.probe_predictors().len(),

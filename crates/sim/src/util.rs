@@ -1,25 +1,30 @@
 //! Small numeric helpers shared across the simulator.
+//!
+//! Gaussian draws come from [`Rng::normal`] in `mdbs-stats` — the
+//! simulator's Box–Muller helper moved down there so every crate shares
+//! one deterministic Gaussian source.
 
-use rand::Rng;
+use mdbs_stats::rng::Rng;
 
-/// Draws a standard-normal variate via the Box–Muller transform.
+/// Lower clamp applied by [`noise_factor`].
 ///
-/// `rand_distr` is outside the allowed dependency set for this workspace,
-/// so the handful of Gaussian draws the simulator needs are generated here.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    // Two uniforms in (0, 1]; guard against ln(0).
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
-    let u2: f64 = rng.gen::<f64>();
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    mean + std_dev * z
-}
+/// Why 0.2: a Gaussian multiplicative factor `1 + N(0, rel)` has unbounded
+/// tails, so without a floor a rare draw could make a simulated cost zero or
+/// negative — physically meaningless for an elapsed time. The floor must
+/// also stay *far below* the 3σ band of every configured noise level
+/// (vendor profiles use `rel = 0.05`, and the sensitivity experiments sweep
+/// up to `rel = 0.20`), otherwise the clamp would bind often enough to bias
+/// the mean of the factor above 1 and tilt the regressions. `0.2` keeps
+/// costs strictly positive while binding only beyond 4σ even at the most
+/// generous sweep setting, so the factor stays mean-1 in practice.
+pub const NOISE_FLOOR: f64 = 0.2;
 
-/// Multiplicative noise factor `max(floor, 1 + N(0, rel))`.
+/// Multiplicative noise factor `max(NOISE_FLOOR, 1 + N(0, rel))`.
 ///
 /// The lower clamp keeps simulated costs strictly positive even for
-/// generous noise levels.
-pub fn noise_factor<R: Rng + ?Sized>(rng: &mut R, rel: f64) -> f64 {
-    normal(rng, 1.0, rel).max(0.2)
+/// generous noise levels; see [`NOISE_FLOOR`] for how its value was chosen.
+pub fn noise_factor(rng: &mut Rng, rel: f64) -> f64 {
+    rng.normal(1.0, rel).max(NOISE_FLOOR)
 }
 
 /// Number of pages needed for `tuples` tuples of `tuple_len` bytes with the
@@ -35,27 +40,24 @@ pub fn pages(tuples: u64, tuple_len: u32, page_size: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
-    fn normal_has_roughly_right_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let n = 20_000;
-        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
-        let mean = draws.iter().sum::<f64>() / n as f64;
-        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
-        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    fn noise_factor_respects_the_floor() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = noise_factor(&mut rng, 0.5);
+            assert!(f >= NOISE_FLOOR);
+        }
     }
 
     #[test]
-    fn noise_factor_is_positive() {
-        let mut rng = StdRng::seed_from_u64(1);
-        for _ in 0..10_000 {
-            let f = noise_factor(&mut rng, 0.5);
-            assert!(f >= 0.2);
-        }
+    fn noise_factor_is_mean_one_at_configured_levels() {
+        // At the vendor noise level the clamp must essentially never bind,
+        // so the factor averages to ~1 (otherwise costs would be biased).
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| noise_factor(&mut rng, 0.05)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Property-based tests for the local-DBS and environment simulator.
+//! Property-style tests for the local-DBS and environment simulator, run
+//! as seeded deterministic case sweeps over the in-tree [`Rng`]: the same
+//! invariants the original randomized suites checked, with inputs that are
+//! reproduced exactly on every run.
 
 use mdbs_sim::catalog::{ColumnDef, IndexKind, TableDef, TableId};
 use mdbs_sim::contention::{ContentionProfile, Load};
@@ -10,9 +13,7 @@ use mdbs_sim::selectivity::{predicate_selectivity, unary_sizes};
 use mdbs_sim::sql::{parse_query, to_sql};
 use mdbs_sim::util::pages;
 use mdbs_sim::vendor::VendorProfile;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mdbs_stats::rng::Rng;
 
 fn table(card: u64, domain: u64) -> TableDef {
     TableDef {
@@ -30,28 +31,34 @@ fn table(card: u64, domain: u64) -> TableDef {
     }
 }
 
-proptest! {
-    #[test]
-    fn selectivity_is_a_probability(
-        card in 1u64..1_000_000,
-        domain in 1u64..1_000_000,
-        lo in proptest::option::of(0u64..1_000_000),
-        hi in proptest::option::of(0u64..1_000_000),
-        col in 0usize..12,
-    ) {
+#[test]
+fn selectivity_is_a_probability() {
+    let mut rng = Rng::seed_from_u64(0x5E1);
+    for _ in 0..500 {
+        let card = rng.gen_range(1u64..1_000_000);
+        let domain = rng.gen_range(1u64..1_000_000);
+        let lo = rng.gen_bool(0.5).then(|| rng.gen_range(0u64..1_000_000));
+        let hi = rng.gen_bool(0.5).then(|| rng.gen_range(0u64..1_000_000));
+        let col = rng.gen_range(0usize..12);
         let t = table(card, domain);
-        let p = Predicate { column: col, lo, hi };
+        let p = Predicate {
+            column: col,
+            lo,
+            hi,
+        };
         let sel = predicate_selectivity(&t, &p);
-        prop_assert!((0.0..=1.0).contains(&sel), "selectivity {sel}");
+        assert!((0.0..=1.0).contains(&sel), "selectivity {sel}");
     }
+}
 
-    #[test]
-    fn unary_sizes_are_ordered(
-        card in 1u64..500_000,
-        domain in 10u64..100_000,
-        cut1 in 0u64..100_000,
-        cut2 in 0u64..100_000,
-    ) {
+#[test]
+fn unary_sizes_are_ordered() {
+    let mut rng = Rng::seed_from_u64(0x512E);
+    for _ in 0..300 {
+        let card = rng.gen_range(1u64..500_000);
+        let domain = rng.gen_range(10u64..100_000);
+        let cut1 = rng.gen_range(0u64..100_000);
+        let cut2 = rng.gen_range(0u64..100_000);
         let t = table(card, domain);
         let q = UnaryQuery {
             table: t.id,
@@ -60,83 +67,106 @@ proptest! {
             order_by: None,
         };
         let s = unary_sizes(&t, &q);
-        prop_assert!(s.result <= s.intermediate);
-        prop_assert!(s.intermediate <= s.operand);
-        prop_assert_eq!(s.operand, card);
+        assert!(s.result <= s.intermediate);
+        assert!(s.intermediate <= s.operand);
+        assert_eq!(s.operand, card);
     }
+}
 
-    #[test]
-    fn pages_monotone_in_tuples(
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-        len in 1u32..512,
-    ) {
+#[test]
+fn pages_monotone_in_tuples() {
+    let mut rng = Rng::seed_from_u64(0x9A6E);
+    for _ in 0..500 {
+        let a = rng.gen_range(0u64..1_000_000);
+        let b = rng.gen_range(0u64..1_000_000);
+        let len = rng.gen_range(1u32..512);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(pages(lo, len, 8192) <= pages(hi, len, 8192));
+        assert!(pages(lo, len, 8192) <= pages(hi, len, 8192));
         // Enough space for all bytes.
-        prop_assert!(pages(hi, len, 8192) * 8192 >= hi * len as u64);
+        assert!(pages(hi, len, 8192) * 8192 >= hi * len as u64);
     }
+}
 
-    #[test]
-    fn machine_factors_monotone_in_load(p1 in 0.0..200.0f64, p2 in 0.0..200.0f64) {
+#[test]
+fn machine_factors_monotone_in_load() {
+    let mut rng = Rng::seed_from_u64(0x3AC);
+    for _ in 0..300 {
+        let p1 = rng.gen_range(0.0f64..200.0);
+        let p2 = rng.gen_range(0.0f64..200.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         let mut m = Machine::new(MachineSpec::default());
         m.set_load(Load::background(lo));
         let (c_lo, i_lo) = (m.cpu_factor(), m.io_factor());
         m.set_load(Load::background(hi));
-        prop_assert!(m.cpu_factor() >= c_lo);
-        prop_assert!(m.io_factor() >= i_lo);
-        prop_assert!(m.cpu_factor() >= 1.0 && m.io_factor() >= 1.0 - 1e-12);
+        assert!(m.cpu_factor() >= c_lo);
+        assert!(m.io_factor() >= i_lo);
+        assert!(m.cpu_factor() >= 1.0 && m.io_factor() >= 1.0 - 1e-12);
     }
+}
 
-    #[test]
-    fn elapsed_scales_with_demand(
-        io in 0.0..100.0f64,
-        cpu in 0.0..100.0f64,
-        procs in 0.0..150.0f64,
-    ) {
+#[test]
+fn elapsed_scales_with_demand() {
+    let mut rng = Rng::seed_from_u64(0xE1A);
+    for _ in 0..300 {
+        let io = rng.gen_range(0.0f64..100.0);
+        let cpu = rng.gen_range(0.0f64..100.0);
+        let procs = rng.gen_range(0.0f64..150.0);
         let mut m = Machine::new(MachineSpec::default());
         m.set_load(Load::background(procs));
         let once = m.elapsed(0.1, io, cpu);
         let twice = m.elapsed(0.1, 2.0 * io, 2.0 * cpu);
-        prop_assert!(twice >= once);
-        prop_assert!(once >= 0.1); // At least the (stretched) init cost.
+        assert!(twice >= once);
+        assert!(once >= 0.1); // At least the (stretched) init cost.
     }
+}
 
-    #[test]
-    fn uniform_contention_sampling_in_range(
-        lo in 0.0..100.0f64,
-        width in 0.0..100.0f64,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn uniform_contention_sampling_in_range() {
+    let mut meta = Rng::seed_from_u64(0x41F0);
+    for _ in 0..100 {
+        let lo = meta.gen_range(0.0f64..100.0);
+        let width = meta.gen_range(0.0f64..100.0);
+        let seed = meta.gen_range(0u64..500);
         let hi = lo + width;
         let p = ContentionProfile::Uniform { lo, hi };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..20 {
             let v = p.sample(&mut rng);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn clustered_sampling_never_negative(
-        centers in proptest::collection::vec((0.0..150.0f64, 0.1..20.0f64, 0.01..1.0f64), 1..4),
-        seed in 0u64..200,
-    ) {
-        let p = ContentionProfile::Clustered { modes: centers };
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn clustered_sampling_never_negative() {
+    let mut meta = Rng::seed_from_u64(0xC1F0);
+    for _ in 0..100 {
+        let n_modes = meta.gen_range(1usize..4);
+        let modes: Vec<(f64, f64, f64)> = (0..n_modes)
+            .map(|_| {
+                (
+                    meta.gen_range(0.0f64..150.0),
+                    meta.gen_range(0.1f64..20.0),
+                    meta.gen_range(0.01f64..1.0),
+                )
+            })
+            .collect();
+        let seed = meta.gen_range(0u64..200);
+        let p = ContentionProfile::Clustered { modes };
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..20 {
-            prop_assert!(p.sample(&mut rng) >= 0.0);
+            assert!(p.sample(&mut rng) >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn engine_demand_is_finite_and_positive(
-        card in 1u64..500_000,
-        cut in 0u64..10_000,
-        vendor_pick in 0u8..2,
-    ) {
-        let vendor = if vendor_pick == 0 {
+#[test]
+fn engine_demand_is_finite_and_positive() {
+    let mut rng = Rng::seed_from_u64(0xE26);
+    for _ in 0..300 {
+        let card = rng.gen_range(1u64..500_000);
+        let cut = rng.gen_range(0u64..10_000);
+        let vendor = if rng.gen_bool(0.5) {
             VendorProfile::oracle8()
         } else {
             VendorProfile::db2v5()
@@ -149,22 +179,21 @@ proptest! {
             order_by: None,
         };
         let (d, _, _) = cost_unary(&t, &q, &vendor);
-        prop_assert!(d.init_s > 0.0);
-        prop_assert!(d.io_s.is_finite() && d.io_s >= 0.0);
-        prop_assert!(d.cpu_s.is_finite() && d.cpu_s >= 0.0);
+        assert!(d.init_s > 0.0);
+        assert!(d.io_s.is_finite() && d.io_s >= 0.0);
+        assert!(d.cpu_s.is_finite() && d.cpu_s >= 0.0);
     }
+}
 
-    #[test]
-    fn observed_cost_positive_under_any_load(
-        procs in 0.0..180.0f64,
-        seed in 0u64..100,
-        tbl in 0usize..12,
-    ) {
-        let mut agent = mdbs_sim::MdbsAgent::new(
-            VendorProfile::oracle8(),
-            standard_database(42),
-            seed,
-        );
+#[test]
+fn observed_cost_positive_under_any_load() {
+    let mut meta = Rng::seed_from_u64(0x0B5);
+    for _ in 0..60 {
+        let procs = meta.gen_range(0.0f64..180.0);
+        let seed = meta.gen_range(0u64..100);
+        let tbl = meta.gen_range(0usize..12);
+        let mut agent =
+            mdbs_sim::MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), seed);
         agent.set_load(Load::background(procs));
         let t = &agent.catalog().tables()[tbl];
         let q = mdbs_sim::Query::Unary(UnaryQuery {
@@ -174,20 +203,27 @@ proptest! {
             order_by: None,
         });
         let e = agent.run(&q).unwrap();
-        prop_assert!(e.cost_s > 0.0 && e.cost_s.is_finite());
+        assert!(e.cost_s > 0.0 && e.cost_s.is_finite());
     }
-    /// SQL render/parse round-trips for arbitrary valid unary queries.
-    #[test]
-    fn sql_roundtrip_unary(
-        tbl in 0usize..12,
-        proj in proptest::collection::btree_set(0usize..9, 0..5),
-        preds in proptest::collection::vec((0usize..9, 0u64..5000, 0u64..5000), 0..3),
-    ) {
-        let db = standard_database(42);
+}
+
+/// SQL render/parse round-trips for arbitrary valid unary queries.
+#[test]
+fn sql_roundtrip_unary() {
+    let db = standard_database(42);
+    let mut rng = Rng::seed_from_u64(0x5A1);
+    for _ in 0..300 {
+        let tbl = rng.gen_range(0usize..12);
         let t = &db.tables()[tbl];
-        let predicates: Vec<Predicate> = preds
-            .iter()
-            .map(|&(c, a, b)| {
+        let n_proj = rng.gen_range(0usize..5);
+        let proj: std::collections::BTreeSet<usize> =
+            (0..n_proj).map(|_| rng.gen_range(0usize..9)).collect();
+        let n_preds = rng.gen_range(0usize..3);
+        let predicates: Vec<Predicate> = (0..n_preds)
+            .map(|_| {
+                let c = rng.gen_range(0usize..9);
+                let a = rng.gen_range(0u64..5000);
+                let b = rng.gen_range(0u64..5000);
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                 Predicate::between(c, lo, hi)
             })
@@ -199,9 +235,8 @@ proptest! {
             order_by: None,
         });
         let sql = to_sql(&db, &q);
-        let parsed = parse_query(&db, &sql)
-            .unwrap_or_else(|e| panic!("`{sql}` failed to re-parse: {e}"));
-        prop_assert_eq!(parsed, q, "sql was `{}`", sql);
+        let parsed =
+            parse_query(&db, &sql).unwrap_or_else(|e| panic!("`{sql}` failed to re-parse: {e}"));
+        assert_eq!(parsed, q, "sql was `{sql}`");
     }
-
 }

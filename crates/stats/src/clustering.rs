@@ -3,9 +3,9 @@
 //! The ICMA contention-state algorithm (paper §3.3, "Determining states via
 //! data clustering") groups sampled probing-query costs with "an
 //! agglomerative hierarchical algorithm … place each data object in its own
-//! cluster initially and then gradually merge clusters … the criterion used
-//! to merge two clusters Cᵢ and Cⱼ is to make their distance minimized …
-//! the distance between the centroids".
+//! cluster initially and then gradually merge clusters", always merging the
+//! pair of clusters Cᵢ and Cⱼ whose "distance between the centroids" is
+//! smallest.
 //!
 //! Probing costs are one-dimensional, and in one dimension centroid-linkage
 //! agglomeration only ever merges *adjacent* clusters in sorted order. The

@@ -18,7 +18,9 @@
 //! * [`vif`] — variance inflation factors for multicollinearity screening,
 //! * [`clustering`] — agglomerative hierarchical clustering with centroid
 //!   linkage (used by the ICMA contention-state algorithm),
-//! * [`describe`] — descriptive statistics and histograms.
+//! * [`describe`] — descriptive statistics and histograms,
+//! * [`rng`] — the workspace's single deterministic pseudo-random number
+//!   generator (xoshiro256++ seeded via SplitMix64).
 //!
 //! The crate is dependency-free (std only) and fully deterministic.
 
@@ -31,6 +33,7 @@ pub mod describe;
 pub mod distributions;
 pub mod matrix;
 pub mod regression;
+pub mod rng;
 pub mod vif;
 
 pub use clustering::{cluster_1d, Cluster1D};
@@ -38,6 +41,7 @@ pub use correlation::pearson;
 pub use describe::Summary;
 pub use matrix::Matrix;
 pub use regression::{OlsFit, RegressionError};
+pub use rng::Rng;
 
 /// Error type shared by numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]

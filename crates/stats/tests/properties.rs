@@ -1,4 +1,7 @@
-//! Property-based tests for the statistical substrate.
+//! Property-style tests for the statistical substrate, run as seeded
+//! deterministic case sweeps: each test draws a few hundred random cases
+//! from the in-tree [`Rng`] with a fixed seed, so the exact inputs are
+//! reproduced on every run while still exercising the input space broadly.
 
 use mdbs_stats::clustering::cluster_1d;
 use mdbs_stats::correlation::pearson;
@@ -6,151 +9,191 @@ use mdbs_stats::describe::{Histogram, Summary};
 use mdbs_stats::distributions::{f_cdf, normal_cdf, student_t_cdf};
 use mdbs_stats::matrix::Matrix;
 use mdbs_stats::regression::OlsFit;
-use proptest::prelude::*;
+use mdbs_stats::rng::Rng;
 
 /// A well-conditioned random design matrix: intercept plus `k-1` bounded
-/// random columns over `n` rows.
-fn design_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    (4usize..20, 2usize..4).prop_flat_map(|(n, k)| {
-        let rows = proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, k - 1), n);
-        let y = proptest::collection::vec(-100.0..100.0f64, n);
-        (rows, y).prop_map(|(rows, y)| {
-            let full: Vec<Vec<f64>> = rows
-                .into_iter()
-                .map(|mut r| {
-                    let mut row = vec![1.0];
-                    row.append(&mut r);
-                    row
-                })
-                .collect();
-            (full, y)
+/// random columns over `n` rows, with a matching response vector.
+fn random_design(rng: &mut Rng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = rng.gen_range(4usize..20);
+    let k = rng.gen_range(2usize..4);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let mut row = vec![1.0];
+            row.extend((1..k).map(|_| rng.gen_range(-100.0f64..100.0)));
+            row
         })
-    })
+        .collect();
+    let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
+    (rows, y)
 }
 
-proptest! {
-    #[test]
-    fn qr_reconstructs_and_q_is_orthonormal((rows, _y) in design_strategy()) {
+fn random_vec(rng: &mut Rng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn qr_reconstructs_and_q_is_orthonormal() {
+    let mut rng = Rng::seed_from_u64(0x51AB);
+    for _ in 0..200 {
+        let (rows, _y) = random_design(&mut rng);
         let a = Matrix::from_rows(&rows).unwrap();
         let (q, r) = a.qr().unwrap();
         let back = q.matmul(&r).unwrap();
         for i in 0..a.rows() {
             for j in 0..a.cols() {
                 let diff = (back[(i, j)] - a[(i, j)]).abs();
-                prop_assert!(diff <= 1e-8 * (1.0 + a[(i, j)].abs()), "({i},{j}): {diff}");
+                assert!(diff <= 1e-8 * (1.0 + a[(i, j)].abs()), "({i},{j}): {diff}");
             }
         }
         let qtq = q.transpose().matmul(&q).unwrap();
         for i in 0..a.cols() {
             for j in 0..a.cols() {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((qtq[(i, j)] - expect).abs() < 1e-8);
+                assert!((qtq[(i, j)] - expect).abs() < 1e-8);
             }
         }
     }
+}
 
-    #[test]
-    fn ols_residuals_orthogonal_and_r2_bounded((rows, y) in design_strategy()) {
+#[test]
+fn ols_residuals_orthogonal_and_r2_bounded() {
+    let mut rng = Rng::seed_from_u64(0x0152);
+    for _ in 0..200 {
+        let (rows, y) = random_design(&mut rng);
         let x = Matrix::from_rows(&rows).unwrap();
         // Skip degenerate (rank-deficient) random draws.
-        let Ok(fit) = OlsFit::fit(&x, &y, true) else { return Ok(()); };
-        prop_assert!(fit.r_squared <= 1.0 + 1e-9, "R² = {}", fit.r_squared);
+        let Ok(fit) = OlsFit::fit(&x, &y, true) else {
+            continue;
+        };
+        assert!(fit.r_squared <= 1.0 + 1e-9, "R² = {}", fit.r_squared);
         // With an intercept, residuals sum to ~0 and are orthogonal to
         // every design column.
         let resid_sum: f64 = fit.residuals.iter().sum();
         let scale: f64 = y.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
-        prop_assert!(resid_sum.abs() <= 1e-6 * scale);
+        assert!(resid_sum.abs() <= 1e-6 * scale);
         for c in 0..x.cols() {
-            let dot: f64 = x.col(c).iter().zip(&fit.residuals).map(|(a, b)| a * b).sum();
-            prop_assert!(dot.abs() <= 1e-5 * scale * 100.0, "col {c}: {dot}");
+            let dot: f64 = x
+                .col(c)
+                .iter()
+                .zip(&fit.residuals)
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(dot.abs() <= 1e-5 * scale * 100.0, "col {c}: {dot}");
         }
     }
+}
 
-    #[test]
-    fn pearson_is_bounded_and_symmetric(
-        x in proptest::collection::vec(-1e6..1e6f64, 2..40),
-        y in proptest::collection::vec(-1e6..1e6f64, 2..40),
-    ) {
+#[test]
+fn pearson_is_bounded_and_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x9EA5);
+    for _ in 0..300 {
+        let (nx, ny) = (rng.gen_range(2usize..40), rng.gen_range(2usize..40));
+        let x = random_vec(&mut rng, nx, -1e6, 1e6);
+        let y = random_vec(&mut rng, ny, -1e6, 1e6);
         let r = pearson(&x, &y);
-        prop_assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&r));
         let n = x.len().min(y.len());
         let r2 = pearson(&y[..n], &x[..n]);
-        prop_assert!((r - r2).abs() < 1e-12);
+        assert!((r - r2).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn pearson_is_scale_invariant(
-        x in proptest::collection::vec(-100.0..100.0f64, 3..30),
-        a in 0.1..10.0f64,
-        b in -50.0..50.0f64,
-    ) {
+#[test]
+fn pearson_is_scale_invariant() {
+    let mut rng = Rng::seed_from_u64(0x5CA1);
+    for _ in 0..300 {
+        let n = rng.gen_range(3usize..30);
+        let x = random_vec(&mut rng, n, -100.0, 100.0);
+        let a = rng.gen_range(0.1f64..10.0);
+        let b = rng.gen_range(-50.0f64..50.0);
         let y: Vec<f64> = x.iter().map(|v| a * v + b).collect();
         let r = pearson(&x, &y);
         // Perfectly linear with positive slope -> r = 1 (unless x constant).
         if x.iter().any(|v| (v - x[0]).abs() > 1e-9) {
-            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+            assert!((r - 1.0).abs() < 1e-6, "r = {r}");
         }
     }
+}
 
-    #[test]
-    fn clusters_partition_data(
-        values in proptest::collection::vec(0.0..1000.0f64, 1..120),
-        k in 1usize..8,
-    ) {
+#[test]
+fn clusters_partition_data() {
+    let mut rng = Rng::seed_from_u64(0xC105);
+    for _ in 0..150 {
+        let n = rng.gen_range(1usize..120);
+        let values = random_vec(&mut rng, n, 0.0, 1000.0);
+        let k = rng.gen_range(1usize..8);
         let clusters = cluster_1d(&values, k);
-        prop_assert_eq!(clusters.len(), k.min(values.len()).max(1).min(clusters.len().max(1)));
+        assert_eq!(
+            clusters.len(),
+            k.min(values.len()).max(1).min(clusters.len().max(1))
+        );
         // Total membership preserved.
         let total: usize = clusters.iter().map(|c| c.count).sum();
-        prop_assert_eq!(total, values.len());
+        assert_eq!(total, values.len());
         // Extents ordered and disjoint; centroid inside its extent.
         for c in &clusters {
-            prop_assert!(c.min <= c.centroid && c.centroid <= c.max);
+            assert!(c.min <= c.centroid && c.centroid <= c.max);
         }
         for w in clusters.windows(2) {
-            prop_assert!(w[0].max <= w[1].min);
+            assert!(w[0].max <= w[1].min);
         }
     }
+}
 
-    #[test]
-    fn histogram_counts_in_range_values(
-        values in proptest::collection::vec(0.0..100.0f64, 1..200),
-        bins in 1usize..30,
-    ) {
+#[test]
+fn histogram_counts_in_range_values() {
+    let mut rng = Rng::seed_from_u64(0x4157);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..200);
+        let values = random_vec(&mut rng, n, 0.0, 100.0);
+        let bins = rng.gen_range(1usize..30);
         let h = Histogram::build(&values, bins, Some((0.0, 100.0))).unwrap();
-        prop_assert_eq!(h.counts.len(), bins);
-        prop_assert_eq!(h.counts.iter().sum::<usize>(), values.len());
+        assert_eq!(h.counts.len(), bins);
+        assert_eq!(h.counts.iter().sum::<usize>(), values.len());
     }
+}
 
-    #[test]
-    fn summary_bounds_hold(values in proptest::collection::vec(-1e4..1e4f64, 1..100)) {
+#[test]
+fn summary_bounds_hold() {
+    let mut rng = Rng::seed_from_u64(0x50B5);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..100);
+        let values = random_vec(&mut rng, n, -1e4, 1e4);
         let s = Summary::of(&values).unwrap();
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.std_dev >= 0.0);
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.std_dev >= 0.0);
     }
+}
 
-    #[test]
-    fn cdfs_are_monotone_and_bounded(
-        a in 0.5..30.0f64,
-        b in 0.5..30.0f64,
-        x1 in 0.0..10.0f64,
-        x2 in 0.0..10.0f64,
-    ) {
+#[test]
+fn cdfs_are_monotone_and_bounded() {
+    let mut rng = Rng::seed_from_u64(0xCDF5);
+    for _ in 0..500 {
+        let a = rng.gen_range(0.5f64..30.0);
+        let b = rng.gen_range(0.5f64..30.0);
+        let x1 = rng.gen_range(0.0f64..10.0);
+        let x2 = rng.gen_range(0.0f64..10.0);
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
         let f_lo = f_cdf(lo, a, b).unwrap();
         let f_hi = f_cdf(hi, a, b).unwrap();
-        prop_assert!((0.0..=1.0).contains(&f_lo));
-        prop_assert!(f_hi + 1e-12 >= f_lo);
+        assert!((0.0..=1.0).contains(&f_lo));
+        assert!(f_hi + 1e-12 >= f_lo);
         let t = student_t_cdf(lo, a).unwrap();
-        prop_assert!((0.0..=1.0).contains(&t));
+        assert!((0.0..=1.0).contains(&t));
         let n = normal_cdf(lo);
-        prop_assert!((0.0..=1.0).contains(&n));
+        assert!((0.0..=1.0).contains(&n));
     }
+}
 
-    #[test]
-    fn t_cdf_symmetry(t in 0.0..8.0f64, df in 1.0..40.0f64) {
+#[test]
+fn t_cdf_symmetry() {
+    let mut rng = Rng::seed_from_u64(0x7CDF);
+    for _ in 0..500 {
+        let t = rng.gen_range(0.0f64..8.0);
+        let df = rng.gen_range(1.0f64..40.0);
         let upper = student_t_cdf(t, df).unwrap();
         let lower = student_t_cdf(-t, df).unwrap();
-        prop_assert!((upper + lower - 1.0).abs() < 1e-9);
+        assert!((upper + lower - 1.0).abs() < 1e-9);
     }
 }
