@@ -18,4 +18,16 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --offline --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
+echo "==> repro fig1 --quick --telemetry (JSONL smoke)"
+# repro validates every telemetry line parses before writing and exits
+# non-zero otherwise, so the exit status is the assertion; the file
+# check below just guards against an accidentally empty stream.
+TELEMETRY_SMOKE="${TMPDIR:-/tmp}/mdbs-ci-telemetry.jsonl"
+./target/release/repro fig1 --quick --telemetry "$TELEMETRY_SMOKE" > /dev/null
+test -s "$TELEMETRY_SMOKE"
+rm -f "$TELEMETRY_SMOKE"
+
 echo "==> ci.sh: all checks passed"

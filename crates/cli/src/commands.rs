@@ -5,10 +5,11 @@ use crate::args::{Args, ArgsError};
 use crate::site::{parse_profile, site_agent, SiteName};
 use mdbs_core::catalog::GlobalCatalog;
 use mdbs_core::classes::{classify, QueryClass};
-use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::derive::{derive_cost_model_traced, DerivationConfig};
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
-use mdbs_sim::agent::ChosenAccess;
+use mdbs_obs::{JsonlFileSink, Telemetry};
 use mdbs_sim::sql::parse_query;
+use mdbs_sim::trace::ExecutionTrace;
 
 /// A CLI-level error (argument, IO or derivation).
 #[derive(Debug)]
@@ -64,11 +65,13 @@ USAGE:
   mdbs-qcost derive   --site oracle|db2 --class g1|g2|gc|g3|gj
                       [--algorithm iupma|icma] [--profile uniform:20:125]
                       [--samples N] [--max-states M] [--seed N]
-                      [--out catalog.txt]
+                      [--out catalog.txt] [--telemetry events.jsonl]
   mdbs-qcost estimate --catalog catalog.txt --site oracle|db2
                       --sql \"select ... from ... where ...\"
                       [--profile uniform:20:125] [--seed N] [--execute]
+                      [--telemetry events.jsonl]
   mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
+                      [--telemetry events.jsonl]
   mdbs-qcost catalog  --file catalog.txt
   mdbs-qcost help
 
@@ -78,6 +81,10 @@ columns a1..a9). `derive` runs the full multi-states query sampling
 pipeline and stores the model in the catalog file; `estimate` prices a SQL
 query through the catalog after gauging the site's contention with a
 probing query.
+
+`--telemetry PATH` writes structured spans and metrics as JSONL to PATH
+and appends a human-readable summary to the report. All telemetry except
+`wall_ms` fields is deterministic for a fixed seed.
 "
     .to_string()
 }
@@ -125,6 +132,7 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
             "max-states",
             "seed",
             "out",
+            "telemetry",
         ],
     )?;
     let site = SiteName::parse(args.required("site")?)?;
@@ -135,8 +143,15 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
     let samples = args.parse_opt::<usize>("samples")?;
     let max_states = args.parse_opt::<usize>("max-states")?.unwrap_or(6);
     let out_path = args.or_default("out", "catalog.txt").to_string();
+    let telemetry_path = args.parse_opt::<String>("telemetry")?;
 
     let mut agent = site_agent(site, &profile, seed);
+    let mut tel = if telemetry_path.is_some() {
+        agent.enable_trace(64);
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let cfg = DerivationConfig {
         states: StatesConfig {
             max_states,
@@ -145,7 +160,14 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
         sample_size: samples,
         ..DerivationConfig::default()
     };
-    let derived = derive_cost_model(&mut agent, class, algorithm, &cfg, seed.wrapping_add(1))?;
+    let derived = derive_cost_model_traced(
+        &mut agent,
+        class,
+        algorithm,
+        &cfg,
+        seed.wrapping_add(1),
+        &mut tel,
+    )?;
 
     let mut catalog = load_catalog(&out_path)?;
     catalog.insert_model(site.id().into(), class, derived.model.clone());
@@ -175,29 +197,51 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
     out.push_str("\nper-state cost equations:\n");
     out.push_str(&derived.model.render());
     out.push_str(&format!("\ncatalog written to {out_path}\n"));
+    if let Some(path) = &telemetry_path {
+        out.push_str(&telemetry_section(&tel, agent.trace(), path)?);
+    }
     Ok(out)
 }
 
 fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     check_keys(
         args,
-        &["catalog", "site", "sql", "profile", "seed", "execute"],
+        &[
+            "catalog",
+            "site",
+            "sql",
+            "profile",
+            "seed",
+            "execute",
+            "telemetry",
+        ],
     )?;
     let site = SiteName::parse(args.required("site")?)?;
     let catalog_path = args.required("catalog")?;
     let sql = args.required("sql")?;
     let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let telemetry_path = args.parse_opt::<String>("telemetry")?;
     let catalog = load_catalog(catalog_path)?;
 
     let mut agent = site_agent(site, &profile, seed);
+    let mut tel = if telemetry_path.is_some() {
+        agent.enable_metrics();
+        agent.enable_trace(16);
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let schema = agent.catalog().clone();
     let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
     let class =
         classify(&schema, &query).ok_or_else(|| CliError("query cannot be classified".into()))?;
 
+    let span = tel.begin_span("estimate");
+    tel.field(span, "class", class.label().to_string());
     agent.tick();
     let probe = agent.probe();
+    tel.field(span, "probe_cost_s", probe);
     let Some(estimate) = catalog.estimate_local_cost(&site.id().into(), &schema, &query, probe)
     else {
         return Err(CliError(format!(
@@ -219,41 +263,73 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
         model.states.paper_label(model.states.state_of(probe))
     ));
     out.push_str(&format!("estimated cost: {estimate:.2}s\n"));
+    tel.field(span, "estimated_cost_s", estimate);
+    tel.field(
+        span,
+        "state",
+        model.states.paper_label(model.states.state_of(probe)),
+    );
     if args.flag("execute") {
         let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
         out.push_str(&format!("observed cost:  {:.2}s\n", exec.cost_s));
         let rel = (estimate - exec.cost_s).abs() / exec.cost_s.max(f64::MIN_POSITIVE);
         out.push_str(&format!("relative error: {:.0}%\n", rel * 100.0));
+        tel.field(span, "observed_cost_s", exec.cost_s);
+    }
+    tel.end_span(span);
+    if let Some(path) = &telemetry_path {
+        if let Some(metrics) = agent.disable_metrics() {
+            tel.merge_metrics(&metrics);
+        }
+        out.push_str(&telemetry_section(&tel, agent.trace(), path)?);
     }
     Ok(out)
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
-    check_keys(args, &["site", "sql", "procs", "seed"])?;
+    check_keys(args, &["site", "sql", "procs", "seed", "telemetry"])?;
     let site = SiteName::parse(args.required("site")?)?;
     let sql = args.required("sql")?;
     let procs = args.parse_opt::<f64>("procs")?.unwrap_or(0.0);
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let telemetry_path = args.parse_opt::<String>("telemetry")?;
     let mut agent = site.agent(seed);
+    let mut tel = if telemetry_path.is_some() {
+        agent.enable_metrics();
+        agent.enable_trace(16);
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     agent.set_load(mdbs_sim::contention::Load::background(procs));
     let schema = agent.catalog().clone();
     let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
+    let span = tel.begin_span("run");
+    tel.field(span, "procs", procs);
     let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
-    let access = match exec.access {
-        ChosenAccess::Unary(a) => format!("{a:?}"),
-        ChosenAccess::Join(a) => format!("{a:?}"),
-    };
+    let access = exec.access.to_string();
     let result_card = match exec.sizes {
         mdbs_sim::agent::ExecutionSizes::Unary(s) => s.result,
         mdbs_sim::agent::ExecutionSizes::Join(s) => s.result,
     };
-    Ok(format!(
+    tel.field(span, "access", access.clone());
+    tel.field(span, "result_card", result_card);
+    tel.field(span, "cost_s", exec.cost_s);
+    tel.end_span(span);
+    let mut out = format!(
         "site `{}` under {procs:.0} background processes\n\
          access path: {access}\nresult tuples: {result_card}\n\
          elapsed: {:.2}s\n",
         site.id(),
         exec.cost_s
-    ))
+    );
+    if let Some(path) = &telemetry_path {
+        if let Some(metrics) = agent.disable_metrics() {
+            tel.merge_metrics(&metrics);
+        }
+        out.push_str(&telemetry_section(&tel, agent.trace(), path)?);
+    }
+    Ok(out)
 }
 
 fn cmd_catalog(args: &Args) -> Result<String, CliError> {
@@ -290,6 +366,30 @@ fn class_tag(class: QueryClass) -> &'static str {
         QueryClass::JoinNoIndex => "g3",
         QueryClass::JoinIndexed => "gj",
     }
+}
+
+/// The single reporting path for telemetry: writes the events as JSONL to
+/// `path` and returns the human-readable section (telemetry summary plus,
+/// when present, the agent's execution-trace report).
+fn telemetry_section(
+    tel: &Telemetry,
+    trace: Option<&ExecutionTrace>,
+    path: &str,
+) -> Result<String, CliError> {
+    let mut sink = JsonlFileSink::create(std::path::Path::new(path))
+        .map_err(|e| CliError(format!("cannot create telemetry file `{path}`: {e}")))?;
+    tel.emit_to(&mut sink);
+    sink.finish()
+        .map_err(|e| CliError(format!("cannot write telemetry file `{path}`: {e}")))?;
+    let mut out = format!(
+        "\ntelemetry: {} event(s) written to {path}\n",
+        tel.events().len()
+    );
+    out.push_str(&tel.render_summary());
+    if let Some(trace) = trace {
+        out.push_str(&trace.report());
+    }
+    Ok(out)
 }
 
 fn check_keys(args: &Args, known: &[&str]) -> Result<(), CliError> {
@@ -447,6 +547,66 @@ mod tests {
         let path = tmp("garbage.txt");
         std::fs::write(&path, "not a catalog at all").unwrap();
         assert!(dispatch(&argv(&format!("catalog --file {path}"))).is_err());
+    }
+
+    #[test]
+    fn run_telemetry_writes_parseable_jsonl_and_folds_the_trace_report() {
+        let path = tmp("run-telemetry.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let out = dispatch(&argv(&format!(
+            "run --site oracle --sql 'select a1, a5 from R7 where a3 > 300 and a8 < 2000' \
+             --procs 40 --telemetry {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("engine.executions"), "{out}");
+        // The agent's execution-trace report rides in the same section
+        // (single reporting path, no separate trace output).
+        assert!(out.contains("trace: "), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty(), "telemetry file is empty");
+        for line in text.lines() {
+            mdbs_obs::json::parse(line)
+                .unwrap_or_else(|e| panic!("unparseable telemetry line `{line}`: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn derive_telemetry_emits_one_span_per_stage() {
+        let catalog = tmp("telemetry-catalog.txt");
+        let events = tmp("derive-telemetry.jsonl");
+        let _ = std::fs::remove_file(&catalog);
+        let _ = std::fs::remove_file(&events);
+        let out = dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 \
+             --out {catalog} --telemetry {events}"
+        )))
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        let text = std::fs::read_to_string(&events).unwrap();
+        for stage in [
+            "derive.sampling",
+            "derive.states",
+            "derive.selection",
+            "derive.fit",
+            "derive.validation",
+        ] {
+            let n = text
+                .lines()
+                .filter(|l| l.contains(&format!("\"name\":\"{stage}\"")))
+                .count();
+            assert_eq!(n, 1, "expected exactly one `{stage}` span, got {n}");
+        }
+    }
+
+    #[test]
+    fn telemetry_path_errors_are_reported_not_panicked() {
+        let e = dispatch(&argv(
+            "run --site oracle --sql 'select a1 from R2 where a2 < 100' \
+             --telemetry /nonexistent/dir/t.jsonl",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("telemetry"), "{}", e.0);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::model::{fit_cost_model, CostModel, ModelForm};
 use crate::observation::Observation;
 use crate::probing::ProbeCostEstimator;
 use crate::sampling::{planned_sample_size, SampleGenerator};
-use crate::selection::{select_variables, SelectionConfig};
+use crate::selection::{select_variables_traced, SelectionConfig};
 use crate::states::{
-    determine_states, IterationStats, ObservationSource, StateAlgorithm, StatesConfig,
+    determine_states_traced, IterationStats, ObservationSource, StateAlgorithm, StatesConfig,
 };
 use crate::CoreError;
+use mdbs_obs::Telemetry;
 use mdbs_sim::{MdbsAgent, SystemStats};
 
 /// Configuration of the whole derivation pipeline.
@@ -171,12 +172,52 @@ pub fn derive_cost_model(
     cfg: &DerivationConfig,
     seed: u64,
 ) -> Result<DerivedModel, CoreError> {
+    derive_cost_model_traced(
+        agent,
+        class,
+        algorithm,
+        cfg,
+        seed,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`derive_cost_model`] with telemetry: one span per pipeline stage
+/// (`derive.sampling` → `.states` → `.selection` → `.fit` → `.validation`)
+/// carrying observation counts, sample-size rule inputs and virtual-time
+/// attribution, plus the `states.*`/`selection.*` counters of the traced
+/// stage functions. When the telemetry is enabled, the agent's `engine.*`
+/// metrics are collected for the duration and folded in at the end. On an
+/// error return, spans opened so far are left open (`wall_ms` 0).
+pub fn derive_cost_model_traced(
+    agent: &mut MdbsAgent,
+    class: QueryClass,
+    algorithm: StateAlgorithm,
+    cfg: &DerivationConfig,
+    seed: u64,
+    tel: &mut Telemetry,
+) -> Result<DerivedModel, CoreError> {
     let family = class.family();
     let n = cfg
         .sample_size
         .unwrap_or_else(|| planned_sample_size(family, cfg.states.max_states));
+    let root = tel.begin_span("derive");
+    tel.field(root, "class", format!("{class:?}"));
+    tel.field(root, "algorithm", format!("{algorithm:?}"));
+    tel.field(root, "planned_n", n as u64);
+    tel.field(root, "candidate_vars", family.all().len() as u64);
+    tel.field(root, "max_states", cfg.states.max_states as u64);
+    // While telemetry is on, also collect the agent's engine.* metrics so
+    // the report attributes simulator work to this derivation.
+    let fold_engine = tel.is_enabled() && agent.metrics().is_none();
+    if fold_engine {
+        agent.enable_metrics();
+    }
+
     let mut generator = SampleGenerator::new(seed);
     let mut probe_log = Vec::new();
+    let span = tel.begin_span("derive.sampling");
+    let clock0 = agent.clock_s();
     let mut observations = collect_observations(
         agent,
         class,
@@ -184,6 +225,9 @@ pub fn derive_cost_model(
         &mut generator,
         cfg.fit_probe_estimator.then_some(&mut probe_log),
     )?;
+    tel.field(span, "observations", observations.len() as u64);
+    tel.field(span, "virtual_s", agent.clock_s() - clock0);
+    tel.end_span(span);
 
     // States are determined against the basic variables (the variables the
     // class is guaranteed to need); selection then refines the term set.
@@ -192,32 +236,49 @@ pub fn derive_cost_model(
         .iter()
         .map(|&i| family.all()[i].name.to_string())
         .collect();
-    let mut source = AgentSource {
-        agent,
-        generator: &mut generator,
-        class,
-        max_attempts: cfg.max_resample_attempts,
+    let span = tel.begin_span("derive.states");
+    let clock0 = agent.clock_s();
+    let states_result = {
+        let mut source = AgentSource {
+            agent,
+            generator: &mut generator,
+            class,
+            max_attempts: cfg.max_resample_attempts,
+        };
+        determine_states_traced(
+            algorithm,
+            &mut observations,
+            &basic,
+            &basic_names,
+            &cfg.states,
+            &mut source,
+            tel,
+        )?
     };
-    let states_result = determine_states(
-        algorithm,
-        &mut observations,
-        &basic,
-        &basic_names,
-        &cfg.states,
-        &mut source,
-    )?;
+    tel.field(span, "states", states_result.model.num_states() as u64);
+    tel.field(span, "iterations", states_result.history.len() as u64);
+    tel.field(span, "merges", states_result.merges as u64);
+    tel.field(span, "observations", observations.len() as u64);
+    tel.field(span, "virtual_s", agent.clock_s() - clock0);
+    tel.end_span(span);
 
-    let selection = select_variables(
+    let span = tel.begin_span("derive.selection");
+    let selection = select_variables_traced(
         family,
         &observations,
         &states_result.model.states,
         cfg.states.form,
         &cfg.selection,
+        tel,
     )?;
     let model = selection.model;
+    tel.field(span, "variables", model.var_indexes.len() as u64);
+    tel.field(span, "names", model.var_names.join(","));
+    tel.end_span(span);
 
     // The one-state comparison model: identical sample and variables, but
     // the static method's single contention state.
+    let span = tel.begin_span("derive.fit");
     let one_state = fit_cost_model(
         ModelForm::Coincident,
         crate::qualvar::StateSet::single(),
@@ -231,9 +292,25 @@ pub fn derive_cost_model(
     } else {
         None
     };
+    tel.field(span, "r_squared", model.fit.r_squared);
+    tel.field(span, "see", model.fit.see);
+    tel.field(span, "one_state_r_squared", one_state.fit.r_squared);
+    tel.field(span, "probe_estimator", probe_estimator.is_some());
+    tel.end_span(span);
 
+    let span = tel.begin_span("derive.validation");
     let avg_sample_cost =
         observations.iter().map(|o| o.cost).sum::<f64>() / observations.len().max(1) as f64;
+    tel.field(span, "observations", observations.len() as u64);
+    tel.field(span, "avg_sample_cost", avg_sample_cost);
+    tel.end_span(span);
+
+    if fold_engine {
+        if let Some(metrics) = agent.disable_metrics() {
+            tel.merge_metrics(&metrics);
+        }
+    }
+    tel.end_span(root);
 
     Ok(DerivedModel {
         class,

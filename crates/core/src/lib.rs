@@ -69,7 +69,7 @@ pub mod variables;
 
 pub use catalog::GlobalCatalog;
 pub use classes::QueryClass;
-pub use derive::{derive_cost_model, DerivationConfig, DerivedModel};
+pub use derive::{derive_cost_model, derive_cost_model_traced, DerivationConfig, DerivedModel};
 pub use mdbs::{GlobalExecution, Mdbs};
 pub use model::{CostModel, ModelForm};
 pub use observation::Observation;

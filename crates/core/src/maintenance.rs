@@ -22,10 +22,11 @@
 //!   disks, buffer pools) degrade the good-estimate rate.
 
 use crate::classes::QueryClass;
-use crate::derive::{derive_cost_model, DerivationConfig, DerivedModel};
+use crate::derive::{derive_cost_model_traced, DerivationConfig, DerivedModel};
 use crate::states::StateAlgorithm;
 use crate::validate::TestPoint;
 use crate::CoreError;
+use mdbs_obs::Telemetry;
 use mdbs_sim::MdbsAgent;
 use std::collections::VecDeque;
 
@@ -151,22 +152,56 @@ impl ModelMaintainer {
     /// Feeds one production observation; returns `true` when the model has
     /// now drifted and should be rebuilt.
     pub fn observe(&mut self, observed: f64, estimated: f64) -> bool {
+        self.observe_traced(observed, estimated, &mut Telemetry::disabled())
+    }
+
+    /// [`Self::observe`] with telemetry: records the drift-window quality
+    /// series (`maintenance.good_fraction` histogram, one sample per call)
+    /// and the `maintenance.drift_flags` counter for calls that report the
+    /// model as drifted.
+    pub fn observe_traced(&mut self, observed: f64, estimated: f64, tel: &mut Telemetry) -> bool {
         self.monitor.record(observed, estimated);
-        self.monitor.drifted()
+        tel.inc("maintenance.observations", 1);
+        tel.observe("maintenance.good_fraction", self.monitor.good_fraction());
+        let drifted = self.monitor.drifted();
+        if drifted {
+            tel.inc("maintenance.drift_flags", 1);
+        }
+        drifted
     }
 
     /// Rebuilds the model by re-running the full derivation pipeline
     /// against the (changed) local site — up to [`Self::rederive_attempts`]
     /// times, keeping the best attempt by R² — then resets the monitor.
     pub fn rederive(&mut self, agent: &mut MdbsAgent, seed: u64) -> Result<(), CoreError> {
+        self.rederive_traced(agent, seed, &mut Telemetry::disabled())
+    }
+
+    /// [`Self::rederive`] with telemetry: wraps the attempts in a
+    /// `maintenance.rederive` span (attempt count, winning R², window
+    /// quality at trigger time) and counts `maintenance.rederivations`.
+    pub fn rederive_traced(
+        &mut self,
+        agent: &mut MdbsAgent,
+        seed: u64,
+        tel: &mut Telemetry,
+    ) -> Result<(), CoreError> {
+        let span = tel.begin_span("maintenance.rederive");
+        tel.field(span, "class", format!("{:?}", self.derived.class));
+        tel.field(
+            span,
+            "good_fraction_at_trigger",
+            self.monitor.good_fraction(),
+        );
         let mut best: Option<crate::derive::DerivedModel> = None;
         for attempt in 0..self.rederive_attempts.max(1) as u64 {
-            let candidate = derive_cost_model(
+            let candidate = derive_cost_model_traced(
                 agent,
                 self.derived.class,
                 self.algorithm,
                 &self.derivation,
                 seed.wrapping_add(attempt),
+                tel,
             )?;
             let better = best.as_ref().map_or(true, |b| {
                 candidate.model.fit.r_squared > b.model.fit.r_squared
@@ -178,6 +213,10 @@ impl ModelMaintainer {
         self.derived = best.expect("at least one attempt ran");
         self.monitor.reset();
         self.rederivations += 1;
+        tel.inc("maintenance.rederivations", 1);
+        tel.field(span, "attempts", self.rederive_attempts.max(1) as u64);
+        tel.field(span, "r_squared", self.derived.model.fit.r_squared);
+        tel.end_span(span);
         Ok(())
     }
 }
@@ -256,5 +295,54 @@ mod tests {
         m.reset();
         assert!(!m.drifted());
         assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn window_shorter_than_min_observations_never_drifts() {
+        // The window caps the evidence below the minimum: the gate can
+        // never be satisfied, no matter how bad the estimates.
+        let mut m = DriftMonitor::new(MaintenanceConfig {
+            window: 10,
+            min_observations: 20,
+            min_good_fraction: 0.5,
+        });
+        for _ in 0..100 {
+            m.record(10.0, 1000.0);
+        }
+        assert_eq!(m.observations(), 10);
+        assert_eq!(m.good_fraction(), 0.0);
+        assert!(!m.drifted(), "window (10) < min_observations (20)");
+    }
+
+    #[test]
+    fn good_fraction_on_empty_window_is_one() {
+        let mut m = DriftMonitor::new(MaintenanceConfig::default());
+        assert_eq!(m.good_fraction(), 1.0);
+        m.record(10.0, 1000.0);
+        assert_eq!(m.good_fraction(), 0.0);
+        m.reset();
+        // Back to the optimistic prior after reset, too.
+        assert_eq!(m.good_fraction(), 1.0);
+    }
+
+    #[test]
+    fn reset_after_drift_requires_fresh_evidence_to_redrift() {
+        let mut m = DriftMonitor::new(MaintenanceConfig {
+            window: 30,
+            min_observations: 20,
+            min_good_fraction: 0.5,
+        });
+        for _ in 0..25 {
+            m.record(10.0, 1000.0);
+        }
+        assert!(m.drifted());
+        m.reset();
+        // 19 bad estimates: still one short of the evidence gate.
+        for _ in 0..19 {
+            m.record(10.0, 1000.0);
+        }
+        assert!(!m.drifted());
+        m.record(10.0, 1000.0);
+        assert!(m.drifted(), "the 20th bad estimate crosses the gate");
     }
 }

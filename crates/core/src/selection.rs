@@ -23,6 +23,7 @@ use crate::observation::Observation;
 use crate::qualvar::StateSet;
 use crate::variables::VariableFamily;
 use crate::CoreError;
+use mdbs_obs::Telemetry;
 use mdbs_stats::pearson;
 use mdbs_stats::vif::variance_inflation_factors;
 
@@ -79,6 +80,27 @@ pub fn select_variables(
     form: ModelForm,
     cfg: &SelectionConfig,
 ) -> Result<Selection, CoreError> {
+    select_variables_traced(
+        family,
+        observations,
+        states,
+        form,
+        cfg,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`select_variables`] with telemetry: records `selection.*` counters
+/// (VIF-screened starters, backward eliminations, forward additions,
+/// VIF-rejected forward candidates).
+pub fn select_variables_traced(
+    family: VariableFamily,
+    observations: &[Observation],
+    states: &StateSet,
+    form: ModelForm,
+    cfg: &SelectionConfig,
+    tel: &mut Telemetry,
+) -> Result<Selection, CoreError> {
     let all = family.all();
     let names =
         |idx: &[usize]| -> Vec<String> { idx.iter().map(|&i| all[i].name.to_string()).collect() };
@@ -99,13 +121,16 @@ pub fn select_variables(
         // fit itself report what is wrong.
         current = family.basic_indexes();
     }
+    let low_corr_dropped = family.basic_indexes().len() - current.len();
+    tel.inc("selection.low_corr_dropped", low_corr_dropped as u64);
 
     // Step 1b: multicollinearity screen on the starting set. Among a
     // collinear group, the variable least correlated with the response is
     // the one sacrificed.
-    drop_high_vif(&mut current, observations, states, cfg.vif_threshold, |j| {
+    let screened = drop_high_vif(&mut current, observations, states, cfg.vif_threshold, |j| {
         avg_abs_corr(&groups, &y_by_state, j)
     })?;
+    tel.inc("selection.vif_screened", screened as u64);
 
     let form_for = |st: &StateSet| {
         if st.is_single() {
@@ -145,6 +170,7 @@ pub fn select_variables(
                 if delta < cfg.backward_tolerance {
                     current = reduced;
                     model = reduced_model;
+                    tel.inc("selection.vars_eliminated", 1);
                 } else {
                     break;
                 }
@@ -185,6 +211,7 @@ pub fn select_variables(
         augmented.sort_unstable();
         // Reject candidates that would introduce multicollinearity.
         if exceeds_vif(&augmented, cand, observations, states, cfg.vif_threshold)? {
+            tel.inc("selection.vif_rejections", 1);
             continue;
         }
         let Ok(aug_model) = fit(&augmented) else {
@@ -195,6 +222,7 @@ pub fn select_variables(
         if aug_model.fit.see < model.fit.see && gain > cfg.forward_min_gain {
             current = augmented;
             model = aug_model;
+            tel.inc("selection.vars_added", 1);
         }
     }
 
@@ -250,14 +278,16 @@ fn per_state_corrs(groups: &[Vec<&Observation>], target: &[Vec<f64>], j: usize) 
 
 /// While any variable's VIF exceeds the threshold, removes — among those
 /// over the threshold — the one contributing least to explaining the
-/// response (`relevance`), preserving the strongest predictors.
+/// response (`relevance`), preserving the strongest predictors. Returns the
+/// number of variables removed.
 fn drop_high_vif(
     current: &mut Vec<usize>,
     observations: &[Observation],
     states: &StateSet,
     threshold: f64,
     relevance: impl Fn(usize) -> f64,
-) -> Result<(), CoreError> {
+) -> Result<usize, CoreError> {
+    let mut dropped = 0;
     while current.len() > 1 {
         let vifs = max_vif_over_states(current, observations, states)?;
         let Some(drop_pos) = vifs
@@ -271,11 +301,12 @@ fn drop_high_vif(
                     .expect("finite correlations")
             })
         else {
-            return Ok(());
+            return Ok(dropped);
         };
         current.remove(drop_pos);
+        dropped += 1;
     }
-    Ok(())
+    Ok(dropped)
 }
 
 /// Whether adding `cand` to the set pushes *its own* VIF over the threshold.
@@ -510,6 +541,42 @@ mod tests {
             sel.var_names
         );
         assert!(sel.model.fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn selection_telemetry_accounts_for_every_set_change() {
+        let obs = synth_unary(600);
+        let mut tel = Telemetry::enabled();
+        let sel = select_variables_traced(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+            &mut tel,
+        )
+        .unwrap();
+        let basics = VariableFamily::Unary.basic_indexes().len() as u64;
+        let low_corr = tel.metrics.counter("selection.low_corr_dropped");
+        let screened = tel.metrics.counter("selection.vif_screened");
+        let eliminated = tel.metrics.counter("selection.vars_eliminated");
+        let added = tel.metrics.counter("selection.vars_added");
+        assert_eq!(
+            basics - low_corr - screened - eliminated + added,
+            sel.var_indexes.len() as u64,
+            "counters must reconcile with the final variable set"
+        );
+        // Same inputs, untraced: identical outcome.
+        let plain = select_variables(
+            VariableFamily::Unary,
+            &obs,
+            &states(),
+            ModelForm::General,
+            &SelectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.var_indexes, sel.var_indexes);
+        assert_eq!(plain.model.fit.r_squared, sel.model.fit.r_squared);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::model::{counts_per_state, fit_cost_model, min_obs_per_state, CostMode
 use crate::observation::Observation;
 use crate::qualvar::StateSet;
 use crate::CoreError;
+use mdbs_obs::Telemetry;
 use mdbs_stats::cluster_1d;
 
 /// Which state-determination algorithm to run.
@@ -125,6 +126,30 @@ pub fn determine_states(
     cfg: &StatesConfig,
     source: &mut dyn ObservationSource,
 ) -> Result<StatesResult, CoreError> {
+    determine_states_traced(
+        algorithm,
+        observations,
+        var_indexes,
+        var_names,
+        cfg,
+        source,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`determine_states`] with telemetry: records `states.*` counters
+/// (partition iterations, rank-deficient and collapsed proposals skipped,
+/// targeted resample draws, thin-state merges, phase-2 merges).
+#[allow(clippy::too_many_arguments)]
+pub fn determine_states_traced(
+    algorithm: StateAlgorithm,
+    observations: &mut Vec<Observation>,
+    var_indexes: &[usize],
+    var_names: &[String],
+    cfg: &StatesConfig,
+    source: &mut dyn ObservationSource,
+    tel: &mut Telemetry,
+) -> Result<StatesResult, CoreError> {
     if cfg.max_states == 0 {
         return Err(CoreError::Degenerate("max_states must be >= 1".into()));
     }
@@ -153,6 +178,7 @@ pub fn determine_states(
         if degenerate_range {
             break; // A constant probing cost admits only one state.
         }
+        tel.inc("states.partition_iterations", 1);
         let proposed = match algorithm {
             StateAlgorithm::Iupma => StateSet::uniform(c_min, c_max, m)?,
             StateAlgorithm::Icma => {
@@ -162,12 +188,14 @@ pub fn determine_states(
             }
         };
         if proposed.len() < m && proposed.len() <= best.num_states() {
+            tel.inc("states.collapsed_proposals", 1);
             continue; // Clustering could not produce more states.
         }
-        let states = populate_or_merge(proposed, observations, var_indexes.len(), source);
+        let states = populate_or_merge(proposed, observations, var_indexes.len(), source, tel);
         if states.len() <= history.last().map_or(1, |h| h.states)
             && states.len() <= best.num_states()
         {
+            tel.inc("states.collapsed_proposals", 1);
             continue; // Thin-state merging collapsed the proposal.
         }
         // A rank-deficient fit means some state's observations are
@@ -178,7 +206,10 @@ pub fn determine_states(
         // numeric failures still propagate.
         let model = match fit(observations, states) {
             Ok(model) => model,
-            Err(CoreError::Numeric(mdbs_stats::StatsError::Singular)) => continue,
+            Err(CoreError::Numeric(mdbs_stats::StatsError::Singular)) => {
+                tel.inc("states.rank_deficient_skipped", 1);
+                continue;
+            }
             Err(e) => return Err(e),
         };
         history.push(IterationStats {
@@ -207,6 +238,7 @@ pub fn determine_states(
         let merged_states = best.states.merge_with_next(i)?;
         best = fit(observations, merged_states)?;
         merges += 1;
+        tel.inc("states.merges", 1);
     }
 
     Ok(StatesResult {
@@ -239,6 +271,7 @@ fn populate_or_merge(
     observations: &mut Vec<Observation>,
     p: usize,
     source: &mut dyn ObservationSource,
+    tel: &mut Telemetry,
 ) -> StateSet {
     let need = min_obs_per_state(p);
     loop {
@@ -256,6 +289,7 @@ fn populate_or_merge(
                     debug_assert!(states.state_of(obs.probe_cost) == thin);
                     observations.push(obs);
                     drawn += 1;
+                    tel.inc("states.resample_draws", 1);
                 }
                 None => break,
             }
@@ -272,6 +306,7 @@ fn populate_or_merge(
         } else {
             thin
         };
+        tel.inc("states.thin_state_merges", 1);
         states = states
             .merge_with_next(merge_at)
             .expect("merge index verified in range");
@@ -525,6 +560,56 @@ mod tests {
         )
         .expect("singular proposals must not abort determination");
         assert_eq!(result.model.num_states(), 1);
+    }
+
+    #[test]
+    fn rank_deficient_skips_are_counted_without_changing_the_result() {
+        let make_obs = || -> Vec<Observation> {
+            (0..120)
+                .map(|i| {
+                    let probe = i as f64 / 12.0;
+                    let x = if probe >= 5.0 { 7.0 } else { (i % 25) as f64 };
+                    Observation {
+                        x: vec![x],
+                        cost: 1.0 + 2.0 * x + probe * 0.01,
+                        probe_cost: probe,
+                    }
+                })
+                .collect()
+        };
+        let mut plain_obs = make_obs();
+        let plain = determine_states(
+            StateAlgorithm::Iupma,
+            &mut plain_obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+        )
+        .unwrap();
+        let mut traced_obs = make_obs();
+        let mut tel = Telemetry::enabled();
+        let traced = determine_states_traced(
+            StateAlgorithm::Iupma,
+            &mut traced_obs,
+            &[0],
+            &["x".to_string()],
+            &StatesConfig::default(),
+            &mut NoResampling,
+            &mut tel,
+        )
+        .unwrap();
+        assert!(
+            tel.metrics.counter("states.rank_deficient_skipped") >= 1,
+            "the collinear upper band must trigger at least one skip"
+        );
+        assert!(tel.metrics.counter("states.partition_iterations") >= 1);
+        // Telemetry is observation-only: identical outcome either way.
+        assert_eq!(traced.model.num_states(), plain.model.num_states());
+        assert_eq!(traced.model.fit.r_squared, plain.model.fit.r_squared);
+        assert_eq!(traced.model.coefficients, plain.model.coefficients);
+        assert_eq!(traced.merges, plain.merges);
+        assert_eq!(traced_obs, plain_obs);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! The metrics registry: counters, gauges and log-bucketed histograms.
+//!
+//! All maps are `BTreeMap`s so iteration — and therefore every rendering —
+//! is deterministic. Histogram bucketing uses the IEEE-754 exponent of the
+//! value (bucket `e` covers `[2^e, 2^{e+1})`), which is exact integer
+//! arithmetic: no `log2` rounding differences can ever move a value across
+//! a bucket boundary.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Bucket index for non-positive or non-finite values.
+const UNDERFLOW_BUCKET: i32 = i32::MIN;
+
+/// A log-bucketed histogram of nonnegative measurements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// A point-in-time, render-ready view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+    /// `(bucket exponent, count)` pairs, ascending; bucket `e` covers
+    /// `[2^e, 2^{e+1})` and the underflow bucket (`i32::MIN`) collects
+    /// `v <= 0`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        *self.buckets.entry(bucket_of(value)).or_insert(0) += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// A render-ready snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            buckets: self.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+        }
+    }
+}
+
+/// The IEEE-754 exponent of `v`: `floor(log2(v))` for normal positive `v`.
+fn bucket_of(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return UNDERFLOW_BUCKET;
+    }
+    let biased = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormals all land in the lowest real bucket.
+        -1023
+    } else {
+        biased - 1023
+    }
+}
+
+impl HistogramSummary {
+    /// The summary as a JSON object (used by the JSONL rendering).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from(self.count)),
+            ("sum".into(), Json::from(self.sum)),
+            ("min".into(), Json::from(self.min)),
+            ("max".into(), Json::from(self.max)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(e, c)| Json::Arr(vec![Json::Int(e as i64), Json::from(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by `delta` (creating it at 0).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds to a gauge (creating it at 0) — for accumulated quantities like
+    /// per-component cost seconds.
+    pub fn add_gauge(&mut self, name: &str, delta: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Records a value into a histogram (creating it empty).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// A counter's current value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, when it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters and gauges add,
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            let mine = self.histograms.entry(name.clone()).or_default();
+            if mine.count == 0 {
+                *mine = hist.clone();
+                continue;
+            }
+            if hist.count > 0 {
+                mine.min = mine.min.min(hist.min);
+                mine.max = mine.max.max(hist.max);
+            }
+            mine.count += hist.count;
+            mine.sum += hist.sum;
+            for (&bucket, &count) in &hist.buckets {
+                *mine.buckets.entry(bucket).or_insert(0) += count;
+            }
+        }
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders a compact human-readable report (empty string when empty).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name} = {value:.4}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, hist) in &self.histograms {
+                let s = hist.summary();
+                out.push_str(&format!(
+                    "  {name}: n={} mean={:.4} min={:.4} max={:.4}\n",
+                    s.count,
+                    hist.mean(),
+                    s.min,
+                    s.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("a"), 0);
+        reg.inc("a", 2);
+        reg.inc("a", 3);
+        assert_eq!(reg.counter("a"), 5);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge("g", 2.5);
+        assert_eq!(reg.gauge("g"), Some(2.5));
+        reg.add_gauge("acc", 1.0);
+        reg.add_gauge("acc", 0.5);
+        assert_eq!(reg.gauge("acc"), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [1.0, 1.5, 2.0, 3.9, 4.0, 0.0, -1.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+        // [1,2): two values; [2,4): two; [4,8): one; underflow: two.
+        let lookup = |e: i32| s.buckets.iter().find(|&&(b, _)| b == e).map(|&(_, c)| c);
+        assert_eq!(lookup(0), Some(2));
+        assert_eq!(lookup(1), Some(2));
+        assert_eq!(lookup(2), Some(1));
+        assert_eq!(lookup(UNDERFLOW_BUCKET), Some(2));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn bucket_of_matches_log2_floor() {
+        for (v, e) in [
+            (1.0, 0),
+            (1.99, 0),
+            (2.0, 1),
+            (0.5, -1),
+            (0.26, -2),
+            (1024.0, 10),
+        ] {
+            assert_eq!(bucket_of(v), e, "bucket_of({v})");
+        }
+        assert_eq!(bucket_of(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::INFINITY), UNDERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.add_gauge("g", 1.0);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.inc("only_b", 7);
+        b.add_gauge("g", 0.5);
+        b.observe("h", 4.0);
+        b.observe("h2", 8.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.gauge("g"), Some(1.5));
+        let h = a.histogram("h").unwrap().summary();
+        assert_eq!((h.count, h.min, h.max), (2, 1.0, 4.0));
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn render_text_lists_everything_in_name_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("z.count", 1);
+        reg.inc("a.count", 2);
+        reg.set_gauge("g", 0.5);
+        reg.observe("h", 2.0);
+        let text = reg.render_text();
+        let a = text.find("a.count").unwrap();
+        let z = text.find("z.count").unwrap();
+        assert!(a < z, "counters must render in name order:\n{text}");
+        assert!(text.contains("g = 0.5000"));
+        assert!(text.contains("h: n=1"));
+        assert_eq!(MetricsRegistry::new().render_text(), "");
+    }
+}

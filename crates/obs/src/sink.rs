@@ -1,0 +1,218 @@
+//! Structured event sinks.
+//!
+//! A [`Telemetry`](crate::Telemetry) collection can be drained into any
+//! [`EventSink`]: keep events in memory ([`MemorySink`]), discard them
+//! ([`NullSink`]) or stream them to a JSONL file ([`JsonlFileSink`]).
+
+use crate::json::Json;
+use crate::metrics::HistogramSummary;
+use crate::span::SpanRecord;
+use std::io::Write;
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A finished (or open) span.
+    Span(SpanRecord),
+    /// A counter's final value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A gauge's final value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// A histogram's final summary.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Count/sum/min/max and log buckets.
+        summary: HistogramSummary,
+    },
+}
+
+impl Event {
+    /// The event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::Span(span) => span.to_json(),
+            Event::Counter { name, value } => Json::Obj(vec![
+                ("type".into(), Json::from("counter")),
+                ("name".into(), Json::from(name.as_str())),
+                ("value".into(), Json::from(*value)),
+            ]),
+            Event::Gauge { name, value } => Json::Obj(vec![
+                ("type".into(), Json::from("gauge")),
+                ("name".into(), Json::from(name.as_str())),
+                ("value".into(), Json::from(*value)),
+            ]),
+            Event::Histogram { name, summary } => {
+                let mut pairs = vec![
+                    ("type".into(), Json::from("histogram")),
+                    ("name".into(), Json::from(name.as_str())),
+                ];
+                if let Json::Obj(inner) = summary.to_json() {
+                    pairs.extend(inner);
+                }
+                Json::Obj(pairs)
+            }
+        }
+    }
+}
+
+/// A consumer of structured telemetry events.
+pub trait EventSink {
+    /// Accepts one event.
+    fn emit(&mut self, event: &Event);
+}
+
+/// A sink that throws everything away (telemetry disabled, but call sites
+/// unconditional).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// A sink that keeps every event in memory, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The events emitted so far, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A sink that streams each event as one JSON line to a file.
+///
+/// Write errors are latched rather than panicking mid-pipeline; call
+/// [`Self::finish`] to flush and surface them.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlFileSink {
+            writer: std::io::BufWriter::new(std::fs::File::create(path)?),
+            error: None,
+        })
+    }
+
+    /// Flushes and returns the first write error, if any occurred.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+impl EventSink for JsonlFileSink {
+    fn emit(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json().render();
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mut hist = crate::metrics::Histogram::default();
+        hist.record(2.0);
+        hist.record(5.0);
+        vec![
+            Event::Counter {
+                name: "engine.executions".into(),
+                value: 3,
+            },
+            Event::Gauge {
+                name: "engine.cost.cpu_s".into(),
+                value: 1.5,
+            },
+            Event::Histogram {
+                name: "inflation".into(),
+                summary: hist.summary(),
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let mut sink = MemorySink::new();
+        for e in sample_events() {
+            sink.emit(&e);
+        }
+        assert_eq!(sink.events().len(), 3);
+        assert!(matches!(sink.events()[0], Event::Counter { .. }));
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        for e in sample_events() {
+            sink.emit(&e);
+        }
+    }
+
+    #[test]
+    fn events_render_as_parseable_json() {
+        for e in sample_events() {
+            let line = e.to_json().render();
+            let parsed = crate::json::parse(&line).expect("valid JSON");
+            assert!(parsed.get("type").is_some(), "{line}");
+            assert!(parsed.get("name").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn file_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("mdbs-obs-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("sink.jsonl");
+        let mut sink = JsonlFileSink::create(&path).expect("create file");
+        let events = sample_events();
+        for e in &events {
+            sink.emit(e);
+        }
+        sink.finish().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in lines {
+            crate::json::parse(line).expect("each line parses");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Hierarchical spans.
+//!
+//! A span covers one stage of a pipeline (e.g. `derive.sampling`). Spans
+//! nest: a span begun while another is open becomes its child. Every
+//! deterministic payload lives in `fields` (virtual-time attribution goes
+//! there, under keys like `virtual_s`); the *only* non-deterministic datum
+//! is `wall_ms`, the wall-clock duration, which the rendering keeps in a
+//! field named by [`crate::telemetry::WALL_CLOCK_FIELDS`] so determinism
+//! comparisons can strip it.
+
+use crate::json::Json;
+
+/// Handle to an open span, returned by
+/// [`Telemetry::begin_span`](crate::Telemetry::begin_span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) usize);
+
+impl SpanId {
+    /// The id handed out by a disabled [`Telemetry`](crate::Telemetry):
+    /// every operation on it is a no-op.
+    pub(crate) const DISABLED: SpanId = SpanId(usize::MAX);
+}
+
+/// One finished (or still open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `derive.states`.
+    pub name: String,
+    /// Begin-order sequence number (0-based, also the record's index).
+    pub seq: u64,
+    /// `seq` of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Deterministic payload, in insertion order.
+    pub fields: Vec<(String, Json)>,
+    /// Wall-clock duration in milliseconds. **Non-deterministic** — never
+    /// compare across runs; see the crate-level determinism policy.
+    pub wall_ms: f64,
+    /// Whether `end_span` has run (open spans render with `wall_ms = 0`).
+    pub closed: bool,
+}
+
+impl SpanRecord {
+    /// The span as a JSON object (one JSONL line).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("type".into(), Json::from("span")),
+            ("seq".into(), Json::from(self.seq)),
+            ("parent".into(), self.parent.map_or(Json::Null, Json::from)),
+            ("depth".into(), Json::from(self.depth)),
+            ("name".into(), Json::from(self.name.as_str())),
+            ("wall_ms".into(), Json::from(self.wall_ms)),
+            ("fields".into(), Json::Obj(self.fields.clone())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_json_renders_every_component() {
+        let span = SpanRecord {
+            name: "derive.fit".into(),
+            seq: 3,
+            parent: Some(0),
+            depth: 1,
+            fields: vec![("r_squared".into(), Json::Float(0.98))],
+            wall_ms: 1.25,
+            closed: true,
+        };
+        let line = span.to_json().render();
+        assert_eq!(
+            line,
+            "{\"type\":\"span\",\"seq\":3,\"parent\":0,\"depth\":1,\
+             \"name\":\"derive.fit\",\"wall_ms\":1.25,\"fields\":{\"r_squared\":0.98}}"
+        );
+    }
+
+    #[test]
+    fn root_span_has_null_parent() {
+        let span = SpanRecord {
+            name: "derive".into(),
+            seq: 0,
+            parent: None,
+            depth: 0,
+            fields: vec![],
+            wall_ms: 0.0,
+            closed: false,
+        };
+        assert!(span.to_json().render().contains("\"parent\":null"));
+    }
+}

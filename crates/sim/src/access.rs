@@ -35,6 +35,28 @@ pub enum JoinAccess {
     IndexNestedLoop,
 }
 
+impl std::fmt::Display for UnaryAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            UnaryAccess::SeqScan => "SeqScan",
+            UnaryAccess::ClusteredIndexScan => "ClusteredIndexScan",
+            UnaryAccess::NonClusteredIndexScan => "NonClusteredIndexScan",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::fmt::Display for JoinAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            JoinAccess::NestedLoop => "NestedLoop",
+            JoinAccess::SortMerge => "SortMerge",
+            JoinAccess::IndexNestedLoop => "IndexNestedLoop",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Picks the access method for a unary query the way a cost-based local
 /// optimizer of the era would:
 ///

@@ -26,6 +26,7 @@ use crate::sysstats::SystemStats;
 use crate::trace::{ExecutionTrace, TraceEntry};
 use crate::util::noise_factor;
 use crate::vendor::VendorProfile;
+use mdbs_obs::MetricsRegistry;
 use mdbs_stats::rng::Rng;
 
 /// The physical operator the local DBS chose for an execution.
@@ -35,6 +36,15 @@ pub enum ChosenAccess {
     Unary(UnaryAccess),
     /// A join operator.
     Join(JoinAccess),
+}
+
+impl std::fmt::Display for ChosenAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChosenAccess::Unary(a) => a.fmt(f),
+            ChosenAccess::Join(a) => a.fmt(f),
+        }
+    }
 }
 
 /// Result-size information attached to an execution.
@@ -88,6 +98,7 @@ pub struct MdbsAgent {
     executions: u64,
     clock_s: f64,
     trace: Option<ExecutionTrace>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl MdbsAgent {
@@ -104,6 +115,7 @@ impl MdbsAgent {
             executions: 0,
             clock_s: 0.0,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -116,6 +128,30 @@ impl MdbsAgent {
     /// The execution trace, when enabled.
     pub fn trace(&self) -> Option<&ExecutionTrace> {
         self.trace.as_ref()
+    }
+
+    /// Enables metrics collection (replacing any existing registry). While
+    /// enabled, every execution updates `engine.*` counters, per-component
+    /// cost gauges and the contention-inflation histogram.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(MetricsRegistry::new());
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Takes the metrics registry out of the agent (leaving collection
+    /// enabled with a fresh one) — for folding into a pipeline
+    /// [`Telemetry`](mdbs_obs::Telemetry) at stage boundaries.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.replace(MetricsRegistry::new())
+    }
+
+    /// Disables metrics collection, returning whatever was recorded.
+    pub fn disable_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take()
     }
 
     /// The vendor profile (display purposes).
@@ -185,9 +221,10 @@ impl MdbsAgent {
                 (d, ChosenAccess::Join(a), ExecutionSizes::Join(s))
             }
         };
-        let stretched = self
+        let (init, io, cpu) = self
             .machine
-            .elapsed(demand.init_s, demand.io_s, demand.cpu_s);
+            .elapsed_parts(demand.init_s, demand.io_s, demand.cpu_s);
+        let stretched = init + io + cpu;
         // Momentary environmental fluctuation: multiplicative noise plus a
         // small absolute floor that dominates only for tiny queries — the
         // reason the paper finds small-cost queries harder to estimate.
@@ -195,6 +232,16 @@ impl MdbsAgent {
             + self.rng.normal(0.0, 0.04).abs();
         self.executions += 1;
         self.clock_s += cost;
+        if let Some(metrics) = &mut self.metrics {
+            metrics.inc("engine.executions", 1);
+            metrics.add_gauge("engine.cost.init_s", init);
+            metrics.add_gauge("engine.cost.io_s", io);
+            metrics.add_gauge("engine.cost.cpu_s", cpu);
+            let demand_total = demand.init_s + demand.io_s + demand.cpu_s;
+            if demand_total > 0.0 {
+                metrics.observe("engine.contention_inflation", stretched / demand_total);
+            }
+        }
         if let Some(trace) = &mut self.trace {
             let result_card = match sizes {
                 ExecutionSizes::Unary(s) => s.result,
@@ -241,6 +288,9 @@ impl MdbsAgent {
     /// observed cost.
     pub fn probe(&mut self) -> f64 {
         let q = self.probing_query();
+        if let Some(metrics) = &mut self.metrics {
+            metrics.inc("engine.probes", 1);
+        }
         self.run(&q)
             .expect("probing query references a catalog table")
             .cost_s
@@ -560,6 +610,65 @@ mod tests {
         assert_eq!(t.total_recorded(), 5);
         assert!(t.mean_cost() > 0.0);
         assert!(t.report().contains("SeqScan") || t.report().contains("Index"));
+    }
+
+    #[test]
+    fn metrics_count_executions_and_break_down_cost() {
+        let mut a = agent();
+        assert!(a.metrics().is_none());
+        a.enable_metrics();
+        let q = any_query(&a);
+        for _ in 0..4 {
+            a.run(&q).unwrap();
+        }
+        a.probe();
+        let m = a.metrics().unwrap();
+        assert_eq!(m.counter("engine.executions"), 5);
+        assert_eq!(m.counter("engine.probes"), 1);
+        let init = m.gauge("engine.cost.init_s").unwrap();
+        let io = m.gauge("engine.cost.io_s").unwrap();
+        let cpu = m.gauge("engine.cost.cpu_s").unwrap();
+        assert!(init > 0.0 && io > 0.0 && cpu > 0.0);
+        let inflation = m.histogram("engine.contention_inflation").unwrap();
+        assert_eq!(inflation.count(), 5);
+        // Idle machine: stretched/demand == 1 exactly.
+        assert!((inflation.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_do_not_disturb_costs() {
+        let mut plain = agent();
+        let mut metered = agent();
+        metered.enable_metrics();
+        let q = any_query(&plain);
+        assert_eq!(
+            plain.run(&q).unwrap().cost_s,
+            metered.run(&q).unwrap().cost_s
+        );
+    }
+
+    #[test]
+    fn take_metrics_leaves_collection_enabled() {
+        let mut a = agent();
+        a.enable_metrics();
+        let q = any_query(&a);
+        a.run(&q).unwrap();
+        let taken = a.take_metrics().unwrap();
+        assert_eq!(taken.counter("engine.executions"), 1);
+        a.run(&q).unwrap();
+        assert_eq!(a.metrics().unwrap().counter("engine.executions"), 1);
+    }
+
+    #[test]
+    fn chosen_access_displays_like_debug() {
+        let unary = ChosenAccess::Unary(crate::access::UnaryAccess::SeqScan);
+        let join = ChosenAccess::Join(crate::access::JoinAccess::SortMerge);
+        assert_eq!(unary.to_string(), "SeqScan");
+        assert_eq!(join.to_string(), "SortMerge");
+        assert_eq!(
+            format!("{:?}", crate::access::UnaryAccess::NonClusteredIndexScan),
+            crate::access::UnaryAccess::NonClusteredIndexScan.to_string()
+        );
     }
 
     #[test]

@@ -121,7 +121,19 @@ impl Machine {
     /// Initialization (opening cursors, process startup) is mostly CPU-bound
     /// and stretches with the CPU factor.
     pub fn elapsed(&self, init_s: f64, io_s: f64, cpu_s: f64) -> f64 {
-        init_s * self.cpu_factor() + io_s * self.io_factor() + cpu_s * self.cpu_factor()
+        let (init, io, cpu) = self.elapsed_parts(init_s, io_s, cpu_s);
+        init + io + cpu
+    }
+
+    /// The per-component breakdown of [`Self::elapsed`]: stretched
+    /// `(init, io, cpu)` seconds under the current load. Telemetry uses
+    /// this to attribute cost to components without re-deriving factors.
+    pub fn elapsed_parts(&self, init_s: f64, io_s: f64, cpu_s: f64) -> (f64, f64, f64) {
+        (
+            init_s * self.cpu_factor(),
+            io_s * self.io_factor(),
+            cpu_s * self.cpu_factor(),
+        )
     }
 }
 

@@ -93,11 +93,7 @@ impl ExecutionTrace {
     pub fn access_histogram(&self) -> Vec<(String, usize)> {
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
         for e in &self.entries {
-            let key = match e.access {
-                ChosenAccess::Unary(a) => format!("{a:?}"),
-                ChosenAccess::Join(a) => format!("{a:?}"),
-            };
-            *counts.entry(key).or_default() += 1;
+            *counts.entry(e.access.to_string()).or_default() += 1;
         }
         counts.into_iter().collect()
     }

@@ -4,14 +4,14 @@
 //! any registry dependency breaks `cargo build --offline` at resolution
 //! time — before a single test runs. This test parses every manifest in the
 //! workspace and fails if a dependency section names anything other than
-//! the three in-tree path crates. The check is a whitelist on purpose:
+//! the in-tree path crates. The check is a whitelist on purpose:
 //! naming specific banned packages would rot as soon as a new one appeared.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The only dependencies any manifest may declare: our own path crates.
-const ALLOWED: [&str; 3] = ["mdbs-stats", "mdbs-sim", "mdbs-core"];
+const ALLOWED: [&str; 4] = ["mdbs-obs", "mdbs-stats", "mdbs-sim", "mdbs-core"];
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")

@@ -1,0 +1,100 @@
+//! Telemetry determinism and coverage, end to end.
+//!
+//! The determinism policy (`mdbs-obs` crate docs, DESIGN.md §5): telemetry
+//! from a seeded run is a pure function of the seeds *except* for
+//! wall-clock attribution, which is confined to fields named in
+//! `mdbs_obs::telemetry::WALL_CLOCK_FIELDS`. After stripping those fields
+//! the rendered JSONL from two identically seeded derivations must be
+//! byte-identical.
+
+use mdbs_bench::workloads::Site;
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::{derive_cost_model_traced, DerivationConfig};
+use mdbs_core::states::StateAlgorithm;
+use mdbs_obs::telemetry::strip_wall_clock;
+use mdbs_obs::{json, Telemetry};
+
+/// One fully traced derivation with fixed seeds; returns the telemetry.
+fn traced_derivation() -> Telemetry {
+    let mut agent = Site::Oracle.dynamic_agent(123);
+    let mut tel = Telemetry::enabled();
+    derive_cost_model_traced(
+        &mut agent,
+        QueryClass::UnaryNoIndex,
+        StateAlgorithm::Iupma,
+        &DerivationConfig::quick(),
+        7,
+        &mut tel,
+    )
+    .expect("derivation succeeds");
+    tel
+}
+
+#[test]
+fn same_seed_telemetry_is_byte_identical_after_wall_clock_strip() {
+    let first = strip_wall_clock(&traced_derivation().render_jsonl());
+    let second = strip_wall_clock(&traced_derivation().render_jsonl());
+    assert!(!first.is_empty(), "no telemetry recorded");
+    assert_eq!(
+        first, second,
+        "telemetry minus wall-clock must be a pure function of the seeds"
+    );
+    // The strip really removed the one sanctioned non-deterministic field.
+    assert!(
+        !first.contains("wall_ms"),
+        "strip_wall_clock left a wall_ms field behind"
+    );
+}
+
+#[test]
+fn derivation_emits_exactly_one_span_per_pipeline_stage() {
+    let tel = traced_derivation();
+    let jsonl = tel.render_jsonl();
+    for stage in [
+        "derive.sampling",
+        "derive.states",
+        "derive.selection",
+        "derive.fit",
+        "derive.validation",
+    ] {
+        let n = jsonl
+            .lines()
+            .filter(|l| l.contains(&format!("\"name\":\"{stage}\"")))
+            .count();
+        assert_eq!(n, 1, "expected exactly one `{stage}` span, got {n}");
+    }
+    // Stage spans nest under the root `derive` span.
+    let root = jsonl
+        .lines()
+        .filter(|l| l.contains("\"name\":\"derive\""))
+        .count();
+    assert_eq!(root, 1, "expected exactly one root `derive` span");
+}
+
+#[test]
+fn derivation_folds_engine_metrics_into_the_telemetry() {
+    let tel = traced_derivation();
+    let executions = tel.metrics.counter("engine.executions");
+    assert!(
+        executions > 0,
+        "engine execution counter should be folded in, got {executions}"
+    );
+    let probes = tel.metrics.counter("engine.probes");
+    assert!(
+        probes > 0,
+        "probe counter should be folded in, got {probes}"
+    );
+}
+
+#[test]
+fn every_rendered_telemetry_line_is_valid_json() {
+    let tel = traced_derivation();
+    for line in tel.render_jsonl().lines() {
+        let parsed = json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable telemetry line `{line}`: {e:?}"));
+        assert!(
+            parsed.get("type").is_some(),
+            "telemetry line lacks a `type` field: {line}"
+        );
+    }
+}
