@@ -21,6 +21,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc --offline --no-deps (deny rustdoc warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
+echo "==> cargo test --examples (examples as tests)"
+cargo test -q --offline --workspace --examples
+
 echo "==> repro fig1 --quick --telemetry (JSONL smoke)"
 # repro validates every telemetry line parses before writing and exits
 # non-zero otherwise, so the exit status is the assertion; the file
@@ -29,5 +32,21 @@ TELEMETRY_SMOKE="${TMPDIR:-/tmp}/mdbs-ci-telemetry.jsonl"
 ./target/release/repro fig1 --quick --telemetry "$TELEMETRY_SMOKE" > /dev/null
 test -s "$TELEMETRY_SMOKE"
 rm -f "$TELEMETRY_SMOKE"
+
+echo "==> repro parallel --quick (serial-vs-parallel identity)"
+# The runner itself fails if any worker count's catalog diverges from the
+# serial one.
+./target/release/repro parallel --quick > /dev/null
+
+echo "==> derive --jobs 1/2/8 -> byte-identical catalogs"
+PAR_DIR="${TMPDIR:-/tmp}/mdbs-ci-parallel.$$"
+mkdir -p "$PAR_DIR"
+for j in 1 2 8; do
+  ./target/release/mdbs-qcost derive --site all --class g1 --seed 7 \
+    --jobs "$j" --out "$PAR_DIR/catalog-$j.txt" > /dev/null
+done
+cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-2.txt"
+cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-8.txt"
+rm -rf "$PAR_DIR"
 
 echo "==> ci.sh: all checks passed"

@@ -8,6 +8,7 @@ use mdbs_bench::workloads::Site;
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{collect_observations, derive_cost_model, DerivationConfig};
 use mdbs_core::model::{fit_cost_model, ModelForm};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
@@ -34,8 +35,14 @@ fn main() {
     ] {
         h.bench(&format!("derive_cost_model/{name}"), 1, 10, || {
             let mut agent = Site::Oracle.dynamic_agent(31);
-            derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &quick_cfg(), 32)
-                .expect("derivation succeeds")
+            derive_cost_model(
+                &mut agent,
+                class,
+                StateAlgorithm::Iupma,
+                &quick_cfg(),
+                &mut PipelineCtx::seeded(32),
+            )
+            .expect("derivation succeeds")
         });
     }
 
@@ -82,8 +89,14 @@ fn main() {
     ] {
         h.bench(&format!("algorithm_ablation/{name}"), 1, 10, || {
             let mut agent = Site::Oracle.clustered_agent(51);
-            derive_cost_model(&mut agent, QueryClass::UnaryNoIndex, algo, &quick_cfg(), 52)
-                .expect("derivation succeeds")
+            derive_cost_model(
+                &mut agent,
+                QueryClass::UnaryNoIndex,
+                algo,
+                &quick_cfg(),
+                &mut PipelineCtx::seeded(52),
+            )
+            .expect("derivation succeeds")
         });
     }
 

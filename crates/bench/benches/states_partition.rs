@@ -4,6 +4,7 @@
 
 use mdbs_bench::harness::Harness;
 use mdbs_core::observation::Observation;
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::states::{determine_states, NoResampling, StateAlgorithm, StatesConfig};
 use mdbs_stats::cluster_1d;
@@ -62,6 +63,7 @@ fn main() {
                     &["x".to_string()],
                     &StatesConfig::default(),
                     &mut NoResampling,
+                    &mut PipelineCtx::default(),
                 )
                 .expect("determination succeeds")
             });

@@ -1,11 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--telemetry events.jsonl] [fig1|table4|table5|table6|fig4_9|fig10|states|all]
+//! repro [--quick] [--telemetry events.jsonl] [fig1|table4|table5|table6|fig4_9|fig10|states|parallel|all]
 //! ```
 //!
 //! `--quick` trades sample sizes for speed (useful for smoke runs); the
 //! default uses the paper's planned sample sizes (eq. (4)).
+//!
+//! Every target's stdout is byte-identical across runs except `parallel`,
+//! which reports wall-clock times — it therefore only runs when named
+//! explicitly, never as part of `all`.
 //!
 //! `--telemetry PATH` wraps every experiment in a span, validates the
 //! rendered JSONL line-by-line (exiting non-zero if any line fails to
@@ -13,8 +17,9 @@
 
 use mdbs_bench::experiments::fig4_9::multi_wins;
 use mdbs_bench::experiments::{
-    average_improvement, fig1, fig10, fig4_9, forms_ablation, noise_sensitivity, plan_quality,
-    probe_ablation, range_sensitivity, states_sweep, table4, table5, table6, Table5Config,
+    average_improvement, fig1, fig10, fig4_9, forms_ablation, noise_sensitivity, parallel_derive,
+    plan_quality, probe_ablation, range_sensitivity, states_sweep, table4, table5, table6,
+    Table5Config,
 };
 use mdbs_core::classes::QueryClass;
 use mdbs_obs::{json, JsonlFileSink, Telemetry};
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
         "probe",
         "sensitivity",
         "plans",
+        "parallel",
         "all",
     ];
     if !known.contains(&target) {
@@ -94,7 +100,9 @@ fn main() -> ExitCode {
     tel.field(root, "target", target.to_string());
     tel.field(root, "quick", if quick { 1u64 } else { 0u64 });
 
-    let run = |name: &str| target == name || target == "all";
+    // `parallel` prints wall-clock times (its whole point), which would
+    // break `all`'s byte-identical-stdout guarantee — explicit target only.
+    let run = |name: &str| target == name || (target == "all" && name != "parallel");
     let result = (|tel: &mut Telemetry| -> Result<(), Box<dyn std::error::Error>> {
         let experiment = |tel: &mut Telemetry, name: &str| {
             tel.inc("repro.experiments", 1);
@@ -196,6 +204,17 @@ fn main() -> ExitCode {
             banner("E-PLAN (extension)");
             let (n, sc) = if opts.quick { (300, 10) } else { (500, 20) };
             println!("{}", plan_quality(n, sc)?);
+            tel.end_span(span);
+        }
+        if run("parallel") {
+            let span = experiment(tel, "parallel");
+            banner("E-PAR (extension)");
+            let sweep = parallel_derive(if opts.quick { 150 } else { 300 }, &[1, 2, 4, 8])?;
+            println!("{sweep}");
+            if sweep.rows.iter().any(|r| !r.identical) {
+                return Err("parallel batch diverged from the serial catalog".into());
+            }
+            tel.field(span, "jobs", sweep.jobs as u64);
             tel.end_span(span);
         }
         if run("table6") {

@@ -18,6 +18,7 @@ use crate::workloads::{seed_for, Site};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{collect_observations, derive_cost_model, DerivationConfig};
 use mdbs_core::model::{fit_cost_model, ModelForm};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::probing::ProbeCostEstimator;
 use mdbs_core::qualvar::StateSet;
 use mdbs_core::sampling::SampleGenerator;
@@ -233,7 +234,7 @@ pub fn probe_ablation(
         class,
         StateAlgorithm::Iupma,
         &cfg,
-        seed_for(site, class, 45),
+        &mut PipelineCtx::seeded(seed_for(site, class, 45)),
     )?;
     let estimator: &ProbeCostEstimator = derived
         .probe_estimator

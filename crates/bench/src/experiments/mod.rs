@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod fig1;
 pub mod fig10;
 pub mod fig4_9;
+pub mod parallel_derive;
 pub mod plan_quality;
 pub mod sensitivity;
 pub mod states_sweep;
@@ -20,6 +21,7 @@ pub use ablations::{forms_ablation, probe_ablation, FormsAblation, ProbeAblation
 pub use fig1::{fig1, Fig1};
 pub use fig10::{fig10, Fig10};
 pub use fig4_9::{average_improvement, fig4_9, Fig4to9};
+pub use parallel_derive::{parallel_derive, ParallelDerive, ParallelDeriveRow};
 pub use plan_quality::{plan_quality, PlanQuality};
 pub use sensitivity::{noise_sensitivity, range_sensitivity, Sensitivity};
 pub use states_sweep::{states_sweep, StatesSweep};
@@ -125,7 +127,7 @@ mod tests {
             QueryClass::UnaryNoIndex,
             StateAlgorithm::Iupma,
             &DerivationConfig::quick(),
-            901,
+            &mut mdbs_core::pipeline::PipelineCtx::seeded(901),
         )
         .unwrap();
         let points = run_test_suite(

@@ -1,0 +1,158 @@
+//! Serial vs parallel batch derivation (`derive_all` on the worker pool).
+//!
+//! Derives the same `(site, class)` batch at several worker counts,
+//! reporting wall-clock time, speedup over the serial run and — the
+//! property the pool actually guarantees — whether the derived catalog is
+//! byte-identical to the serial one. Wall-clock numbers are whatever the
+//! host gives (a single-CPU container shows ~1x); the identity column must
+//! read `yes` everywhere regardless.
+
+use std::time::Duration;
+
+use crate::workloads::Site;
+use mdbs_core::catalog::GlobalCatalog;
+use mdbs_core::classes::QueryClass;
+use mdbs_core::derive::{derive_all, BatchConfig, DerivationConfig, DeriveJob};
+use mdbs_core::pipeline::PipelineCtx;
+use mdbs_core::states::{StateAlgorithm, StatesConfig};
+use mdbs_core::CoreError;
+use mdbs_sim::MdbsAgent;
+
+/// One worker-count measurement.
+#[derive(Debug, Clone)]
+pub struct ParallelDeriveRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Serial wall-clock divided by this row's wall-clock.
+    pub speedup: f64,
+    /// Whether the exported catalog matches the serial run byte for byte.
+    pub identical: bool,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelDerive {
+    /// Jobs in the batch (sites x classes).
+    pub jobs: usize,
+    /// One row per worker count, serial first.
+    pub rows: Vec<ParallelDeriveRow>,
+}
+
+impl std::fmt::Display for ParallelDerive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "parallel batch derivation: {} jobs (2 sites x 2 classes)",
+            self.jobs
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>9} {:>10}",
+            "workers", "wall (ms)", "speedup", "identical"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>12.1} {:>8.2}x {:>10}",
+                r.workers,
+                r.wall.as_secs_f64() * 1e3,
+                r.speedup,
+                if r.identical { "yes" } else { "NO" }
+            )?;
+        }
+        write!(
+            f,
+            "identity is the guarantee (per-job RNG streams split from the root\n\
+             seed by job key); speedup is whatever the host's cores allow"
+        )
+    }
+}
+
+/// The canonical batch: both sites, the two cheapest unary classes.
+fn batch_jobs() -> Vec<DeriveJob> {
+    let mut jobs = Vec::new();
+    for site in [Site::Db2, Site::Oracle] {
+        for class in [QueryClass::UnaryNoIndex, QueryClass::UnaryNonClusteredIndex] {
+            jobs.push(DeriveJob::new(site_id(site), class, StateAlgorithm::Iupma));
+        }
+    }
+    jobs
+}
+
+fn site_id(site: Site) -> &'static str {
+    match site {
+        Site::Oracle => "oracle",
+        Site::Db2 => "db2",
+    }
+}
+
+/// The dynamic agent for a batch job (sites resolved by catalog id).
+pub fn job_agent(job: &DeriveJob, env_seed: u64) -> MdbsAgent {
+    match job.site.0.as_str() {
+        "oracle" => Site::Oracle.dynamic_agent(env_seed),
+        "db2" => Site::Db2.dynamic_agent(env_seed),
+        other => panic!("unknown batch site `{other}`"),
+    }
+}
+
+/// Runs the batch once at `workers` workers and returns the exported
+/// catalog plus the wall-clock time.
+pub fn run_batch(
+    sample_size: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<(String, Duration), CoreError> {
+    let cfg = BatchConfig {
+        derivation: DerivationConfig {
+            states: StatesConfig {
+                max_states: 3,
+                ..StatesConfig::default()
+            },
+            sample_size: Some(sample_size),
+            fit_probe_estimator: false,
+            ..DerivationConfig::default()
+        },
+        workers: Some(workers),
+    };
+    let start = std::time::Instant::now();
+    let outcomes = derive_all(
+        batch_jobs(),
+        &cfg,
+        job_agent,
+        &mut PipelineCtx::seeded(seed),
+    );
+    let wall = start.elapsed();
+    let mut catalog = GlobalCatalog::new();
+    for outcome in outcomes {
+        let derived = outcome.result?;
+        catalog.insert_model(outcome.job.site, outcome.job.class, derived.model);
+    }
+    Ok((catalog.export(), wall))
+}
+
+/// Sweeps `worker_counts` (serial first) over the canonical batch.
+pub fn parallel_derive(
+    sample_size: usize,
+    worker_counts: &[usize],
+) -> Result<ParallelDerive, CoreError> {
+    let jobs = batch_jobs().len();
+    let (baseline, serial_wall) = run_batch(sample_size, 1, 7)?;
+    let mut rows = vec![ParallelDeriveRow {
+        workers: 1,
+        wall: serial_wall,
+        speedup: 1.0,
+        identical: true,
+    }];
+    for &workers in worker_counts.iter().filter(|&&w| w != 1) {
+        let (export, wall) = run_batch(sample_size, workers, 7)?;
+        rows.push(ParallelDeriveRow {
+            workers,
+            wall,
+            speedup: serial_wall.as_secs_f64() / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+            identical: export == baseline,
+        });
+    }
+    Ok(ParallelDerive { jobs, rows })
+}

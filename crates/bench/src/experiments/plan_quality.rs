@@ -28,6 +28,7 @@ use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::mdbs::Mdbs;
 use mdbs_core::optimizer::{GlobalJoin, GlobalOptimizer, JoinOperand, PlanEstimate};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_core::CoreError;
 use mdbs_sim::contention::Load;
@@ -118,7 +119,7 @@ fn build_catalogs(sample_size: usize) -> Result<(GlobalCatalog, GlobalCatalog), 
                 class,
                 StateAlgorithm::Iupma,
                 &cfg,
-                seed_for(site, class, 61),
+                &mut PipelineCtx::seeded(seed_for(site, class, 61)),
             )?;
             multi.insert_model(site.name().into(), class, derived.model);
             // Static Approach 1: derived on a quiet machine, single state.
@@ -137,7 +138,7 @@ fn build_catalogs(sample_size: usize) -> Result<(GlobalCatalog, GlobalCatalog), 
                 class,
                 StateAlgorithm::Iupma,
                 &cfg,
-                seed_for(site, class, 63),
+                &mut PipelineCtx::seeded(seed_for(site, class, 63)),
             )?;
             static1.insert_model(site.name().into(), class, derived.model);
         }

@@ -14,6 +14,7 @@ use crate::experiments::{run_test_suite, test_points};
 use crate::workloads::UNIFORM_LO;
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::validate::{quality, Quality};
 use mdbs_core::CoreError;
@@ -91,7 +92,7 @@ fn sweep_point(
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &cfg,
-        902,
+        &mut PipelineCtx::seeded(902),
     )?;
     let points = run_test_suite(
         &mut agent,

@@ -8,6 +8,7 @@
 use crate::workloads::{paper_classes, seed_for, Site};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig, DerivedModel};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::CoreError;
 
@@ -66,7 +67,7 @@ pub fn table4(sample_size: Option<usize>) -> Result<Table4, CoreError> {
                 class,
                 StateAlgorithm::Iupma,
                 &cfg,
-                seed_for(site, class, 11),
+                &mut PipelineCtx::seeded(seed_for(site, class, 11)),
             )?;
             entries.push(Table4Entry {
                 label: format!("{label} ({})", site.name()),

@@ -18,6 +18,7 @@ use crate::experiments::{run_test_suite, test_points, MultiEstimatePoint};
 use crate::workloads::{paper_classes, seed_for, Site};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig, DerivedModel};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_core::validate::quality;
 use mdbs_core::CoreError;
@@ -161,7 +162,7 @@ pub fn derive_combo(
         class,
         StateAlgorithm::Iupma,
         &derivation_cfg,
-        seed_for(site, class, 1),
+        &mut PipelineCtx::seeded(seed_for(site, class, 1)),
     )?;
 
     // Static Approach 1: same budget, static environment, single state.
@@ -180,7 +181,7 @@ pub fn derive_combo(
         class,
         StateAlgorithm::Iupma,
         &static_cfg,
-        seed_for(site, class, 3),
+        &mut PipelineCtx::seeded(seed_for(site, class, 3)),
     )?;
 
     // Held-out test workload in the dynamic environment, priced by all

@@ -17,6 +17,7 @@ use crate::workloads::{seed_for, Site};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::collect_observations;
 use mdbs_core::model::CostModel;
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::selection::{select_variables, SelectionConfig};
 use mdbs_core::states::{determine_states, NoResampling, StateAlgorithm, StatesConfig};
@@ -126,6 +127,7 @@ pub fn table6(
             &basic_names,
             &cfg,
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )?;
         let sel = select_variables(
             family,
@@ -133,6 +135,7 @@ pub fn table6(
             &states_result.model.states,
             cfg.form,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )?;
         Ok(sel.model)
     };

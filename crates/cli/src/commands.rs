@@ -5,39 +5,90 @@ use crate::args::{Args, ArgsError};
 use crate::site::{parse_profile, site_agent, SiteName};
 use mdbs_core::catalog::GlobalCatalog;
 use mdbs_core::classes::{classify, QueryClass};
-use mdbs_core::derive::{derive_cost_model_traced, DerivationConfig};
+use mdbs_core::derive::{derive_all, derive_cost_model, BatchConfig, DerivationConfig, DeriveJob};
+use mdbs_core::pipeline::PipelineCtx;
+use mdbs_core::registry::ModelRegistry;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_obs::{JsonlFileSink, Telemetry};
 use mdbs_sim::sql::parse_query;
 use mdbs_sim::trace::ExecutionTrace;
+use mdbs_stats::rng::split_stream;
 
-/// A CLI-level error (argument, IO or derivation).
+/// A CLI-level error.
+///
+/// Each variant keeps its cause as structured data instead of flattening it
+/// into a string, so `main` can map variants to exit codes and callers can
+/// match on the root cause through [`std::error::Error::source`].
 #[derive(Debug)]
-pub struct CliError(pub String);
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Args(ArgsError),
+    /// The cost-model machinery failed.
+    Core(mdbs_core::CoreError),
+    /// A file could not be read or written.
+    Io {
+        /// What the CLI was doing (e.g. `cannot read \`catalog.txt\``).
+        context: String,
+        /// The underlying IO error.
+        source: std::io::Error,
+    },
+    /// The request was well-formed but cannot be satisfied (unknown class
+    /// name, unclassifiable query, missing model, malformed query file...).
+    Invalid(String),
+}
 
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+impl CliError {
+    /// The process exit code for this error: 2 for bad input, 3 for IO
+    /// failures, 4 for derivation/estimation failures.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Args(_) | CliError::Invalid(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Core(_) => 4,
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Args(e) => Some(e),
+            CliError::Core(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+            CliError::Invalid(_) => None,
+        }
+    }
+}
 
 impl From<ArgsError> for CliError {
     fn from(e: ArgsError) -> Self {
-        CliError(e.0)
+        CliError::Args(e)
     }
 }
 
 impl From<mdbs_core::CoreError> for CliError {
     fn from(e: mdbs_core::CoreError) -> Self {
-        CliError(e.to_string())
+        CliError::Core(e)
     }
 }
 
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError(e.to_string())
+/// Wraps an IO error with a `context` describing the failed operation.
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> CliError {
+    move |source| CliError::Io {
+        context: context.into(),
+        source,
     }
 }
 
@@ -48,9 +99,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "help" => Ok(usage()),
         "derive" => cmd_derive(&args),
         "estimate" => cmd_estimate(&args),
+        "serve" => cmd_serve(&args),
         "run" => cmd_run(&args),
         "catalog" => cmd_catalog(&args),
-        other => Err(CliError(format!(
+        other => Err(CliError::Invalid(format!(
             "unknown subcommand `{other}`\n\n{}",
             usage()
         ))),
@@ -62,13 +114,16 @@ pub fn usage() -> String {
     "mdbs-qcost — multi-states query sampling for dynamic MDBS environments
 
 USAGE:
-  mdbs-qcost derive   --site oracle|db2 --class g1|g2|gc|g3|gj
+  mdbs-qcost derive   --site oracle|db2|all[,..] --class g1|g2|gc|g3|gj|all[,..]
                       [--algorithm iupma|icma] [--profile uniform:20:125]
-                      [--samples N] [--max-states M] [--seed N]
+                      [--samples N] [--max-states M] [--seed N] [--jobs N]
                       [--out catalog.txt] [--telemetry events.jsonl]
   mdbs-qcost estimate --catalog catalog.txt --site oracle|db2
                       --sql \"select ... from ... where ...\"
                       [--profile uniform:20:125] [--seed N] [--execute]
+                      [--telemetry events.jsonl]
+  mdbs-qcost serve    --catalog catalog.txt --queries queries.txt
+                      [--jobs N] [--profile uniform:20:125] [--seed N]
                       [--telemetry events.jsonl]
   mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
                       [--telemetry events.jsonl]
@@ -82,9 +137,20 @@ pipeline and stores the model in the catalog file; `estimate` prices a SQL
 query through the catalog after gauging the site's contention with a
 probing query.
 
+`--site` and `--class` accept comma-separated lists or `all`; more than
+one site/class pair (or an explicit `--jobs N`) derives the whole batch on
+a worker pool. The derived catalog is byte-identical for every `--jobs`
+value. `serve` answers a file of queries (one `site SQL...` per line,
+`#` comments and blank lines skipped) from the catalog's in-memory model
+registry, again on `--jobs` workers with order-independent output.
+
 `--telemetry PATH` writes structured spans and metrics as JSONL to PATH
 and appends a human-readable summary to the report. All telemetry except
-`wall_ms` fields is deterministic for a fixed seed.
+`wall_ms` fields and `pool.sched.*` scheduling metrics is deterministic
+for a fixed seed.
+
+EXIT CODES: 0 success, 2 bad arguments or input, 3 IO failure,
+4 derivation/estimation failure.
 "
     .to_string()
 }
@@ -96,17 +162,35 @@ fn parse_class(s: &str) -> Result<QueryClass, CliError> {
         "gc" => Ok(QueryClass::UnaryClusteredIndex),
         "g3" => Ok(QueryClass::JoinNoIndex),
         "gj" => Ok(QueryClass::JoinIndexed),
-        other => Err(CliError(format!(
+        other => Err(CliError::Invalid(format!(
             "unknown class `{other}` (expected g1, g2, gc, g3 or gj)"
         ))),
     }
+}
+
+/// Parses a comma-separated `--site` list; `all` means every built-in site.
+fn parse_sites(s: &str) -> Result<Vec<SiteName>, CliError> {
+    if s.eq_ignore_ascii_case("all") {
+        return Ok(vec![SiteName::Oracle, SiteName::Db2]);
+    }
+    s.split(',')
+        .map(|part| SiteName::parse(part.trim()).map_err(CliError::from))
+        .collect()
+}
+
+/// Parses a comma-separated `--class` list; `all` means every query class.
+fn parse_classes(s: &str) -> Result<Vec<QueryClass>, CliError> {
+    if s.eq_ignore_ascii_case("all") {
+        return Ok(QueryClass::all().to_vec());
+    }
+    s.split(',').map(|part| parse_class(part.trim())).collect()
 }
 
 fn parse_algorithm(s: &str) -> Result<StateAlgorithm, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "iupma" => Ok(StateAlgorithm::Iupma),
         "icma" => Ok(StateAlgorithm::Icma),
-        other => Err(CliError(format!(
+        other => Err(CliError::Invalid(format!(
             "unknown algorithm `{other}` (expected iupma or icma)"
         ))),
     }
@@ -116,7 +200,7 @@ fn load_catalog(path: &str) -> Result<GlobalCatalog, CliError> {
     match std::fs::read_to_string(path) {
         Ok(text) => Ok(GlobalCatalog::import(&text)?),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(GlobalCatalog::new()),
-        Err(e) => Err(CliError(format!("cannot read `{path}`: {e}"))),
+        Err(e) => Err(io_err(format!("cannot read `{path}`"))(e)),
     }
 }
 
@@ -131,27 +215,21 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
             "samples",
             "max-states",
             "seed",
+            "jobs",
             "out",
             "telemetry",
         ],
     )?;
-    let site = SiteName::parse(args.required("site")?)?;
-    let class = parse_class(args.required("class")?)?;
+    let sites = parse_sites(args.required("site")?)?;
+    let classes = parse_classes(args.required("class")?)?;
     let algorithm = parse_algorithm(args.or_default("algorithm", "iupma"))?;
     let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
     let samples = args.parse_opt::<usize>("samples")?;
     let max_states = args.parse_opt::<usize>("max-states")?.unwrap_or(6);
+    let jobs = args.parse_opt::<usize>("jobs")?;
     let out_path = args.or_default("out", "catalog.txt").to_string();
     let telemetry_path = args.parse_opt::<String>("telemetry")?;
-
-    let mut agent = site_agent(site, &profile, seed);
-    let mut tel = if telemetry_path.is_some() {
-        agent.enable_trace(64);
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
     let cfg = DerivationConfig {
         states: StatesConfig {
             max_states,
@@ -160,45 +238,136 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
         sample_size: samples,
         ..DerivationConfig::default()
     };
-    let derived = derive_cost_model_traced(
-        &mut agent,
-        class,
-        algorithm,
-        &cfg,
-        seed.wrapping_add(1),
-        &mut tel,
-    )?;
 
-    let mut catalog = load_catalog(&out_path)?;
-    catalog.insert_model(site.id().into(), class, derived.model.clone());
-    if let Some(est) = &derived.probe_estimator {
-        catalog.insert_probe_estimator(site.id().into(), est.clone());
+    if sites.len() == 1 && classes.len() == 1 && jobs.is_none() {
+        // Single site/class: the original serial path, with the generator
+        // seeded exactly as before so existing catalogs reproduce.
+        let (site, class) = (sites[0], classes[0]);
+        let mut agent = site_agent(site, &profile, seed);
+        let mut ctx = if telemetry_path.is_some() {
+            agent.enable_trace(64);
+            PipelineCtx::traced(seed.wrapping_add(1))
+        } else {
+            PipelineCtx::seeded(seed.wrapping_add(1))
+        };
+        let derived = derive_cost_model(&mut agent, class, algorithm, &cfg, &mut ctx)?;
+
+        let mut catalog = load_catalog(&out_path)?;
+        catalog.insert_model(site.id().into(), class, derived.model.clone());
+        if let Some(est) = &derived.probe_estimator {
+            catalog.insert_probe_estimator(site.id().into(), est.clone());
+        }
+        std::fs::write(&out_path, catalog.export())
+            .map_err(io_err(format!("cannot write `{out_path}`")))?;
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "derived {} at site `{}` ({} sample queries)\n",
+            class.label(),
+            site.id(),
+            derived.observations.len()
+        ));
+        out.push_str(&format!(
+            "  contention states: {} | R^2 = {:.3} | SEE = {:.3} | F p-value = {:.2e}\n",
+            derived.model.num_states(),
+            derived.model.fit.r_squared,
+            derived.model.fit.see,
+            derived.model.fit.f_p_value
+        ));
+        out.push_str(&format!(
+            "  one-state comparison R^2 = {:.3}\n",
+            derived.one_state.fit.r_squared
+        ));
+        out.push_str("\nper-state cost equations:\n");
+        out.push_str(&derived.model.render());
+        out.push_str(&format!("\ncatalog written to {out_path}\n"));
+        if let Some(path) = &telemetry_path {
+            out.push_str(&telemetry_section(&ctx.telemetry, agent.trace(), path)?);
+        }
+        return Ok(out);
     }
-    std::fs::write(&out_path, catalog.export())?;
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "derived {} at site `{}` ({} sample queries)\n",
-        class.label(),
-        site.id(),
-        derived.observations.len()
-    ));
-    out.push_str(&format!(
-        "  contention states: {} | R^2 = {:.3} | SEE = {:.3} | F p-value = {:.2e}\n",
-        derived.model.num_states(),
-        derived.model.fit.r_squared,
-        derived.model.fit.see,
-        derived.model.fit.f_p_value
-    ));
-    out.push_str(&format!(
-        "  one-state comparison R^2 = {:.3}\n",
-        derived.one_state.fit.r_squared
-    ));
-    out.push_str("\nper-state cost equations:\n");
-    out.push_str(&derived.model.render());
-    out.push_str(&format!("\ncatalog written to {out_path}\n"));
+    // Batch path: fan every (site, class) pair out to the worker pool.
+    // Each job's RNG streams are split from the root seed by the job key,
+    // so the derived catalog is identical for every `--jobs` value.
+    let batch = BatchConfig {
+        derivation: cfg,
+        workers: jobs,
+    };
+    let job_list: Vec<DeriveJob> = sites
+        .iter()
+        .flat_map(|site| {
+            classes
+                .iter()
+                .map(|class| DeriveJob::new(site.id(), *class, algorithm))
+        })
+        .collect();
+    let total = job_list.len();
+    let mut ctx = if telemetry_path.is_some() {
+        PipelineCtx::traced(seed)
+    } else {
+        PipelineCtx::seeded(seed)
+    };
+    let outcomes = derive_all(
+        job_list,
+        &batch,
+        |job, env_seed| {
+            let site = SiteName::parse(&job.site.0).expect("jobs built from parsed sites");
+            site_agent(site, &profile, env_seed)
+        },
+        &mut ctx,
+    );
+
+    let registry = ModelRegistry::new();
+    let mut catalog = load_catalog(&out_path)?;
+    let mut lines = String::new();
+    let mut ok = 0usize;
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(derived) => {
+                ok += 1;
+                registry.publish(
+                    outcome.job.site.clone(),
+                    outcome.job.class,
+                    derived.model.clone(),
+                );
+                catalog.insert_model(
+                    outcome.job.site.clone(),
+                    outcome.job.class,
+                    derived.model.clone(),
+                );
+                if let Some(est) = &derived.probe_estimator {
+                    catalog.insert_probe_estimator(outcome.job.site.clone(), est.clone());
+                }
+                lines.push_str(&format!(
+                    "  {}: {} states | R^2 = {:.3} | SEE = {:.3} ({} samples)\n",
+                    outcome.job.label(),
+                    derived.model.num_states(),
+                    derived.model.fit.r_squared,
+                    derived.model.fit.see,
+                    derived.observations.len()
+                ));
+            }
+            Err(e) => lines.push_str(&format!("  {}: FAILED: {e}\n", outcome.job.label())),
+        }
+    }
+    if ok == 0 {
+        return Err(CliError::Invalid(format!(
+            "all {total} derivation job(s) failed:\n{lines}"
+        )));
+    }
+    std::fs::write(&out_path, catalog.export())
+        .map_err(io_err(format!("cannot write `{out_path}`")))?;
+
+    let mut out = format!(
+        "derived {ok} of {total} model(s) across {} site(s)\n",
+        sites.len()
+    );
+    out.push_str(&lines);
+    out.push_str(&format!("catalog written to {out_path}\n"));
     if let Some(path) = &telemetry_path {
-        out.push_str(&telemetry_section(&tel, agent.trace(), path)?);
+        registry.fold_metrics(&mut ctx.telemetry);
+        out.push_str(&telemetry_section(&ctx.telemetry, None, path)?);
     }
     Ok(out)
 }
@@ -233,9 +402,9 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
         Telemetry::disabled()
     };
     let schema = agent.catalog().clone();
-    let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
-    let class =
-        classify(&schema, &query).ok_or_else(|| CliError("query cannot be classified".into()))?;
+    let query = parse_query(&schema, sql).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let class = classify(&schema, &query)
+        .ok_or_else(|| CliError::Invalid("query cannot be classified".into()))?;
 
     let span = tel.begin_span("estimate");
     tel.field(span, "class", class.label().to_string());
@@ -244,7 +413,7 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     tel.field(span, "probe_cost_s", probe);
     let Some(estimate) = catalog.estimate_local_cost(&site.id().into(), &schema, &query, probe)
     else {
-        return Err(CliError(format!(
+        return Err(CliError::Invalid(format!(
             "no cost model for {} at site `{}` in {catalog_path} — derive one first:\n  \
              mdbs-qcost derive --site {} --class {} --out {catalog_path}",
             class.label(),
@@ -270,7 +439,9 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
         model.states.paper_label(model.states.state_of(probe)),
     );
     if args.flag("execute") {
-        let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
+        let exec = agent
+            .run(&query)
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
         out.push_str(&format!("observed cost:  {:.2}s\n", exec.cost_s));
         let rel = (estimate - exec.cost_s).abs() / exec.cost_s.max(f64::MIN_POSITIVE);
         out.push_str(&format!("relative error: {:.0}%\n", rel * 100.0));
@@ -282,6 +453,112 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
             tel.merge_metrics(&metrics);
         }
         out.push_str(&telemetry_section(&tel, agent.trace(), path)?);
+    }
+    Ok(out)
+}
+
+/// Batch estimation: answer a file of queries from the catalog's in-memory
+/// [`ModelRegistry`] on a pool of workers.
+///
+/// Each non-blank, non-`#` line of `--queries` is `SITE SQL...`. Every line
+/// probes the site's contention with its own deterministic agent (seeded
+/// from `--seed` and the line number, independent of worker count and
+/// scheduling) and prices the query through the registry, so the report is
+/// byte-identical for every `--jobs` value.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    check_keys(
+        args,
+        &["catalog", "queries", "jobs", "profile", "seed", "telemetry"],
+    )?;
+    let catalog_path = args.required("catalog")?;
+    let queries_path = args.required("queries")?;
+    let jobs = args.parse_opt::<usize>("jobs")?;
+    let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
+    let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let telemetry_path = args.parse_opt::<String>("telemetry")?;
+
+    let text = std::fs::read_to_string(catalog_path)
+        .map_err(io_err(format!("cannot read `{catalog_path}`")))?;
+    let catalog = GlobalCatalog::import(&text)?;
+    let registry = ModelRegistry::from_catalog(&catalog);
+    let queries = std::fs::read_to_string(queries_path)
+        .map_err(io_err(format!("cannot read `{queries_path}`")))?;
+
+    let mut work: Vec<(usize, SiteName, String)> = Vec::new();
+    for (i, raw) in queries.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let (site_word, sql) = line.split_once(char::is_whitespace).ok_or_else(|| {
+            CliError::Invalid(format!("{queries_path}:{lineno}: expected `SITE SQL...`"))
+        })?;
+        let site = SiteName::parse(site_word)
+            .map_err(|e| CliError::Invalid(format!("{queries_path}:{lineno}: {e}")))?;
+        work.push((lineno, site, sql.trim().to_string()));
+    }
+    let total = work.len();
+    let workers = mdbs_core::pool::effective_workers(jobs, total);
+    let (answers, report) = mdbs_core::pool::run_jobs(work, workers, |_, (lineno, site, sql)| {
+        let mut agent = site_agent(site, &profile, split_stream(seed, lineno as u64));
+        let schema = agent.catalog().clone();
+        let query =
+            parse_query(&schema, &sql).map_err(|e| format!("{queries_path}:{lineno}: {e}"))?;
+        let class = classify(&schema, &query)
+            .ok_or_else(|| format!("{queries_path}:{lineno}: query cannot be classified"))?;
+        agent.tick();
+        let probe = agent.probe();
+        match registry.estimate_local_cost(&site.id().into(), &schema, &query, probe) {
+            Some(estimate) => Ok((
+                true,
+                format!(
+                    "  {lineno:>3} {} {}: probe {probe:.3}s -> estimate {estimate:.2}s\n",
+                    site.id(),
+                    class.label()
+                ),
+            )),
+            None => Ok((
+                false,
+                format!(
+                    "  {lineno:>3} {} {}: no model in catalog (derive --site {} --class {})\n",
+                    site.id(),
+                    class.label(),
+                    site.id(),
+                    class_tag(class)
+                ),
+            )),
+        }
+    });
+
+    let mut tel = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let span = tel.begin_span("serve");
+    let mut lines = String::new();
+    let mut answered = 0usize;
+    for answer in answers {
+        let (hit, line): (bool, String) = answer.map_err(CliError::Invalid)?;
+        answered += usize::from(hit);
+        lines.push_str(&line);
+    }
+    tel.field(span, "queries", total as u64);
+    tel.field(span, "answered", answered as u64);
+    tel.inc("pool.jobs_completed", report.jobs_completed as u64);
+    tel.inc("pool.sched.steals", report.steals);
+    tel.gauge("pool.sched.workers", report.workers as f64);
+    registry.fold_metrics(&mut tel);
+    tel.end_span(span);
+
+    let mut out = format!(
+        "serve: {answered} of {total} quer(ies) answered from {catalog_path} ({} model(s))\n",
+        registry.len()
+    );
+    out.push_str(&lines);
+    if let Some(path) = &telemetry_path {
+        out.push_str(&telemetry_section(&tel, None, path)?);
     }
     Ok(out)
 }
@@ -303,10 +580,12 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     };
     agent.set_load(mdbs_sim::contention::Load::background(procs));
     let schema = agent.catalog().clone();
-    let query = parse_query(&schema, sql).map_err(|e| CliError(e.to_string()))?;
+    let query = parse_query(&schema, sql).map_err(|e| CliError::Invalid(e.to_string()))?;
     let span = tel.begin_span("run");
     tel.field(span, "procs", procs);
-    let exec = agent.run(&query).map_err(|e| CliError(e.to_string()))?;
+    let exec = agent
+        .run(&query)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
     let access = exec.access.to_string();
     let result_card = match exec.sizes {
         mdbs_sim::agent::ExecutionSizes::Unary(s) => s.result,
@@ -335,8 +614,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
 fn cmd_catalog(args: &Args) -> Result<String, CliError> {
     check_keys(args, &["file"])?;
     let path = args.required("file")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(io_err(format!("cannot read `{path}`")))?;
     let catalog = GlobalCatalog::import(&text)?;
     let mut out = format!("catalog {path}: {} model(s)\n", catalog.len());
     for site in catalog.sites() {
@@ -377,10 +655,10 @@ fn telemetry_section(
     path: &str,
 ) -> Result<String, CliError> {
     let mut sink = JsonlFileSink::create(std::path::Path::new(path))
-        .map_err(|e| CliError(format!("cannot create telemetry file `{path}`: {e}")))?;
+        .map_err(io_err(format!("cannot create telemetry file `{path}`")))?;
     tel.emit_to(&mut sink);
     sink.finish()
-        .map_err(|e| CliError(format!("cannot write telemetry file `{path}`: {e}")))?;
+        .map_err(io_err(format!("cannot write telemetry file `{path}`")))?;
     let mut out = format!(
         "\ntelemetry: {} event(s) written to {path}\n",
         tel.events().len()
@@ -397,7 +675,7 @@ fn check_keys(args: &Args, known: &[&str]) -> Result<(), CliError> {
     if unknown.is_empty() {
         Ok(())
     } else {
-        Err(CliError(format!(
+        Err(CliError::Invalid(format!(
             "unknown option(s): {}",
             unknown
                 .iter()
@@ -443,7 +721,7 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let out = dispatch(&argv("help")).unwrap();
-        for cmd in ["derive", "estimate", "run", "catalog"] {
+        for cmd in ["derive", "estimate", "serve", "run", "catalog"] {
             assert!(out.contains(cmd), "help misses {cmd}");
         }
     }
@@ -451,8 +729,8 @@ mod tests {
     #[test]
     fn unknown_subcommand_mentions_usage() {
         let e = dispatch(&argv("frobnicate")).unwrap_err();
-        assert!(e.0.contains("unknown subcommand"));
-        assert!(e.0.contains("USAGE"));
+        assert!(e.to_string().contains("unknown subcommand"));
+        assert!(e.to_string().contains("USAGE"));
     }
 
     #[test]
@@ -468,7 +746,7 @@ mod tests {
     #[test]
     fn run_rejects_bad_sql() {
         let e = dispatch(&argv("run --site oracle --sql 'select from'")).unwrap_err();
-        assert!(e.0.contains("SQL error"), "{}", e.0);
+        assert!(e.to_string().contains("SQL error"), "{e}");
     }
 
     #[test]
@@ -503,8 +781,8 @@ mod tests {
             "estimate --catalog {path} --site db2 --sql 'select a1 from R2 where a2 < 100'"
         )))
         .unwrap_err();
-        assert!(e.0.contains("derive one first"), "{}", e.0);
-        assert!(e.0.contains("--class g1"), "{}", e.0);
+        assert!(e.to_string().contains("derive one first"), "{e}");
+        assert!(e.to_string().contains("--class g1"), "{e}");
     }
 
     #[test]
@@ -513,7 +791,7 @@ mod tests {
             "run --site oracle --sql 'select a1 from R2' --porcs 9",
         ))
         .unwrap_err();
-        assert!(e.0.contains("--porcs"), "{}", e.0);
+        assert!(e.to_string().contains("--porcs"), "{e}");
     }
 
     #[test]
@@ -533,6 +811,8 @@ mod tests {
         for bad in [
             "derive --site teradata --class g1",
             "derive --site oracle --class g9",
+            "derive --site oracle,postgres --class g1",
+            "derive --site oracle --class g1,gx",
             "derive --site oracle --class g1 --algorithm kmeans",
             "derive --site oracle --class g1 --profile uniform:bad:10",
         ] {
@@ -543,10 +823,107 @@ mod tests {
     #[test]
     fn catalog_command_reports_unreadable_files() {
         let e = dispatch(&argv("catalog --file /nonexistent/nowhere.txt")).unwrap_err();
-        assert!(e.0.contains("cannot read"), "{}", e.0);
+        assert!(e.to_string().contains("cannot read"), "{e}");
         let path = tmp("garbage.txt");
         std::fs::write(&path, "not a catalog at all").unwrap();
         assert!(dispatch(&argv(&format!("catalog --file {path}"))).is_err());
+    }
+
+    #[test]
+    fn errors_carry_structured_causes_and_exit_codes() {
+        use std::error::Error as _;
+
+        let core = CliError::from(mdbs_core::CoreError::InsufficientSamples { needed: 9, got: 1 });
+        assert!(matches!(
+            core,
+            CliError::Core(mdbs_core::CoreError::InsufficientSamples { needed: 9, .. })
+        ));
+        assert!(core.source().is_some(), "core errors chain their cause");
+        assert_eq!(core.exit_code(), 4);
+
+        let args = CliError::from(ArgsError("bad flag".into()));
+        assert!(args.source().is_some());
+        assert_eq!(args.exit_code(), 2);
+
+        let io = dispatch(&argv("catalog --file /nonexistent/nowhere.txt")).unwrap_err();
+        assert!(matches!(io, CliError::Io { .. }), "{io:?}");
+        assert!(io.source().is_some());
+        assert_eq!(io.exit_code(), 3);
+
+        let invalid = dispatch(&argv("frobnicate")).unwrap_err();
+        assert_eq!(invalid.exit_code(), 2);
+    }
+
+    #[test]
+    fn derive_batch_catalog_is_identical_across_worker_counts() {
+        let p1 = tmp("batch-j1-catalog.txt");
+        let p2 = tmp("batch-j4-catalog.txt");
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+        let out = dispatch(&argv(&format!(
+            "derive --site oracle,db2 --class g1 --samples 150 --max-states 3 \
+             --jobs 1 --out {p1}"
+        )))
+        .unwrap();
+        assert!(out.contains("derived 2 of 2 model(s)"), "{out}");
+        assert!(out.contains("oracle/"), "{out}");
+        assert!(out.contains("db2/"), "{out}");
+        dispatch(&argv(&format!(
+            "derive --site oracle,db2 --class g1 --samples 150 --max-states 3 \
+             --jobs 4 --out {p2}"
+        )))
+        .unwrap();
+        let c1 = std::fs::read_to_string(&p1).unwrap();
+        let c2 = std::fs::read_to_string(&p2).unwrap();
+        assert!(!c1.trim().is_empty());
+        assert_eq!(c1, c2, "batch catalog must not depend on worker count");
+    }
+
+    #[test]
+    fn serve_answers_queries_in_input_order_independent_of_workers() {
+        let cat = tmp("serve-catalog.txt");
+        let _ = std::fs::remove_file(&cat);
+        dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 --out {cat}"
+        )))
+        .unwrap();
+        let qf = tmp("serve-queries.txt");
+        std::fs::write(
+            &qf,
+            "# batch estimation smoke\n\
+             oracle select a1, a5 from R8 where a5 > 100 and a6 < 500\n\
+             \n\
+             db2 select a1 from R2 where a2 < 100\n",
+        )
+        .unwrap();
+        let out = dispatch(&argv(&format!(
+            "serve --catalog {cat} --queries {qf} --jobs 2"
+        )))
+        .unwrap();
+        assert!(out.contains("1 of 2 quer(ies) answered"), "{out}");
+        assert!(out.contains("estimate"), "{out}");
+        assert!(out.contains("no model in catalog"), "{out}");
+        let oracle_at = out.find(" oracle ").expect("oracle answer line");
+        let db2_at = out.find(" db2 ").expect("db2 answer line");
+        assert!(oracle_at < db2_at, "answers must keep input order:\n{out}");
+        let serial = dispatch(&argv(&format!(
+            "serve --catalog {cat} --queries {qf} --jobs 1"
+        )))
+        .unwrap();
+        assert_eq!(out, serial, "serve output must not depend on worker count");
+    }
+
+    #[test]
+    fn serve_reports_malformed_query_lines_with_location() {
+        let cat = tmp("serve-bad-catalog.txt");
+        std::fs::write(&cat, GlobalCatalog::new().export()).unwrap();
+        let qf = tmp("serve-bad-queries.txt");
+        std::fs::write(&qf, "oracle\n").unwrap();
+        let e = dispatch(&argv(&format!("serve --catalog {cat} --queries {qf}"))).unwrap_err();
+        assert!(e.to_string().contains(":1"), "{e}");
+        std::fs::write(&qf, "teradata select a1 from R2\n").unwrap();
+        let e = dispatch(&argv(&format!("serve --catalog {cat} --queries {qf}"))).unwrap_err();
+        assert!(e.to_string().contains("unknown site"), "{e}");
     }
 
     #[test]
@@ -600,13 +977,39 @@ mod tests {
     }
 
     #[test]
+    fn batch_derive_telemetry_nests_per_job_spans_under_derive_all() {
+        let catalog = tmp("batch-telemetry-catalog.txt");
+        let events = tmp("batch-telemetry.jsonl");
+        let _ = std::fs::remove_file(&catalog);
+        let _ = std::fs::remove_file(&events);
+        dispatch(&argv(&format!(
+            "derive --site oracle,db2 --class g1 --samples 150 --max-states 3 \
+             --jobs 2 --out {catalog} --telemetry {events}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        let derive_all_spans = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"derive_all\""))
+            .count();
+        assert_eq!(derive_all_spans, 1, "{text}");
+        let sampling_spans = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"derive.sampling\""))
+            .count();
+        assert_eq!(sampling_spans, 2, "one per job:\n{text}");
+        assert!(text.contains("registry.publishes"), "{text}");
+    }
+
+    #[test]
     fn telemetry_path_errors_are_reported_not_panicked() {
         let e = dispatch(&argv(
             "run --site oracle --sql 'select a1 from R2 where a2 < 100' \
              --telemetry /nonexistent/dir/t.jsonl",
         ))
         .unwrap_err();
-        assert!(e.0.contains("telemetry"), "{}", e.0);
+        assert!(e.to_string().contains("telemetry"), "{e}");
+        assert_eq!(e.exit_code(), 3);
     }
 
     #[test]

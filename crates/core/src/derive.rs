@@ -15,18 +15,22 @@
 //! 6. return the final model plus everything a report needs (iteration
 //!    history, the one-state comparison model, sample statistics).
 
+use crate::catalog::SiteId;
 use crate::classes::QueryClass;
 use crate::model::{fit_cost_model, CostModel, ModelForm};
 use crate::observation::Observation;
+use crate::pipeline::PipelineCtx;
+use crate::pool;
 use crate::probing::ProbeCostEstimator;
 use crate::sampling::{planned_sample_size, SampleGenerator};
-use crate::selection::{select_variables_traced, SelectionConfig};
+use crate::selection::{select_variables_inner, SelectionConfig};
 use crate::states::{
-    determine_states_traced, IterationStats, ObservationSource, StateAlgorithm, StatesConfig,
+    determine_states_inner, IterationStats, ObservationSource, StateAlgorithm, StatesConfig,
 };
 use crate::CoreError;
 use mdbs_obs::Telemetry;
 use mdbs_sim::{MdbsAgent, SystemStats};
+use mdbs_stats::rng::split_stream;
 
 /// Configuration of the whole derivation pipeline.
 #[derive(Debug, Clone)]
@@ -163,33 +167,40 @@ impl ObservationSource for AgentSource<'_> {
 
 /// Runs the full pipeline for one class on one agent.
 ///
-/// `seed` drives the sample-query generator (the agent carries its own
-/// environment seed).
+/// `ctx.seed` drives the sample-query generator (the agent carries its own
+/// environment seed). When `ctx.telemetry` is enabled, the run records one
+/// span per pipeline stage (`derive.sampling` → `.states` → `.selection` →
+/// `.fit` → `.validation`) carrying observation counts, sample-size rule
+/// inputs and virtual-time attribution, plus the `states.*`/`selection.*`
+/// counters of the stage functions; the agent's `engine.*` metrics are
+/// collected for the duration and folded in at the end. On an error return,
+/// spans opened so far are left open (`wall_ms` 0).
 pub fn derive_cost_model(
     agent: &mut MdbsAgent,
     class: QueryClass,
     algorithm: StateAlgorithm,
     cfg: &DerivationConfig,
-    seed: u64,
+    ctx: &mut PipelineCtx,
 ) -> Result<DerivedModel, CoreError> {
-    derive_cost_model_traced(
-        agent,
-        class,
-        algorithm,
-        cfg,
-        seed,
-        &mut Telemetry::disabled(),
-    )
+    derive_inner(agent, class, algorithm, cfg, ctx.seed, &mut ctx.telemetry)
 }
 
-/// [`derive_cost_model`] with telemetry: one span per pipeline stage
-/// (`derive.sampling` → `.states` → `.selection` → `.fit` → `.validation`)
-/// carrying observation counts, sample-size rule inputs and virtual-time
-/// attribution, plus the `states.*`/`selection.*` counters of the traced
-/// stage functions. When the telemetry is enabled, the agent's `engine.*`
-/// metrics are collected for the duration and folded in at the end. On an
-/// error return, spans opened so far are left open (`wall_ms` 0).
+/// Pre-[`PipelineCtx`] spelling of a traced derivation.
+#[deprecated(note = "use `derive_cost_model` with a `PipelineCtx` instead")]
 pub fn derive_cost_model_traced(
+    agent: &mut MdbsAgent,
+    class: QueryClass,
+    algorithm: StateAlgorithm,
+    cfg: &DerivationConfig,
+    seed: u64,
+    tel: &mut Telemetry,
+) -> Result<DerivedModel, CoreError> {
+    derive_inner(agent, class, algorithm, cfg, seed, tel)
+}
+
+/// The pipeline body shared by [`derive_cost_model`] and the deprecated
+/// shim; see [`derive_cost_model`] for the contract.
+pub(crate) fn derive_inner(
     agent: &mut MdbsAgent,
     class: QueryClass,
     algorithm: StateAlgorithm,
@@ -245,7 +256,7 @@ pub fn derive_cost_model_traced(
             class,
             max_attempts: cfg.max_resample_attempts,
         };
-        determine_states_traced(
+        determine_states_inner(
             algorithm,
             &mut observations,
             &basic,
@@ -263,7 +274,7 @@ pub fn derive_cost_model_traced(
     tel.end_span(span);
 
     let span = tel.begin_span("derive.selection");
-    let selection = select_variables_traced(
+    let selection = select_variables_inner(
         family,
         &observations,
         &states_result.model.states,
@@ -322,6 +333,153 @@ pub fn derive_cost_model_traced(
         probe_estimator,
         avg_sample_cost,
     })
+}
+
+/// Stream tags separating a job's two child RNG streams (environment vs.
+/// sample generation) when splitting from the root seed.
+pub(crate) const ENV_STREAM: u64 = 0x454E_5600; // "ENV"
+pub(crate) const GEN_STREAM: u64 = 0x4745_4E00; // "GEN"
+
+/// One unit of batch-derivation work: a `(site, class, algorithm)` triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeriveJob {
+    /// The local site whose model is derived.
+    pub site: SiteId,
+    /// The query class the model covers.
+    pub class: QueryClass,
+    /// The state-determination algorithm to run.
+    pub algorithm: StateAlgorithm,
+}
+
+impl DeriveJob {
+    /// A job for one site/class pair.
+    pub fn new(site: impl Into<SiteId>, class: QueryClass, algorithm: StateAlgorithm) -> Self {
+        DeriveJob {
+            site: site.into(),
+            class,
+            algorithm,
+        }
+    }
+
+    /// A stable 64-bit key identifying this job: an FNV-1a hash of the
+    /// site name, class and algorithm. The key — not the job's position or
+    /// the thread that runs it — selects the job's child RNG streams, so
+    /// reordering or re-partitioning a batch never changes any job's seeds.
+    pub fn job_key(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let alg = match self.algorithm {
+            StateAlgorithm::Iupma => 1u64,
+            StateAlgorithm::Icma => 2u64,
+        };
+        (crate::registry::key_hash(&self.site, self.class) ^ alg).wrapping_mul(PRIME)
+    }
+
+    /// A human-readable `site/class/algorithm` label.
+    pub fn label(&self) -> String {
+        format!("{}/{:?}/{:?}", self.site, self.class, self.algorithm)
+    }
+}
+
+/// Configuration of a [`derive_all`] batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchConfig {
+    /// The per-job derivation configuration.
+    pub derivation: DerivationConfig,
+    /// Worker threads (`None` → the machine's available parallelism). Any
+    /// value yields identical results; see [`derive_all`].
+    pub workers: Option<usize>,
+}
+
+/// What one [`derive_all`] job produced.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The job.
+    pub job: DeriveJob,
+    /// The environment seed the job's agent was built with (split from the
+    /// root seed by the job key).
+    pub env_seed: u64,
+    /// The derivation result. Jobs fail independently: one degenerate
+    /// site/class does not abort the batch.
+    pub result: Result<DerivedModel, CoreError>,
+}
+
+/// Derives every job's model on a worker pool and returns the outcomes in
+/// job order.
+///
+/// Each job gets two child RNG streams split from `ctx.seed` and keyed by
+/// [`DeriveJob::job_key`]: an *environment* seed passed to `make_agent`
+/// (build the job's agent from it so the simulated load is reproducible)
+/// and a *generation* seed for the job's sample queries. Because the
+/// streams depend only on `(root seed, job key)` and outcomes are merged in
+/// job order, the models **and** the per-job telemetry are byte-identical
+/// across worker counts; only wall-clock fields and `pool.sched.*` metrics
+/// (worker count, steals, queue depth) differ, and
+/// [`mdbs_obs::telemetry::strip_wall_clock`] removes exactly those.
+///
+/// Telemetry: one `derive_all` span with per-job `derive` spans merged
+/// beneath it, the deterministic `pool.jobs_completed` counter, and the
+/// scheduling-dependent `pool.sched.{steals,workers,max_queue_depth}`.
+pub fn derive_all<F>(
+    jobs: Vec<DeriveJob>,
+    cfg: &BatchConfig,
+    make_agent: F,
+    ctx: &mut PipelineCtx,
+) -> Vec<BatchOutcome>
+where
+    F: Fn(&DeriveJob, u64) -> MdbsAgent + Sync,
+{
+    let workers = pool::effective_workers(cfg.workers, jobs.len());
+    let span = ctx.telemetry.begin_span("derive_all");
+    ctx.telemetry.field(span, "jobs", jobs.len() as u64);
+    let root_seed = ctx.seed;
+    let traced = ctx.telemetry.is_enabled();
+    let derivation = &cfg.derivation;
+    let make_agent = &make_agent;
+
+    let (results, report) = pool::run_jobs(jobs, workers, move |_, job: DeriveJob| {
+        let key = job.job_key();
+        let env_seed = split_stream(root_seed, key ^ ENV_STREAM);
+        let gen_seed = split_stream(root_seed, key ^ GEN_STREAM);
+        let mut agent = make_agent(&job, env_seed);
+        let mut tel = if traced {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let result = derive_inner(
+            &mut agent,
+            job.class,
+            job.algorithm,
+            derivation,
+            gen_seed,
+            &mut tel,
+        );
+        (job, env_seed, result, tel)
+    });
+
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (job, env_seed, result, tel) in results {
+        ctx.telemetry.merge_child(tel, Some(span));
+        outcomes.push(BatchOutcome {
+            job,
+            env_seed,
+            result,
+        });
+    }
+    ctx.telemetry
+        .inc("pool.jobs_completed", report.jobs_completed as u64);
+    ctx.telemetry.inc("pool.sched.steals", report.steals);
+    ctx.telemetry
+        .gauge("pool.sched.workers", report.workers as f64);
+    ctx.telemetry
+        .gauge("pool.sched.max_queue_depth", report.max_queue_depth as f64);
+    ctx.telemetry.field(
+        span,
+        "succeeded",
+        outcomes.iter().filter(|o| o.result.is_ok()).count() as u64,
+    );
+    ctx.telemetry.end_span(span);
+    outcomes
 }
 
 #[cfg(test)]
@@ -392,7 +550,7 @@ mod tests {
             QueryClass::UnaryNoIndex,
             StateAlgorithm::Iupma,
             &cfg,
-            7,
+            &mut PipelineCtx::seeded(7),
         )
         .unwrap();
         assert!(derived.model.num_states() >= 2, "stayed single-state");
@@ -405,6 +563,22 @@ mod tests {
         assert!(derived.model.fit.r_squared > 0.9);
         assert!(derived.avg_sample_cost > 0.0);
         assert!(!derived.history.is_empty());
+    }
+
+    #[test]
+    fn job_keys_are_stable_and_distinct() {
+        let a = DeriveJob::new("oracle", QueryClass::UnaryNoIndex, StateAlgorithm::Iupma);
+        let b = DeriveJob::new("oracle", QueryClass::UnaryNoIndex, StateAlgorithm::Icma);
+        let c = DeriveJob::new("db2", QueryClass::UnaryNoIndex, StateAlgorithm::Iupma);
+        let d = DeriveJob::new("oracle", QueryClass::JoinNoIndex, StateAlgorithm::Iupma);
+        let keys = [a.job_key(), b.job_key(), c.job_key(), d.job_key()];
+        for (i, k) in keys.iter().enumerate() {
+            for other in &keys[i + 1..] {
+                assert_ne!(k, other);
+            }
+        }
+        assert_eq!(a.job_key(), a.clone().job_key());
+        assert_eq!(a.label(), "oracle/UnaryNoIndex/Iupma");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! ```
 //! use mdbs_core::derive::{DerivationConfig, derive_cost_model};
 //! use mdbs_core::classes::QueryClass;
+//! use mdbs_core::pipeline::PipelineCtx;
 //! use mdbs_core::states::StateAlgorithm;
 //! use mdbs_sim::{MdbsAgent, VendorProfile, LoadBuilder, ContentionProfile};
 //! use mdbs_sim::datagen::standard_database;
@@ -42,10 +43,16 @@
 //!     QueryClass::UnaryNoIndex,
 //!     StateAlgorithm::Iupma,
 //!     &cfg,
-//!     7,
+//!     &mut PipelineCtx::seeded(7),
 //! ).unwrap();
 //! assert!(derived.model.fit.r_squared > 0.5);
 //! ```
+//!
+//! Every pipeline entry point takes a [`pipeline::PipelineCtx`] carrying the
+//! cross-cutting concerns (telemetry, RNG seed); batch derivation over many
+//! `(site, class)` pairs goes through [`derive::derive_all`], which fans out
+//! to a scoped-thread [`pool`] and publishes into the concurrent
+//! [`registry::ModelRegistry`] for a non-blocking estimation hot path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -59,8 +66,11 @@ pub mod model;
 pub mod observation;
 pub mod optimizer;
 pub mod persist;
+pub mod pipeline;
+pub mod pool;
 pub mod probing;
 pub mod qualvar;
+pub mod registry;
 pub mod sampling;
 pub mod selection;
 pub mod states;
@@ -69,15 +79,29 @@ pub mod variables;
 
 pub use catalog::GlobalCatalog;
 pub use classes::QueryClass;
-pub use derive::{derive_cost_model, derive_cost_model_traced, DerivationConfig, DerivedModel};
+#[allow(deprecated)]
+pub use derive::derive_cost_model_traced;
+pub use derive::{
+    derive_all, derive_cost_model, BatchConfig, BatchOutcome, DerivationConfig, DeriveJob,
+    DerivedModel,
+};
 pub use mdbs::{GlobalExecution, Mdbs};
 pub use model::{CostModel, ModelForm};
 pub use observation::Observation;
+pub use pipeline::PipelineCtx;
 pub use qualvar::StateSet;
+pub use registry::{ModelRegistry, RegisteredModel};
 pub use states::StateAlgorithm;
 
 /// Errors produced by the cost-model derivation machinery.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new failure modes can be added without a breaking change. The
+/// [`std::error::Error::source`] chain exposes the underlying numerical
+/// error for [`CoreError::Numeric`], so callers can match on the root cause
+/// instead of parsing messages.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// Too few observations for the requested model.
     InsufficientSamples {
@@ -108,7 +132,14 @@ impl std::fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<mdbs_stats::StatsError> for CoreError {
     fn from(e: mdbs_stats::StatsError) -> Self {

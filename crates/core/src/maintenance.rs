@@ -21,13 +21,18 @@
 //!   changes that reshape the cost *function itself* (memory, indexes,
 //!   disks, buffer pools) degrade the good-estimate rate.
 
+use crate::catalog::SiteId;
 use crate::classes::QueryClass;
-use crate::derive::{derive_cost_model_traced, DerivationConfig, DerivedModel};
+use crate::derive::{derive_inner, DerivationConfig, DeriveJob, DerivedModel};
+use crate::pipeline::PipelineCtx;
+use crate::pool;
+use crate::registry::ModelRegistry;
 use crate::states::StateAlgorithm;
 use crate::validate::TestPoint;
 use crate::CoreError;
 use mdbs_obs::Telemetry;
 use mdbs_sim::MdbsAgent;
+use mdbs_stats::rng::split_stream;
 use std::collections::VecDeque;
 
 /// Configuration of the drift monitor.
@@ -151,15 +156,22 @@ impl ModelMaintainer {
 
     /// Feeds one production observation; returns `true` when the model has
     /// now drifted and should be rebuilt.
-    pub fn observe(&mut self, observed: f64, estimated: f64) -> bool {
-        self.observe_traced(observed, estimated, &mut Telemetry::disabled())
-    }
-
-    /// [`Self::observe`] with telemetry: records the drift-window quality
+    ///
+    /// When `ctx.telemetry` is enabled, records the drift-window quality
     /// series (`maintenance.good_fraction` histogram, one sample per call)
     /// and the `maintenance.drift_flags` counter for calls that report the
     /// model as drifted.
+    pub fn observe(&mut self, observed: f64, estimated: f64, ctx: &mut PipelineCtx) -> bool {
+        self.observe_inner(observed, estimated, &mut ctx.telemetry)
+    }
+
+    /// Pre-[`PipelineCtx`] spelling of a traced observation.
+    #[deprecated(note = "use `observe` with a `PipelineCtx` instead")]
     pub fn observe_traced(&mut self, observed: f64, estimated: f64, tel: &mut Telemetry) -> bool {
+        self.observe_inner(observed, estimated, tel)
+    }
+
+    fn observe_inner(&mut self, observed: f64, estimated: f64, tel: &mut Telemetry) -> bool {
         self.monitor.record(observed, estimated);
         tel.inc("maintenance.observations", 1);
         tel.observe("maintenance.good_fraction", self.monitor.good_fraction());
@@ -172,15 +184,32 @@ impl ModelMaintainer {
 
     /// Rebuilds the model by re-running the full derivation pipeline
     /// against the (changed) local site — up to [`Self::rederive_attempts`]
-    /// times, keeping the best attempt by R² — then resets the monitor.
-    pub fn rederive(&mut self, agent: &mut MdbsAgent, seed: u64) -> Result<(), CoreError> {
-        self.rederive_traced(agent, seed, &mut Telemetry::disabled())
-    }
-
-    /// [`Self::rederive`] with telemetry: wraps the attempts in a
+    /// times (sample seeds `ctx.seed + attempt`), keeping the best attempt
+    /// by R² — then resets the monitor.
+    ///
+    /// When `ctx.telemetry` is enabled, wraps the attempts in a
     /// `maintenance.rederive` span (attempt count, winning R², window
     /// quality at trigger time) and counts `maintenance.rederivations`.
+    pub fn rederive(
+        &mut self,
+        agent: &mut MdbsAgent,
+        ctx: &mut PipelineCtx,
+    ) -> Result<(), CoreError> {
+        self.rederive_inner(agent, ctx.seed, &mut ctx.telemetry)
+    }
+
+    /// Pre-[`PipelineCtx`] spelling of a traced rebuild.
+    #[deprecated(note = "use `rederive` with a `PipelineCtx` instead")]
     pub fn rederive_traced(
+        &mut self,
+        agent: &mut MdbsAgent,
+        seed: u64,
+        tel: &mut Telemetry,
+    ) -> Result<(), CoreError> {
+        self.rederive_inner(agent, seed, tel)
+    }
+
+    fn rederive_inner(
         &mut self,
         agent: &mut MdbsAgent,
         seed: u64,
@@ -193,24 +222,16 @@ impl ModelMaintainer {
             "good_fraction_at_trigger",
             self.monitor.good_fraction(),
         );
-        let mut best: Option<crate::derive::DerivedModel> = None;
-        for attempt in 0..self.rederive_attempts.max(1) as u64 {
-            let candidate = derive_cost_model_traced(
-                agent,
-                self.derived.class,
-                self.algorithm,
-                &self.derivation,
-                seed.wrapping_add(attempt),
-                tel,
-            )?;
-            let better = best.as_ref().map_or(true, |b| {
-                candidate.model.fit.r_squared > b.model.fit.r_squared
-            });
-            if better {
-                best = Some(candidate);
-            }
-        }
-        self.derived = best.expect("at least one attempt ran");
+        let best = rederive_best(
+            agent,
+            self.derived.class,
+            self.algorithm,
+            &self.derivation,
+            self.rederive_attempts,
+            seed,
+            tel,
+        )?;
+        self.derived = best;
         self.monitor.reset();
         self.rederivations += 1;
         tel.inc("maintenance.rederivations", 1);
@@ -218,6 +239,151 @@ impl ModelMaintainer {
         tel.field(span, "r_squared", self.derived.model.fit.r_squared);
         tel.end_span(span);
         Ok(())
+    }
+}
+
+/// Best-of-`attempts` derivation (sample seeds `seed + attempt`, winner by
+/// R²), shared by the serial rebuild and the pooled batch path.
+fn rederive_best(
+    agent: &mut MdbsAgent,
+    class: QueryClass,
+    algorithm: StateAlgorithm,
+    cfg: &DerivationConfig,
+    attempts: usize,
+    seed: u64,
+    tel: &mut Telemetry,
+) -> Result<DerivedModel, CoreError> {
+    let mut best: Option<DerivedModel> = None;
+    for attempt in 0..attempts.max(1) as u64 {
+        let candidate = derive_inner(
+            agent,
+            class,
+            algorithm,
+            cfg,
+            seed.wrapping_add(attempt),
+            tel,
+        )?;
+        let better = best.as_ref().map_or(true, |b| {
+            candidate.model.fit.r_squared > b.model.fit.r_squared
+        });
+        if better {
+            best = Some(candidate);
+        }
+    }
+    Ok(best.expect("at least one attempt ran"))
+}
+
+/// Rebuilds every drifted maintainer of a fleet on a worker pool, exactly
+/// as the per-maintainer [`ModelMaintainer::rederive`] would (best of
+/// [`ModelMaintainer::rederive_attempts`] by R²), then publishes the fresh
+/// models into `registry` (when given) so estimation switches over without
+/// ever blocking.
+///
+/// Seeds follow the [`crate::derive::derive_all`] scheme: each drifted
+/// `(site, class, algorithm)` triple is a [`DeriveJob`] whose stable key
+/// splits an environment seed (passed to `make_agent`) and a base sample
+/// seed from `ctx.seed`, so the rebuilt fleet is reproducible from the root
+/// seed regardless of worker count or which subset happened to drift.
+///
+/// Returns the number of models rebuilt. Jobs fail independently; the
+/// first error is returned after every successful rebuild has been
+/// applied, so a degenerate site cannot wedge the rest of the fleet.
+pub fn rederive_drifted<F>(
+    fleet: &mut [(SiteId, ModelMaintainer)],
+    workers: Option<usize>,
+    make_agent: F,
+    registry: Option<&ModelRegistry>,
+    ctx: &mut PipelineCtx,
+) -> Result<usize, CoreError>
+where
+    F: Fn(&SiteId, QueryClass, u64) -> MdbsAgent + Sync,
+{
+    let drifted: Vec<usize> = fleet
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, m))| m.monitor.drifted())
+        .map(|(i, _)| i)
+        .collect();
+    let span = ctx.telemetry.begin_span("maintenance.rederive_batch");
+    ctx.telemetry.field(span, "fleet", fleet.len() as u64);
+    ctx.telemetry.field(span, "drifted", drifted.len() as u64);
+
+    let jobs: Vec<(usize, DeriveJob, DerivationConfig, usize)> = drifted
+        .iter()
+        .map(|&i| {
+            let (site, m) = &fleet[i];
+            (
+                i,
+                DeriveJob::new(site.clone(), m.class(), m.algorithm),
+                m.derivation.clone(),
+                m.rederive_attempts,
+            )
+        })
+        .collect();
+    let workers = pool::effective_workers(workers, jobs.len());
+    let root_seed = ctx.seed;
+    let traced = ctx.telemetry.is_enabled();
+    let make_agent = &make_agent;
+
+    let (results, report) = pool::run_jobs(jobs, workers, move |_, (i, job, cfg, attempts)| {
+        let key = job.job_key();
+        let env_seed = split_stream(root_seed, key ^ crate::derive::ENV_STREAM);
+        let gen_seed = split_stream(root_seed, key ^ crate::derive::GEN_STREAM);
+        let mut agent = make_agent(&job.site, job.class, env_seed);
+        let mut tel = if traced {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let result = rederive_best(
+            &mut agent,
+            job.class,
+            job.algorithm,
+            &cfg,
+            attempts,
+            gen_seed,
+            &mut tel,
+        );
+        (i, job, result, tel)
+    });
+
+    let mut rebuilt = 0usize;
+    let mut first_error: Option<CoreError> = None;
+    for (i, job, result, tel) in results {
+        ctx.telemetry.merge_child(tel, Some(span));
+        match result {
+            Ok(derived) => {
+                let (_, maintainer) = &mut fleet[i];
+                maintainer.derived = derived;
+                maintainer.monitor.reset();
+                maintainer.rederivations += 1;
+                ctx.telemetry.inc("maintenance.rederivations", 1);
+                if let Some(registry) = registry {
+                    registry.publish(
+                        job.site.clone(),
+                        job.class,
+                        maintainer.derived.model.clone(),
+                    );
+                }
+                rebuilt += 1;
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    ctx.telemetry
+        .inc("pool.jobs_completed", report.jobs_completed as u64);
+    ctx.telemetry.inc("pool.sched.steals", report.steals);
+    ctx.telemetry
+        .gauge("pool.sched.workers", report.workers as f64);
+    ctx.telemetry.field(span, "rebuilt", rebuilt as u64);
+    ctx.telemetry.end_span(span);
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(rebuilt),
     }
 }
 

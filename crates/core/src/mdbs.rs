@@ -102,7 +102,13 @@ impl Mdbs {
     ) -> Result<(), CoreError> {
         let keep_probe = cfg.fit_probe_estimator;
         let agent = self.agent_mut_or_err(site)?;
-        let derived = derive_cost_model(agent, class, algorithm, cfg, seed)?;
+        let derived = derive_cost_model(
+            agent,
+            class,
+            algorithm,
+            cfg,
+            &mut crate::pipeline::PipelineCtx::seeded(seed),
+        )?;
         self.catalog
             .insert_model(site.clone(), class, derived.model);
         if keep_probe {

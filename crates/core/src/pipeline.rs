@@ -1,0 +1,85 @@
+//! The context every pipeline entry point carries.
+//!
+//! PR 2 grew the pipeline a `f` / `f_traced` pair per entry point; adding
+//! batch parallelism on top would have doubled that again. Instead, every
+//! public pipeline function now takes one [`PipelineCtx`] bundling the two
+//! cross-cutting concerns — the telemetry collection and the root RNG seed
+//! — so a new concern extends the context instead of forking the API.
+//!
+//! ```
+//! use mdbs_core::pipeline::PipelineCtx;
+//!
+//! let quiet = PipelineCtx::seeded(7);          // no telemetry, seed 7
+//! assert!(!quiet.telemetry.is_enabled());
+//! let traced = PipelineCtx::traced(7);         // recording telemetry
+//! assert!(traced.telemetry.is_enabled());
+//! assert_eq!(PipelineCtx::default().seed, 0);  // null context
+//! ```
+
+use mdbs_obs::Telemetry;
+
+/// Cross-cutting context threaded through the derivation pipeline:
+/// a telemetry collection plus the root RNG seed.
+///
+/// The seed drives the sample-query generator of a single derivation, or —
+/// for [`derive_all`](crate::derive::derive_all) — acts as the *root* seed
+/// from which each job's child streams are split, so a whole batch is
+/// reproducible from one number.
+#[derive(Debug, Default)]
+pub struct PipelineCtx {
+    /// Telemetry collection; [`Telemetry::default`] is the disabled
+    /// (null-sink) collection, so the default context records nothing.
+    pub telemetry: Telemetry,
+    /// Root RNG seed for sample-query generation.
+    pub seed: u64,
+}
+
+impl PipelineCtx {
+    /// A silent context with the given seed: telemetry disabled, every
+    /// instrumentation call a no-op.
+    pub fn seeded(seed: u64) -> Self {
+        PipelineCtx {
+            telemetry: Telemetry::disabled(),
+            seed,
+        }
+    }
+
+    /// A recording context with the given seed.
+    pub fn traced(seed: u64) -> Self {
+        PipelineCtx {
+            telemetry: Telemetry::enabled(),
+            seed,
+        }
+    }
+
+    /// A context for one batch job: same tracing disposition as `self`,
+    /// seeded with `seed` (typically a child stream split from
+    /// [`PipelineCtx::seed`]). The job's telemetry is recorded into the
+    /// child and merged back deterministically by the batch runner.
+    pub fn child(&self, seed: u64) -> Self {
+        if self.telemetry.is_enabled() {
+            PipelineCtx::traced(seed)
+        } else {
+            PipelineCtx::seeded(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_is_silent() {
+        let ctx = PipelineCtx::default();
+        assert!(!ctx.telemetry.is_enabled());
+        assert_eq!(ctx.seed, 0);
+    }
+
+    #[test]
+    fn child_inherits_tracing_disposition() {
+        assert!(PipelineCtx::traced(1).child(9).telemetry.is_enabled());
+        assert!(!PipelineCtx::seeded(1).child(9).telemetry.is_enabled());
+        assert_eq!(PipelineCtx::seeded(1).child(9).seed, 9);
+    }
+}

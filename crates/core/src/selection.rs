@@ -73,27 +73,38 @@ pub struct Selection {
 
 /// Runs the full mixed procedure for `family` over `observations`
 /// partitioned by `states`, fitting models in the given `form`.
+///
+/// When `ctx.telemetry` is enabled, records `selection.*` counters
+/// (low-correlation drops, VIF-screened starters, backward eliminations,
+/// forward additions, VIF-rejected forward candidates). The `ctx.seed` is
+/// unused here — selection is deterministic in its inputs.
 pub fn select_variables(
     family: VariableFamily,
     observations: &[Observation],
     states: &StateSet,
     form: ModelForm,
     cfg: &SelectionConfig,
+    ctx: &mut crate::pipeline::PipelineCtx,
 ) -> Result<Selection, CoreError> {
-    select_variables_traced(
-        family,
-        observations,
-        states,
-        form,
-        cfg,
-        &mut Telemetry::disabled(),
-    )
+    select_variables_inner(family, observations, states, form, cfg, &mut ctx.telemetry)
 }
 
-/// [`select_variables`] with telemetry: records `selection.*` counters
-/// (VIF-screened starters, backward eliminations, forward additions,
-/// VIF-rejected forward candidates).
+/// Pre-[`crate::pipeline::PipelineCtx`] spelling of a traced selection.
+#[deprecated(note = "use `select_variables` with a `PipelineCtx` instead")]
 pub fn select_variables_traced(
+    family: VariableFamily,
+    observations: &[Observation],
+    states: &StateSet,
+    form: ModelForm,
+    cfg: &SelectionConfig,
+    tel: &mut Telemetry,
+) -> Result<Selection, CoreError> {
+    select_variables_inner(family, observations, states, form, cfg, tel)
+}
+
+/// The selection body shared by [`select_variables`] and the deprecated
+/// shim.
+pub(crate) fn select_variables_inner(
     family: VariableFamily,
     observations: &[Observation],
     states: &StateSet,
@@ -365,6 +376,7 @@ fn max_vif_over_states(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PipelineCtx;
 
     /// Unary-family observations where cost depends on N_O and N_R but not
     /// on N_I beyond its correlation with the others, and where the
@@ -403,6 +415,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         // N_O (0) and N_R (2) must survive.
@@ -420,6 +433,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         // The true cost depends on N_R*L_R beyond the basics; the forward
@@ -451,6 +465,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(
@@ -472,6 +487,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(!sel.var_indexes.contains(&3), "{:?}", sel.var_names);
@@ -486,6 +502,7 @@ mod tests {
             &StateSet::single(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(!sel.var_indexes.is_empty());
@@ -532,6 +549,7 @@ mod tests {
             &states,
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         // The Cartesian-product term (index 5) is the dominant driver.
@@ -546,16 +564,17 @@ mod tests {
     #[test]
     fn selection_telemetry_accounts_for_every_set_change() {
         let obs = synth_unary(600);
-        let mut tel = Telemetry::enabled();
-        let sel = select_variables_traced(
+        let mut ctx = PipelineCtx::traced(0);
+        let sel = select_variables(
             VariableFamily::Unary,
             &obs,
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
-            &mut tel,
+            &mut ctx,
         )
         .unwrap();
+        let tel = &ctx.telemetry;
         let basics = VariableFamily::Unary.basic_indexes().len() as u64;
         let low_corr = tel.metrics.counter("selection.low_corr_dropped");
         let screened = tel.metrics.counter("selection.vif_screened");
@@ -573,6 +592,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert_eq!(plain.var_indexes, sel.var_indexes);
@@ -588,6 +608,7 @@ mod tests {
             &states(),
             ModelForm::General,
             &SelectionConfig::default(),
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         let all = VariableFamily::Unary.all();

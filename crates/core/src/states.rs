@@ -118,6 +118,12 @@ pub struct StatesResult {
 
 /// Runs IUPMA or ICMA over `observations`, mutating the vector when the
 /// source supplies extra samples for thin states.
+///
+/// When `ctx.telemetry` is enabled, records `states.*` counters (partition
+/// iterations, rank-deficient and collapsed proposals skipped, targeted
+/// resample draws, thin-state merges, phase-2 merges). The `ctx.seed` is
+/// unused here — state determination draws no randomness of its own.
+#[allow(clippy::too_many_arguments)]
 pub fn determine_states(
     algorithm: StateAlgorithm,
     observations: &mut Vec<Observation>,
@@ -125,23 +131,46 @@ pub fn determine_states(
     var_names: &[String],
     cfg: &StatesConfig,
     source: &mut dyn ObservationSource,
+    ctx: &mut crate::pipeline::PipelineCtx,
 ) -> Result<StatesResult, CoreError> {
-    determine_states_traced(
+    determine_states_inner(
         algorithm,
         observations,
         var_indexes,
         var_names,
         cfg,
         source,
-        &mut Telemetry::disabled(),
+        &mut ctx.telemetry,
     )
 }
 
-/// [`determine_states`] with telemetry: records `states.*` counters
-/// (partition iterations, rank-deficient and collapsed proposals skipped,
-/// targeted resample draws, thin-state merges, phase-2 merges).
+/// Pre-[`crate::pipeline::PipelineCtx`] spelling of a traced determination.
+#[deprecated(note = "use `determine_states` with a `PipelineCtx` instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn determine_states_traced(
+    algorithm: StateAlgorithm,
+    observations: &mut Vec<Observation>,
+    var_indexes: &[usize],
+    var_names: &[String],
+    cfg: &StatesConfig,
+    source: &mut dyn ObservationSource,
+    tel: &mut Telemetry,
+) -> Result<StatesResult, CoreError> {
+    determine_states_inner(
+        algorithm,
+        observations,
+        var_indexes,
+        var_names,
+        cfg,
+        source,
+        tel,
+    )
+}
+
+/// The determination body shared by [`determine_states`] and the
+/// deprecated shim.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn determine_states_inner(
     algorithm: StateAlgorithm,
     observations: &mut Vec<Observation>,
     var_indexes: &[usize],
@@ -340,6 +369,7 @@ fn max_relative_coef_error(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PipelineCtx;
 
     /// Ground truth with `k` genuinely different contention regimes spread
     /// uniformly over probe costs 0..10.
@@ -372,6 +402,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(
@@ -402,6 +433,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         // Either phase 1 stops immediately or phase 2 merges everything back.
@@ -426,6 +458,7 @@ mod tests {
             &["x".to_string()],
             &cfg,
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(result.merges > 0, "expected phase 2 to merge some states");
@@ -455,6 +488,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert_eq!(result.model.num_states(), 3);
@@ -505,6 +539,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut source,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert!(source.draws > 0, "hole never triggered resampling");
@@ -528,6 +563,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         assert_eq!(result.model.num_states(), 1);
@@ -557,6 +593,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .expect("singular proposals must not abort determination");
         assert_eq!(result.model.num_states(), 1);
@@ -585,20 +622,22 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .unwrap();
         let mut traced_obs = make_obs();
-        let mut tel = Telemetry::enabled();
-        let traced = determine_states_traced(
+        let mut ctx = PipelineCtx::traced(0);
+        let traced = determine_states(
             StateAlgorithm::Iupma,
             &mut traced_obs,
             &[0],
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
-            &mut tel,
+            &mut ctx,
         )
         .unwrap();
+        let tel = &ctx.telemetry;
         assert!(
             tel.metrics.counter("states.rank_deficient_skipped") >= 1,
             "the collinear upper band must trigger at least one skip"
@@ -622,6 +661,7 @@ mod tests {
             &["x".to_string()],
             &StatesConfig::default(),
             &mut NoResampling,
+            &mut PipelineCtx::default(),
         )
         .is_err());
     }

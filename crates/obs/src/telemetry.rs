@@ -17,6 +17,16 @@ use std::time::Instant;
 /// compare what remains byte for byte.
 pub const WALL_CLOCK_FIELDS: &[&str] = &["wall_ms"];
 
+/// Metric-name prefixes whose events are scheduling-dependent and therefore
+/// non-deterministic across worker counts (e.g. work-steal counts, queue
+/// depths, configured worker counts of the derivation pool).
+///
+/// [`strip_wall_clock`] drops whole counter/gauge/histogram events whose
+/// `name` starts with one of these prefixes, so telemetry from an N-worker
+/// batch run can be compared byte for byte against a serial run. Everything
+/// else in the stream must stay a pure function of the seeds.
+pub const SCHEDULING_METRIC_PREFIXES: &[&str] = &["pool.sched."];
+
 /// A telemetry collection: hierarchical spans plus a metrics registry.
 #[derive(Debug)]
 pub struct Telemetry {
@@ -26,6 +36,14 @@ pub struct Telemetry {
     spans: Vec<SpanRecord>,
     starts: Vec<Option<Instant>>,
     open: Vec<usize>,
+}
+
+impl Default for Telemetry {
+    /// The default collection is [`Telemetry::disabled`]: instrumentation
+    /// that receives it costs nothing and records nothing.
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
 }
 
 impl Telemetry {
@@ -54,6 +72,42 @@ impl Telemetry {
     /// Whether this collection records anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Appends another collection's spans and metrics to this one.
+    ///
+    /// Child spans keep their relative order and nesting; their `seq` and
+    /// `parent` numbers are offset past this collection's existing spans.
+    /// With `under = Some(span)`, the child's root spans are re-parented
+    /// beneath that span (open or closed) and every depth is shifted
+    /// accordingly; with `under = None` they stay roots. Metrics are folded
+    /// in via [`MetricsRegistry::merge`]. The result depends only on the
+    /// order of `merge_child` calls, so a batch runner that merges per-job
+    /// collections in job-id order gets deterministic combined telemetry no
+    /// matter which threads produced them.
+    pub fn merge_child(&mut self, child: Telemetry, under: Option<SpanId>) {
+        if !self.enabled {
+            return;
+        }
+        let offset = self.spans.len() as u64;
+        let (anchor_seq, depth_shift) = match under {
+            Some(span) if span != SpanId::DISABLED => match self.spans.get(span.0) {
+                Some(record) => (Some(record.seq), record.depth + 1),
+                None => (None, 0),
+            },
+            _ => (None, 0),
+        };
+        for mut span in child.spans {
+            span.seq += offset;
+            span.parent = match span.parent {
+                Some(parent) => Some(parent + offset),
+                None => anchor_seq,
+            };
+            span.depth += depth_shift;
+            self.spans.push(span);
+            self.starts.push(None);
+        }
+        self.metrics.merge(&child.metrics);
     }
 
     /// Opens a span; it becomes the child of the innermost open span.
@@ -205,9 +259,11 @@ impl Telemetry {
     }
 }
 
-/// Removes every [`WALL_CLOCK_FIELDS`] key from each JSONL line, returning
-/// the deterministic remainder (lines that fail to parse pass through
-/// verbatim). Two same-seed runs must agree byte for byte on the result.
+/// Removes every [`WALL_CLOCK_FIELDS`] key from each JSONL line and drops
+/// whole metric events whose name falls under [`SCHEDULING_METRIC_PREFIXES`],
+/// returning the deterministic remainder (lines that fail to parse pass
+/// through verbatim). Two same-seed runs — at any worker count — must agree
+/// byte for byte on the result.
 pub fn strip_wall_clock(jsonl: &str) -> String {
     let mut out = String::new();
     for line in jsonl.lines() {
@@ -216,6 +272,9 @@ pub fn strip_wall_clock(jsonl: &str) -> String {
         }
         match parse(line) {
             Ok(mut value) => {
+                if is_scheduling_metric(&value) {
+                    continue;
+                }
                 strip(&mut value);
                 out.push_str(&value.render());
             }
@@ -224,6 +283,25 @@ pub fn strip_wall_clock(jsonl: &str) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Whether an event line is a scheduling-dependent metric (dropped whole by
+/// [`strip_wall_clock`]). Spans are never dropped: pipeline code must not
+/// name spans under a scheduling prefix.
+fn is_scheduling_metric(value: &Json) -> bool {
+    let is_metric = matches!(
+        value.get("type").and_then(Json::as_str),
+        Some("counter" | "gauge" | "histogram")
+    );
+    is_metric
+        && value
+            .get("name")
+            .and_then(Json::as_str)
+            .is_some_and(|name| {
+                SCHEDULING_METRIC_PREFIXES
+                    .iter()
+                    .any(|prefix| name.starts_with(prefix))
+            })
 }
 
 fn strip(value: &mut Json) {
@@ -335,6 +413,112 @@ mod tests {
         let a = strip_wall_clock(&sample().render_jsonl());
         let b = strip_wall_clock(&sample().render_jsonl());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_telemetry_is_disabled() {
+        let tel = Telemetry::default();
+        assert!(!tel.is_enabled());
+        assert!(tel.spans().is_empty());
+    }
+
+    #[test]
+    fn merge_child_reparents_and_offsets_child_spans() {
+        let mut parent = Telemetry::enabled();
+        let batch = parent.begin_span("derive_all");
+
+        let mut child = Telemetry::enabled();
+        let job = child.begin_span("derive");
+        let stage = child.begin_span("derive.fit");
+        child.end_span(stage);
+        child.end_span(job);
+        child.inc("engine.executions", 7);
+
+        parent.merge_child(child, Some(batch));
+        parent.end_span(batch);
+
+        let spans = parent.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].name, "derive");
+        assert_eq!(spans[1].seq, 1);
+        assert_eq!(
+            spans[1].parent,
+            Some(0),
+            "child root hangs off the batch span"
+        );
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].name, "derive.fit");
+        assert_eq!(spans[2].parent, Some(1), "internal nesting is preserved");
+        assert_eq!(spans[2].depth, 2);
+        assert!(spans.iter().all(|s| s.closed));
+        assert_eq!(parent.metrics.counter("engine.executions"), 7);
+    }
+
+    #[test]
+    fn merge_child_without_anchor_keeps_roots_as_roots() {
+        let mut parent = Telemetry::enabled();
+        let early = parent.begin_span("setup");
+        parent.end_span(early);
+
+        let mut child = Telemetry::enabled();
+        let job = child.begin_span("derive");
+        child.end_span(job);
+
+        parent.merge_child(child, None);
+        let spans = parent.spans();
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].seq, 1);
+    }
+
+    #[test]
+    fn merge_child_order_determines_output_not_thread_timing() {
+        let make = |tag: &str| {
+            let mut tel = Telemetry::enabled();
+            let s = tel.begin_span(tag);
+            tel.end_span(s);
+            tel
+        };
+        let mut a = Telemetry::enabled();
+        a.merge_child(make("job0"), None);
+        a.merge_child(make("job1"), None);
+        let mut b = Telemetry::enabled();
+        b.merge_child(make("job0"), None);
+        b.merge_child(make("job1"), None);
+        assert_eq!(
+            strip_wall_clock(&a.render_jsonl()),
+            strip_wall_clock(&b.render_jsonl())
+        );
+    }
+
+    #[test]
+    fn merge_child_into_disabled_parent_is_a_noop() {
+        let mut parent = Telemetry::disabled();
+        let mut child = Telemetry::enabled();
+        let s = child.begin_span("derive");
+        child.end_span(s);
+        child.inc("engine.executions", 1);
+        parent.merge_child(child, None);
+        assert!(parent.spans().is_empty());
+        assert!(parent.metrics.is_empty());
+    }
+
+    #[test]
+    fn strip_drops_scheduling_metrics_but_keeps_like_named_spans() {
+        let mut tel = Telemetry::enabled();
+        let span = tel.begin_span("derive_all");
+        tel.end_span(span);
+        tel.inc("pool.jobs_completed", 4);
+        tel.inc("pool.sched.steals", 3);
+        tel.gauge("pool.sched.workers", 2.0);
+        tel.observe("pool.sched.queue_depth", 5.0);
+        let stripped = strip_wall_clock(&tel.render_jsonl());
+        assert!(!stripped.contains("pool.sched."), "{stripped}");
+        assert!(
+            stripped.contains("pool.jobs_completed"),
+            "deterministic pool counters must survive: {stripped}"
+        );
+        assert!(stripped.contains("derive_all"));
     }
 
     #[test]

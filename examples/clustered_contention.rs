@@ -7,15 +7,21 @@
 //! cargo run --release --example clustered_contention
 //! ```
 
+use std::fmt::Write as _;
+
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::validate::{quality, run_test_queries};
 use mdbs_sim::datagen::standard_database;
 use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
 use mdbs_stats::describe::Histogram;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the whole comparison and returns the printed report. `quick` trims
+/// the sample sizes so the example stays fast under `cargo test --examples`.
+fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
+    let mut out = String::new();
     // A tri-modal load: quiet nights, busy days, thrashing peaks.
     let profile = ContentionProfile::paper_clustered();
     let make_agent = |seed| {
@@ -26,15 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 1 — Figure 10: the contention level, gauged by probing costs.
     let mut agent = make_agent(5);
-    let probes: Vec<f64> = (0..600)
+    let probes: Vec<f64> = (0..if quick { 150 } else { 600 })
         .map(|_| {
             agent.tick();
             agent.probe()
         })
         .collect();
-    println!("--- contention level (probing cost) in the clustered environment ---");
+    writeln!(
+        out,
+        "--- contention level (probing cost) in the clustered environment ---"
+    )?;
     let hist = Histogram::build(&probes, 30, None).expect("non-empty sample");
-    print!("{}", hist.ascii(48));
+    write!(out, "{}", hist.ascii(48))?;
 
     // Part 2 — derive with both state-determination algorithms.
     for (name, algo, seed) in [
@@ -42,26 +51,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ICMA  (clustering-based) ", StateAlgorithm::Icma, 31),
     ] {
         let mut agent = make_agent(seed);
+        let cfg = if quick {
+            DerivationConfig::quick()
+        } else {
+            DerivationConfig {
+                fit_probe_estimator: false,
+                ..DerivationConfig::default()
+            }
+        };
         let derived = derive_cost_model(
             &mut agent,
             QueryClass::UnaryNoIndex,
             algo,
-            &DerivationConfig {
-                fit_probe_estimator: false,
-                ..DerivationConfig::default()
-            },
-            77,
+            &cfg,
+            &mut PipelineCtx::seeded(77),
         )?;
-        let points =
-            run_test_queries(&mut agent, QueryClass::UnaryNoIndex, &derived.model, 60, 91)?;
+        let trials = if quick { 15 } else { 60 };
+        let points = run_test_queries(
+            &mut agent,
+            QueryClass::UnaryNoIndex,
+            &derived.model,
+            trials,
+            91,
+        )?;
         let q = quality(&points);
-        println!(
+        writeln!(
+            out,
             "\n{name}: {} states, R² = {:.3}, SEE = {:.2}",
             derived.model.num_states(),
             derived.model.fit.r_squared,
             derived.model.fit.see
-        );
-        println!(
+        )?;
+        writeln!(
+            out,
             "  state boundaries (probe sec): {:?}",
             derived
                 .model
@@ -70,16 +92,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|e| (e * 100.0).round() / 100.0)
                 .collect::<Vec<_>>()
-        );
-        println!(
+        )?;
+        writeln!(
+            out,
             "  test quality: {:.0}% very good, {:.0}% good",
             q.very_good_pct, q.good_pct
-        );
+        )?;
     }
 
-    println!(
+    writeln!(
+        out,
         "\nICMA aligns its boundaries with the load clusters, so each state\n\
          covers one operating regime; the uniform grid splits regimes apart."
-    );
+    )?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", report(false)?);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn clustered_contention_report_is_non_empty() {
+        let out = report(true).expect("comparison runs");
+        assert!(!out.trim().is_empty());
+        assert!(out.contains("IUPMA"), "{out}");
+        assert!(out.contains("ICMA"), "{out}");
+        assert!(out.contains("state boundaries"), "{out}");
+    }
 }

@@ -7,8 +7,11 @@
 //! cargo run --release --example dynamic_workload
 //! ```
 
+use std::fmt::Write as _;
+
 use mdbs_core::classes::{classify, QueryClass};
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::variables::VariableFamily;
 use mdbs_sim::contention::Load;
@@ -16,7 +19,10 @@ use mdbs_sim::datagen::standard_database;
 use mdbs_sim::query::{Predicate, Query, UnaryQuery};
 use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the whole scenario and returns the printed report. `quick` trims
+/// the sweeps so the example stays fast under `cargo test --examples`.
+fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
+    let mut out = String::new();
     let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 11);
 
     // The paper's Figure-1 query: a select-project on a ~50k-tuple table.
@@ -36,21 +42,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         order_by: None,
     });
-    println!(
+    writeln!(
+        out,
         "query: select a1, a5, a7 from {} where a5 > .. and a6 < ..  ({} tuples)\n",
         table.id, table.cardinality
-    );
+    )?;
 
     // Part 1 — Figure 1: sweep the number of concurrent processes.
-    println!("--- effect of concurrent processes on the observed cost ---");
-    println!("{:>10} {:>12}", "processes", "cost (sec)");
-    for procs in (50..=130).step_by(10) {
+    writeln!(
+        out,
+        "--- effect of concurrent processes on the observed cost ---"
+    )?;
+    writeln!(out, "{:>10} {:>12}", "processes", "cost (sec)")?;
+    let (step, reps) = if quick { (40, 1) } else { (10, 3) };
+    for procs in (50..=130).step_by(step) {
         agent.set_load(Load::background(procs as f64));
-        let mean: f64 = (0..3)
+        let mean: f64 = (0..reps)
             .map(|_| agent.run(&query).unwrap().cost_s)
             .sum::<f64>()
-            / 3.0;
-        println!("{procs:>10} {mean:>12.2}");
+            / reps as f64;
+        writeln!(out, "{procs:>10} {mean:>12.2}")?;
     }
 
     // Part 2 — derive a multi-states model in the dynamic environment and
@@ -61,25 +72,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let class = classify(agent.catalog(), &query).expect("classifiable");
     assert_eq!(class, QueryClass::UnaryNoIndex);
-    println!("\nderiving a multi-states model for {} ...", class.label());
+    writeln!(
+        out,
+        "\nderiving a multi-states model for {} ...",
+        class.label()
+    )?;
+    let cfg = if quick {
+        DerivationConfig::quick()
+    } else {
+        DerivationConfig::default()
+    };
     let derived = derive_cost_model(
         &mut agent,
         class,
         StateAlgorithm::Iupma,
-        &DerivationConfig::default(),
-        23,
+        &cfg,
+        &mut PipelineCtx::seeded(23),
     )?;
-    println!(
+    writeln!(
+        out,
         "model: {} states, R² = {:.3}\n",
         derived.model.num_states(),
         derived.model.fit.r_squared
-    );
+    )?;
 
-    println!("--- the same query, priced before each run as load moves ---");
-    println!(
+    writeln!(
+        out,
+        "--- the same query, priced before each run as load moves ---"
+    )?;
+    writeln!(
+        out,
         "{:>10} {:>12} {:>12} {:>12} {:>8}",
         "processes", "probe (s)", "estimated", "observed", "state"
-    );
+    )?;
     let x = VariableFamily::Unary
         .extract(agent.catalog(), &query)
         .expect("query matches the unary family");
@@ -93,13 +118,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .model
             .states
             .paper_label(derived.model.states.state_of(probe));
-        println!("{procs:>10.0} {probe:>12.2} {est:>12.2} {obs:>12.2} {state:>8}");
+        writeln!(
+            out,
+            "{procs:>10.0} {probe:>12.2} {est:>12.2} {obs:>12.2} {state:>8}"
+        )?;
     }
 
-    println!(
+    writeln!(
+        out,
         "\nthe one-state model would quote {:.2}s regardless of load (R² = {:.3}).",
         derived.one_state.estimate(&x_sel, 0.0),
         derived.one_state.fit.r_squared
-    );
+    )?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", report(false)?);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn dynamic_workload_report_is_non_empty() {
+        let out = report(true).expect("scenario runs");
+        assert!(!out.trim().is_empty());
+        assert!(out.contains("effect of concurrent processes"), "{out}");
+        assert!(out.contains("priced before each run"), "{out}");
+    }
 }

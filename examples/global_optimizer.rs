@@ -7,16 +7,22 @@
 //! cargo run --release --example global_optimizer
 //! ```
 
+use std::fmt::Write as _;
+
 use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::optimizer::{GlobalJoin, GlobalOptimizer, JoinOperand};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_sim::contention::Load;
 use mdbs_sim::datagen::standard_database;
 use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the whole story and returns the printed report. `quick` trims the
+/// sample sizes so the example stays fast under `cargo test --examples`.
+fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
+    let mut out = String::new();
     let oracle: SiteId = "oracle-site".into();
     let db2: SiteId = "db2-site".into();
 
@@ -32,22 +38,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Derive the models the optimizer needs: unary (to price the filter at
     // the shipping site) and unindexed join (to price the join itself).
     let mut catalog = GlobalCatalog::new();
-    let cfg = DerivationConfig {
-        fit_probe_estimator: false,
-        ..DerivationConfig::default()
+    let cfg = if quick {
+        DerivationConfig::quick()
+    } else {
+        DerivationConfig {
+            fit_probe_estimator: false,
+            ..DerivationConfig::default()
+        }
     };
     for (site, agent, seed) in [
         (&oracle, &mut oracle_agent, 100u64),
         (&db2, &mut db2_agent, 200),
     ] {
         for class in [QueryClass::UnaryNoIndex, QueryClass::JoinNoIndex] {
-            print!("deriving {:<28} at {site} ... ", class.label());
-            let derived = derive_cost_model(agent, class, StateAlgorithm::Iupma, &cfg, seed)?;
-            println!(
+            write!(out, "deriving {:<28} at {site} ... ", class.label())?;
+            let derived = derive_cost_model(
+                agent,
+                class,
+                StateAlgorithm::Iupma,
+                &cfg,
+                &mut PipelineCtx::seeded(seed),
+            )?;
+            writeln!(
+                out,
                 "{} states, R² = {:.3}",
                 derived.model.num_states(),
                 derived.model.fit.r_squared
-            );
+            )?;
             catalog.insert_model(site.clone(), class, derived.model);
         }
     }
@@ -70,13 +87,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             predicates: vec![],
         },
     };
-    println!(
+    writeln!(
+        out,
         "\nglobal query: {}@{} ⋈ {}@{} (join on a5)",
         ora_schema.tables()[7].id,
         oracle,
         db2_schema.tables()[5].id,
         db2
-    );
+    )?;
 
     let optimizer = GlobalOptimizer::new(catalog, 0.08);
     let schemas = [(oracle.clone(), &ora_schema), (db2.clone(), &db2_schema)];
@@ -94,9 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (db2.clone(), db2_agent.probe()),
         ];
         let plans = optimizer.plan_join(&join, &schemas, &probes)?;
-        println!("\nscenario: {label}");
+        writeln!(out, "\nscenario: {label}")?;
         for (rank, p) in plans.iter().enumerate() {
-            println!(
+            writeln!(
+                out,
                 "  plan {}: join at {:<12} prepare {:8.1}s + transfer {:6.1}s ({:6.1} MB) + join {:8.1}s = {:9.1}s",
                 rank + 1,
                 p.join_site.to_string(),
@@ -105,16 +124,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 p.transfer_mb,
                 p.join_cost,
                 p.total()
-            );
+            )?;
         }
         if let Some(best) = plans.first() {
-            println!("  -> optimizer sends the join to {}", best.join_site);
+            writeln!(out, "  -> optimizer sends the join to {}", best.join_site)?;
         }
     }
-    println!(
+    writeln!(
+        out,
         "\nwithout contention states, both plans would be priced identically in\n\
          every scenario — the qualitative variable is what lets the optimizer\n\
          route work away from an overloaded site."
-    );
+    )?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", report(false)?);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn global_optimizer_report_is_non_empty() {
+        let out = report(true).expect("story runs");
+        assert!(!out.trim().is_empty());
+        assert!(out.contains("scenario:"), "{out}");
+        assert!(out.contains("optimizer sends the join"), "{out}");
+    }
 }

@@ -10,9 +10,12 @@
 //! cargo run --release --example model_maintenance
 //! ```
 
+use std::fmt::Write as _;
+
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::maintenance::{MaintenanceConfig, ModelMaintainer};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::variables::VariableFamily;
@@ -39,35 +42,45 @@ fn serve_traffic(
         let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
         let est = model.estimate(&x_sel, probe);
         let obs = agent.run(&q).expect("query runs").cost_s;
-        drifted |= maintainer.observe(obs, est);
+        drifted |= maintainer.observe(obs, est, &mut PipelineCtx::default());
     }
     drifted
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the whole maintenance story and returns the printed report. `quick`
+/// trims the sample sizes so the example stays fast under
+/// `cargo test --examples`.
+fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
+    let mut out = String::new();
     let mut agent = MdbsAgent::new(VendorProfile::oracle8(), standard_database(42), 9);
     agent.set_load_builder(LoadBuilder::new(ContentionProfile::Uniform {
         lo: 20.0,
         hi: 125.0,
     }));
 
-    println!("deriving the initial multi-states model for G1 ...");
-    let cfg = DerivationConfig {
-        fit_probe_estimator: false,
-        ..DerivationConfig::default()
+    writeln!(out, "deriving the initial multi-states model for G1 ...")?;
+    let cfg = if quick {
+        DerivationConfig::quick()
+    } else {
+        DerivationConfig {
+            fit_probe_estimator: false,
+            ..DerivationConfig::default()
+        }
     };
     let derived = derive_cost_model(
         &mut agent,
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &cfg,
-        11,
+        &mut PipelineCtx::seeded(11),
     )?;
-    println!(
+    writeln!(
+        out,
         "  {} states, R² = {:.3}\n",
         derived.model.num_states(),
         derived.model.fit.r_squared
-    );
+    )?;
+    let traffic = if quick { (30, 40, 30) } else { (60, 80, 60) };
     let mut maintainer = ModelMaintainer::new(
         derived,
         MaintenanceConfig {
@@ -81,39 +94,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         StateAlgorithm::Iupma,
     );
 
-    println!("serving production traffic on the unchanged site ...");
-    let drifted = serve_traffic(&mut maintainer, &mut agent, 60, 21);
-    println!(
+    writeln!(out, "serving production traffic on the unchanged site ...")?;
+    let drifted = serve_traffic(&mut maintainer, &mut agent, traffic.0, 21);
+    writeln!(
+        out,
         "  drift: {drifted}; good-estimate fraction {:.0}%\n",
         100.0 * maintainer.monitor.good_fraction()
-    );
+    )?;
 
-    println!("** the site's storage degrades to 8x slower page I/O **\n");
+    writeln!(
+        out,
+        "** the site's storage degrades to 8x slower page I/O **\n"
+    )?;
     agent.apply_event(&EnvironmentEvent::DiskReplacement {
         io_cost_factor: 8.0,
     })?;
 
-    println!("serving production traffic on the changed site ...");
-    let drifted = serve_traffic(&mut maintainer, &mut agent, 80, 22);
-    println!(
+    writeln!(out, "serving production traffic on the changed site ...")?;
+    let drifted = serve_traffic(&mut maintainer, &mut agent, traffic.1, 22);
+    writeln!(
+        out,
         "  drift: {drifted}; good-estimate fraction {:.0}%\n",
         100.0 * maintainer.monitor.good_fraction()
-    );
+    )?;
 
-    println!("re-deriving the model against the changed site ...");
-    maintainer.rederive(&mut agent, 23)?;
-    println!(
+    writeln!(out, "re-deriving the model against the changed site ...")?;
+    maintainer.rederive(&mut agent, &mut PipelineCtx::seeded(23))?;
+    writeln!(
+        out,
         "  rebuilt ({} rebuild so far): {} states, R² = {:.3}\n",
         maintainer.rederivations,
         maintainer.derived.model.num_states(),
         maintainer.derived.model.fit.r_squared
-    );
+    )?;
 
-    println!("serving production traffic with the rebuilt model ...");
-    let drifted = serve_traffic(&mut maintainer, &mut agent, 60, 24);
-    println!(
+    writeln!(out, "serving production traffic with the rebuilt model ...")?;
+    let drifted = serve_traffic(&mut maintainer, &mut agent, traffic.2, 24);
+    writeln!(
+        out,
         "  drift: {drifted}; good-estimate fraction {:.0}%",
         100.0 * maintainer.monitor.good_fraction()
-    );
+    )?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", report(false)?);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn model_maintenance_report_is_non_empty() {
+        let out = report(true).expect("maintenance story runs");
+        assert!(!out.trim().is_empty());
+        assert!(out.contains("re-deriving the model"), "{out}");
+        assert!(out.contains("rebuilt"), "{out}");
+    }
 }

@@ -5,14 +5,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::fmt::Write as _;
+
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::validate::{quality, run_test_queries};
 use mdbs_sim::datagen::standard_database;
 use mdbs_sim::{ContentionProfile, LoadBuilder, MdbsAgent, VendorProfile};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the whole quickstart and returns the printed report. `quick` trims
+/// the sample sizes so the example stays fast under `cargo test --examples`.
+fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
+    let mut out = String::new();
     // 1. A local DBS the MDBS cannot see inside: an Oracle-8.0-like system
     //    hosting the paper's 12-table synthetic database, on a host whose
     //    background load swings between 20 and 125 concurrent processes.
@@ -24,48 +30,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Derive a cost model for G1 — unary queries without usable indexes
     //    — using the multi-states query sampling method (IUPMA).
-    println!("deriving a multi-states cost model for G1 (this samples a few");
-    println!("hundred queries against the simulated local DBS)...\n");
+    writeln!(
+        out,
+        "deriving a multi-states cost model for G1 (this samples a few"
+    )?;
+    writeln!(out, "hundred queries against the simulated local DBS)...\n")?;
+    let cfg = if quick {
+        DerivationConfig::quick()
+    } else {
+        DerivationConfig::default()
+    };
     let derived = derive_cost_model(
         &mut agent,
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
-        &DerivationConfig::default(),
-        7,
+        &cfg,
+        &mut PipelineCtx::seeded(7),
     )?;
 
-    println!(
+    writeln!(
+        out,
         "derived model: {} contention states, {} variables, R² = {:.3}, SEE = {:.2}",
         derived.model.num_states(),
         derived.model.num_variables(),
         derived.model.fit.r_squared,
         derived.model.fit.see,
-    );
-    println!("\nper-state cost equations (paper Table 4 style):");
-    print!("{}", derived.model.render());
+    )?;
+    writeln!(out, "\nper-state cost equations (paper Table 4 style):")?;
+    write!(out, "{}", derived.model.render())?;
 
     if let Some(est) = &derived.probe_estimator {
-        println!(
+        writeln!(
+            out,
             "\nprobing-cost estimator (eq. 2): C_probe ≈ f({}), R² = {:.3}",
             est.names.join(", "),
             est.r_squared
-        );
+        )?;
     }
 
     // 3. Estimate held-out test queries before running them, then compare.
-    let points = run_test_queries(&mut agent, QueryClass::UnaryNoIndex, &derived.model, 50, 99)?;
+    let trials = if quick { 12 } else { 50 };
+    let points = run_test_queries(
+        &mut agent,
+        QueryClass::UnaryNoIndex,
+        &derived.model,
+        trials,
+        99,
+    )?;
     let q = quality(&points);
-    println!(
+    writeln!(
+        out,
         "\non {} fresh test queries in the dynamic environment:",
         q.n
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  {:.0}% very good estimates (≤30% relative error), {:.0}% good (within 2x)",
         q.very_good_pct, q.good_pct
-    );
-    println!("\nfirst five test queries (observed vs estimated, seconds):");
+    )?;
+    writeln!(
+        out,
+        "\nfirst five test queries (observed vs estimated, seconds):"
+    )?;
     for p in points.iter().take(5) {
-        println!(
+        writeln!(
+            out,
             "  observed {:8.2}   estimated {:8.2}   (probe {:.2}s -> state {})",
             p.observed,
             p.estimated,
@@ -74,15 +103,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .model
                 .states
                 .paper_label(derived.model.states.state_of(p.probe_cost)),
-        );
+        )?;
     }
 
     // 4. The one-state model (the old static method) on the same data:
-    println!(
+    writeln!(
+        out,
         "\nfor contrast, the one-state (static-method) model fitted on the same \
          sample has R² = {:.3} — the dynamic environment is simply not \
          describable by a single regression.",
         derived.one_state.fit.r_squared
-    );
+    )?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", report(false)?);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn quickstart_report_is_non_empty() {
+        let out = report(true).expect("quickstart runs");
+        assert!(!out.trim().is_empty());
+        assert!(out.contains("derived model"), "{out}");
+        assert!(out.contains("per-state cost equations"), "{out}");
+    }
 }

@@ -4,6 +4,7 @@
 use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::{classify, QueryClass};
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::probing::ProbeCostEstimator;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::StateAlgorithm;
@@ -25,8 +26,14 @@ fn populated_catalog() -> (GlobalCatalog, MdbsAgent, SiteId) {
         ..DerivationConfig::default()
     };
     for class in [QueryClass::UnaryNoIndex, QueryClass::UnaryNonClusteredIndex] {
-        let derived = derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &cfg, 51)
-            .expect("derivation succeeds");
+        let derived = derive_cost_model(
+            &mut agent,
+            class,
+            StateAlgorithm::Iupma,
+            &cfg,
+            &mut PipelineCtx::seeded(51),
+        )
+        .expect("derivation succeeds");
         if let Some(est) = derived.probe_estimator.clone() {
             catalog.insert_probe_estimator(site.clone(), est);
         }

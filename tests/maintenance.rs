@@ -6,6 +6,7 @@
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::maintenance::{MaintenanceConfig, ModelMaintainer};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::variables::VariableFamily;
@@ -32,7 +33,7 @@ fn maintainer(agent: &mut MdbsAgent) -> ModelMaintainer {
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &cfg,
-        5,
+        &mut PipelineCtx::seeded(5),
     )
     .expect("initial derivation succeeds");
     ModelMaintainer::new(
@@ -66,7 +67,7 @@ fn run_traffic(m: &mut ModelMaintainer, agent: &mut MdbsAgent, n: usize, seed: u
         let x_sel: Vec<f64> = m.derived.model.var_indexes.iter().map(|&i| x[i]).collect();
         let est = m.derived.model.estimate(&x_sel, probe);
         let obs = agent.run(&q).expect("query runs").cost_s;
-        drifted |= m.observe(obs, est);
+        drifted |= m.observe(obs, est, &mut PipelineCtx::default());
     }
     drifted
 }
@@ -124,7 +125,8 @@ fn storage_degradation_drifts_and_rederivation_recovers() {
     // Re-derive against the changed site and verify production quality.
     // (Judged on the *final* monitor state: the first few windowed
     // observations can dip transiently without meaning anything.)
-    m.rederive(&mut agent, 65).expect("re-derivation succeeds");
+    m.rederive(&mut agent, &mut PipelineCtx::seeded(65))
+        .expect("re-derivation succeeds");
     assert_eq!(m.rederivations, 1);
     run_traffic(&mut m, &mut agent, 60, 66);
     assert!(!m.monitor.drifted(), "re-derived model still drifting");
@@ -211,7 +213,7 @@ fn site_migration_drifts_on_stale_workload() {
         let x_sel: Vec<f64> = m.derived.model.var_indexes.iter().map(|&i| x[i]).collect();
         let est = m.derived.model.estimate(&x_sel, probe);
         let obs = agent.run(q).expect("query runs").cost_s;
-        drifted |= m.observe(obs, est);
+        drifted |= m.observe(obs, est, &mut PipelineCtx::default());
     }
     assert!(drifted, "site migration went undetected");
 }

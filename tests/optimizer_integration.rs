@@ -6,6 +6,7 @@ use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::optimizer::{GlobalJoin, GlobalOptimizer, JoinOperand};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_sim::contention::Load;
 use mdbs_sim::datagen::standard_database;
@@ -39,8 +40,14 @@ fn set_up() -> TwoSites {
             hi: 125.0,
         }));
         for class in [QueryClass::UnaryNoIndex, QueryClass::JoinNoIndex] {
-            let derived = derive_cost_model(agent, class, StateAlgorithm::Iupma, &cfg, seed)
-                .expect("derivation succeeds");
+            let derived = derive_cost_model(
+                agent,
+                class,
+                StateAlgorithm::Iupma,
+                &cfg,
+                &mut PipelineCtx::seeded(seed),
+            )
+            .expect("derivation succeeds");
             catalog.insert_model(site.clone(), class, derived.model);
         }
     }

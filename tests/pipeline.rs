@@ -4,6 +4,7 @@
 
 use mdbs_core::classes::QueryClass;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::selection::SelectionConfig;
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_core::validate::{quality, run_test_queries};
@@ -35,7 +36,7 @@ fn unary_pipeline_on_oracle() {
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &quick_cfg(260),
-        2,
+        &mut PipelineCtx::seeded(2),
     )
     .expect("derivation succeeds");
     assert!(derived.model.num_states() >= 2);
@@ -58,7 +59,7 @@ fn join_pipeline_on_db2() {
         QueryClass::JoinNoIndex,
         StateAlgorithm::Iupma,
         &quick_cfg(300),
-        5,
+        &mut PipelineCtx::seeded(5),
     )
     .expect("join derivation succeeds");
     assert!(derived.model.num_states() >= 2);
@@ -85,8 +86,14 @@ fn every_class_derives_on_both_vendors() {
                 fit_probe_estimator: false,
                 ..DerivationConfig::default()
             };
-            let derived = derive_cost_model(&mut agent, class, StateAlgorithm::Iupma, &cfg, 6)
-                .unwrap_or_else(|e| panic!("{class:?} on {}: {e}", vendor.name));
+            let derived = derive_cost_model(
+                &mut agent,
+                class,
+                StateAlgorithm::Iupma,
+                &cfg,
+                &mut PipelineCtx::seeded(6),
+            )
+            .unwrap_or_else(|e| panic!("{class:?} on {}: {e}", vendor.name));
             assert!(
                 derived.model.fit.r_squared > 0.6,
                 "{class:?} on {} fits poorly: {}",
@@ -106,7 +113,7 @@ fn icma_pipeline_on_clustered_environment() {
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Icma,
         &quick_cfg(260),
-        10,
+        &mut PipelineCtx::seeded(10),
     )
     .expect("ICMA derivation succeeds");
     assert!(derived.model.num_states() >= 2);
@@ -126,7 +133,7 @@ fn probe_estimator_supports_estimation_flow() {
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &cfg,
-        12,
+        &mut PipelineCtx::seeded(12),
     )
     .expect("derivation with probe estimator");
     let est = derived.probe_estimator.expect("estimator requested");
@@ -165,7 +172,7 @@ fn derivation_is_deterministic() {
             QueryClass::UnaryNonClusteredIndex,
             StateAlgorithm::Iupma,
             &quick_cfg(200),
-            22,
+            &mut PipelineCtx::seeded(22),
         )
         .expect("derivation succeeds")
     };
@@ -200,7 +207,7 @@ fn sort_variable_selected_for_sorted_workloads() {
             QueryClass::UnaryNoIndex,
             StateAlgorithm::Iupma,
             &cfg,
-            seed + 1,
+            &mut PipelineCtx::seeded(seed + 1),
         )
         .expect("derivation succeeds");
         if derived.model.var_names.iter().any(|n| n == "SORT") {

@@ -5,6 +5,7 @@
 use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::{classify, QueryClass};
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_sim::datagen::standard_database;
 use mdbs_sim::sql::{parse_query, to_sql};
@@ -43,7 +44,7 @@ fn sql_estimate_then_execute_roundtrip() {
             fit_probe_estimator: false,
             ..DerivationConfig::default()
         },
-        5,
+        &mut PipelineCtx::seeded(5),
     )
     .expect("derivation succeeds");
     let mut catalog = GlobalCatalog::new();

@@ -9,7 +9,8 @@
 
 use mdbs_bench::workloads::Site;
 use mdbs_core::classes::QueryClass;
-use mdbs_core::derive::{derive_cost_model_traced, DerivationConfig};
+use mdbs_core::derive::{derive_cost_model, DerivationConfig};
+use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_obs::telemetry::strip_wall_clock;
 use mdbs_obs::{json, Telemetry};
@@ -17,17 +18,16 @@ use mdbs_obs::{json, Telemetry};
 /// One fully traced derivation with fixed seeds; returns the telemetry.
 fn traced_derivation() -> Telemetry {
     let mut agent = Site::Oracle.dynamic_agent(123);
-    let mut tel = Telemetry::enabled();
-    derive_cost_model_traced(
+    let mut ctx = PipelineCtx::traced(7);
+    derive_cost_model(
         &mut agent,
         QueryClass::UnaryNoIndex,
         StateAlgorithm::Iupma,
         &DerivationConfig::quick(),
-        7,
-        &mut tel,
+        &mut ctx,
     )
     .expect("derivation succeeds");
-    tel
+    ctx.telemetry
 }
 
 #[test]
