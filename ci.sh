@@ -12,6 +12,22 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> mdbs-lint (determinism/hermeticity policy, twice, byte-compared)"
+# Exit 0 with nothing printed means a clean tree; any finding fails the
+# gate. Running twice and byte-comparing the output asserts the lint's
+# own determinism promise.
+LINT_DIR="${TMPDIR:-/tmp}/mdbs-ci-lint.$$"
+mkdir -p "$LINT_DIR"
+./target/release/mdbs-lint . > "$LINT_DIR/first.txt" || {
+  echo "mdbs-lint found policy violations:" >&2
+  cat "$LINT_DIR/first.txt" >&2
+  rm -rf "$LINT_DIR"
+  exit 1
+}
+./target/release/mdbs-lint . > "$LINT_DIR/second.txt"
+cmp "$LINT_DIR/first.txt" "$LINT_DIR/second.txt"
+rm -rf "$LINT_DIR"
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

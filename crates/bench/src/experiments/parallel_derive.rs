@@ -99,6 +99,7 @@ pub fn job_agent(job: &DeriveJob, env_seed: u64) -> MdbsAgent {
 
 /// Runs the batch once at `workers` workers and returns the exported
 /// catalog plus the wall-clock time.
+#[allow(clippy::disallowed_methods, clippy::disallowed_types)]
 pub fn run_batch(
     sample_size: usize,
     workers: usize,
@@ -116,6 +117,7 @@ pub fn run_batch(
         },
         workers: Some(workers),
     };
+    // lint:allow(no-wall-clock): this experiment's whole point is an honest wall-clock speedup table; correctness is asserted separately via byte-identity
     let start = std::time::Instant::now();
     let outcomes = derive_all(
         batch_jobs(),

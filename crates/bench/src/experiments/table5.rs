@@ -205,8 +205,9 @@ pub fn derive_combo(
 }
 
 /// Runs the full Table-5 experiment: 3 classes × 2 sites × 3 model types.
-/// The six (site, class) combinations are independent and derived on
-/// parallel threads; rows keep the paper's order.
+/// The six (site, class) combinations are independent and fan out through
+/// the worker pool (one worker per combination); rows keep the paper's
+/// order because the pool returns results in job order.
 pub fn table5(cfg: &Table5Config) -> Result<Table5, CoreError> {
     let mut jobs = Vec::new();
     for site in Site::all() {
@@ -214,18 +215,9 @@ pub fn table5(cfg: &Table5Config) -> Result<Table5, CoreError> {
             jobs.push((site, class, label));
         }
     }
-    let results: Vec<Result<ComboResult, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(site, class, label)| {
-                let cfg = cfg.clone();
-                scope.spawn(move || derive_combo(site, class, label, &cfg))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("combo thread panicked"))
-            .collect()
+    let workers = jobs.len();
+    let (results, _report) = mdbs_core::pool::run_jobs(jobs, workers, |_, (site, class, label)| {
+        derive_combo(site, class, label, cfg)
     });
 
     let mut combos = Vec::new();

@@ -24,6 +24,8 @@
 //! measurements whose name contains `"qr"`.
 
 use std::hint::black_box;
+// lint:allow(no-wall-clock): the bench harness exists to measure wall-clock time; nothing here feeds reproducible output
+#[allow(clippy::disallowed_types)]
 use std::time::Instant;
 
 /// One completed measurement.
@@ -85,6 +87,7 @@ impl Harness {
     /// Times `f` for `iters` iterations after `warmup` unrecorded runs and
     /// records median/p95/min/mean. The closure's result is passed through
     /// [`black_box`] so the optimizer cannot delete the measured work.
+    #[allow(clippy::disallowed_methods, clippy::disallowed_types)]
     pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, warmup: usize, iters: usize, mut f: F) {
         assert!(iters > 0, "need at least one timed iteration");
         if !self.selected(name) {

@@ -1,5 +1,7 @@
 //! `mdbs-qcost` — see [`mdbs_cli`] for the full documentation.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

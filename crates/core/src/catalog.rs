@@ -12,6 +12,9 @@ use crate::probing::ProbeCostEstimator;
 use crate::variables::VariableFamily;
 use mdbs_sim::catalog::LocalCatalog;
 use mdbs_sim::query::Query;
+// Point lookups keyed by (site, class); every iteration below sorts its
+// keys before use (see `sites` / `classes_for` / `export`).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Identifies a local site within the MDBS.
@@ -33,7 +36,9 @@ impl<T: Into<String>> From<T> for SiteId {
 /// The global catalog: cost models and probe estimators per site.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalCatalog {
+    #[allow(clippy::disallowed_types)]
     models: HashMap<(SiteId, QueryClass), CostModel>,
+    #[allow(clippy::disallowed_types)]
     probe_estimators: HashMap<SiteId, ProbeCostEstimator>,
 }
 

@@ -185,21 +185,9 @@ pub fn derive_cost_model(
     derive_inner(agent, class, algorithm, cfg, ctx.seed, &mut ctx.telemetry)
 }
 
-/// Pre-[`PipelineCtx`] spelling of a traced derivation.
-#[deprecated(note = "use `derive_cost_model` with a `PipelineCtx` instead")]
-pub fn derive_cost_model_traced(
-    agent: &mut MdbsAgent,
-    class: QueryClass,
-    algorithm: StateAlgorithm,
-    cfg: &DerivationConfig,
-    seed: u64,
-    tel: &mut Telemetry,
-) -> Result<DerivedModel, CoreError> {
-    derive_inner(agent, class, algorithm, cfg, seed, tel)
-}
-
-/// The pipeline body shared by [`derive_cost_model`] and the deprecated
-/// shim; see [`derive_cost_model`] for the contract.
+/// The pipeline body shared by [`derive_cost_model`] and the batch/
+/// maintenance callers that carry their own seed and telemetry handle;
+/// see [`derive_cost_model`] for the contract.
 pub(crate) fn derive_inner(
     agent: &mut MdbsAgent,
     class: QueryClass,

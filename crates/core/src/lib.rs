@@ -79,8 +79,6 @@ pub mod variables;
 
 pub use catalog::GlobalCatalog;
 pub use classes::QueryClass;
-#[allow(deprecated)]
-pub use derive::derive_cost_model_traced;
 pub use derive::{
     derive_all, derive_cost_model, BatchConfig, BatchOutcome, DerivationConfig, DeriveJob,
     DerivedModel,

@@ -165,12 +165,6 @@ impl ModelMaintainer {
         self.observe_inner(observed, estimated, &mut ctx.telemetry)
     }
 
-    /// Pre-[`PipelineCtx`] spelling of a traced observation.
-    #[deprecated(note = "use `observe` with a `PipelineCtx` instead")]
-    pub fn observe_traced(&mut self, observed: f64, estimated: f64, tel: &mut Telemetry) -> bool {
-        self.observe_inner(observed, estimated, tel)
-    }
-
     fn observe_inner(&mut self, observed: f64, estimated: f64, tel: &mut Telemetry) -> bool {
         self.monitor.record(observed, estimated);
         tel.inc("maintenance.observations", 1);
@@ -196,17 +190,6 @@ impl ModelMaintainer {
         ctx: &mut PipelineCtx,
     ) -> Result<(), CoreError> {
         self.rederive_inner(agent, ctx.seed, &mut ctx.telemetry)
-    }
-
-    /// Pre-[`PipelineCtx`] spelling of a traced rebuild.
-    #[deprecated(note = "use `rederive` with a `PipelineCtx` instead")]
-    pub fn rederive_traced(
-        &mut self,
-        agent: &mut MdbsAgent,
-        seed: u64,
-        tel: &mut Telemetry,
-    ) -> Result<(), CoreError> {
-        self.rederive_inner(agent, seed, tel)
     }
 
     fn rederive_inner(

@@ -53,6 +53,8 @@ pub fn effective_workers(requested: Option<usize>, jobs: usize) -> usize {
 ///
 /// `f` receives the job's index and the job itself; it must not panic (a
 /// panicking job propagates out of `run_jobs` once the scope unwinds).
+// lint:allow(no-raw-threads): this file IS the sanctioned thread pool; everything else fans out through it
+#[allow(clippy::disallowed_methods)]
 pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> (Vec<R>, PoolReport)
 where
     J: Send,

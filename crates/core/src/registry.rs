@@ -23,6 +23,10 @@ use crate::variables::VariableFamily;
 use mdbs_obs::Telemetry;
 use mdbs_sim::catalog::LocalCatalog;
 use mdbs_sim::query::Query;
+// Hash sharding is deliberate here: lookups are point reads keyed by
+// (site, class) and iteration only happens in `to_catalog`, which is
+// order-insensitive (see the waiver there).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -45,6 +49,7 @@ pub struct RegisteredModel {
 }
 
 /// One lock shard: a plain map from key to published snapshot.
+#[allow(clippy::disallowed_types)]
 type Shard = RwLock<HashMap<(SiteId, QueryClass), Arc<RegisteredModel>>>;
 
 /// Sharded, versioned `(site, class) → CostModel` map. See the module docs.
@@ -65,6 +70,7 @@ impl Default for ModelRegistry {
 
 impl ModelRegistry {
     /// An empty registry.
+    #[allow(clippy::disallowed_types)]
     pub fn new() -> Self {
         ModelRegistry {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
@@ -174,6 +180,7 @@ impl ModelRegistry {
     pub fn to_catalog(&self) -> GlobalCatalog {
         let mut catalog = GlobalCatalog::new();
         for shard in &self.shards {
+            // lint:allow(no-unordered-iteration): insertion into the keyed catalog is order-insensitive; the catalog's own export sorts
             for ((site, class), entry) in shard.read().expect("registry shard").iter() {
                 catalog.insert_model(site.clone(), *class, entry.model.clone());
             }
@@ -315,6 +322,8 @@ mod tests {
     fn concurrent_readers_see_whole_snapshots_during_swaps() {
         let reg = ModelRegistry::new();
         reg.publish("s".into(), QueryClass::UnaryNoIndex, toy_model(0.01));
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(no-raw-threads): torn-read stress test needs raw racing threads; nothing output-relevant is computed
         std::thread::scope(|scope| {
             let reg = &reg;
             scope.spawn(move || {

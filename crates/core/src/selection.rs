@@ -89,21 +89,8 @@ pub fn select_variables(
     select_variables_inner(family, observations, states, form, cfg, &mut ctx.telemetry)
 }
 
-/// Pre-[`crate::pipeline::PipelineCtx`] spelling of a traced selection.
-#[deprecated(note = "use `select_variables` with a `PipelineCtx` instead")]
-pub fn select_variables_traced(
-    family: VariableFamily,
-    observations: &[Observation],
-    states: &StateSet,
-    form: ModelForm,
-    cfg: &SelectionConfig,
-    tel: &mut Telemetry,
-) -> Result<Selection, CoreError> {
-    select_variables_inner(family, observations, states, form, cfg, tel)
-}
-
-/// The selection body shared by [`select_variables`] and the deprecated
-/// shim.
+/// The selection body behind [`select_variables`], for callers that carry
+/// their own telemetry handle.
 pub(crate) fn select_variables_inner(
     family: VariableFamily,
     observations: &[Observation],

@@ -144,31 +144,8 @@ pub fn determine_states(
     )
 }
 
-/// Pre-[`crate::pipeline::PipelineCtx`] spelling of a traced determination.
-#[deprecated(note = "use `determine_states` with a `PipelineCtx` instead")]
-#[allow(clippy::too_many_arguments)]
-pub fn determine_states_traced(
-    algorithm: StateAlgorithm,
-    observations: &mut Vec<Observation>,
-    var_indexes: &[usize],
-    var_names: &[String],
-    cfg: &StatesConfig,
-    source: &mut dyn ObservationSource,
-    tel: &mut Telemetry,
-) -> Result<StatesResult, CoreError> {
-    determine_states_inner(
-        algorithm,
-        observations,
-        var_indexes,
-        var_names,
-        cfg,
-        source,
-        tel,
-    )
-}
-
-/// The determination body shared by [`determine_states`] and the
-/// deprecated shim.
+/// The determination body behind [`determine_states`], for callers that
+/// carry their own telemetry handle.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn determine_states_inner(
     algorithm: StateAlgorithm,

@@ -1,0 +1,42 @@
+//! `mdbs-lint` — machine-checks the workspace's determinism, hermeticity
+//! and concurrency policy. See [`mdbs_lint`] for the rules.
+//!
+//! ```text
+//! mdbs-lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Walks the workspace (default: the current directory) and prints every
+//! policy violation as a sorted, deterministic `file:line rule message`
+//! line on stdout. Exit codes:
+//!
+//! * `0` — no findings (nothing printed),
+//! * `1` — findings printed,
+//! * `2` — usage or I/O error (message on stderr).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => PathBuf::from("."),
+        [root] if !root.starts_with('-') => PathBuf::from(root),
+        _ => {
+            eprintln!("usage: mdbs-lint [WORKSPACE_ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+    match mdbs_lint::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => ExitCode::SUCCESS,
+        Ok(findings) => {
+            print!("{}", mdbs_lint::render(&findings));
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("mdbs-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a hand-rolled SplitMix64 step outside `mdbs_stats::rng`.
+// Expected: no-ambient-entropy at line 5.
+
+pub fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    *state ^ (*state >> 31)
+}

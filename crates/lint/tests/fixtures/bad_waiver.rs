@@ -1,0 +1,11 @@
+// Fixture: broken waivers. Expected: bad-waiver at lines 4, 7 and 10
+// (and nothing else — a broken waiver must not suppress anything).
+
+// lint:allow(no-wall-clock)
+fn missing_justification() {}
+
+// lint:allow(no-such-rule): justified, but the rule does not exist
+fn unknown_rule() {}
+
+// lint:allow(bad-waiver): waiving the waiver rule itself
+fn self_waiver() {}

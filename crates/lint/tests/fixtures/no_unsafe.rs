@@ -1,0 +1,6 @@
+// Fixture: an `unsafe` block in a crate root that also lacks
+// `#![forbid(unsafe_code)]`. Expected: no-unsafe at lines 1 and 5.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+// Fixture: raw thread creation outside `mdbs_core::pool`.
+// Expected: no-raw-threads at line 5.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

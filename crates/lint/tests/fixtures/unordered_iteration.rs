@@ -1,0 +1,11 @@
+// Fixture: map iteration with no ordering evidence, presented under a
+// restricted (output-relevant) path. Expected: no-unordered-iteration at
+// line 8.
+
+use std::collections::HashMap;
+
+pub fn emit_all(m: &HashMap<u32, u32>) {
+    for (k, v) in m.iter() {
+        drop((k, v));
+    }
+}

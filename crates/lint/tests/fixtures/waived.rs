@@ -1,0 +1,13 @@
+// Fixture: real violations, each carrying a well-formed justified waiver
+// on its own line or the line above. Expected: clean.
+
+pub fn timed() -> u128 {
+    // lint:allow(no-wall-clock): fixture demonstrates a standalone waiver above the offending line
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn threaded() {
+    let h = std::thread::spawn(|| 1); // lint:allow(no-raw-threads): fixture demonstrates a trailing waiver
+    let _ = h.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock read outside the sanctioned files.
+// Expected: no-wall-clock at line 5.
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

@@ -9,6 +9,8 @@ use crate::json::{parse, Json};
 use crate::metrics::MetricsRegistry;
 use crate::sink::{Event, EventSink};
 use crate::span::{SpanId, SpanRecord};
+// lint:allow(no-wall-clock): this file IS the sanctioned wall_ms path; spans strip it for determinism comparisons
+#[allow(clippy::disallowed_types)]
 use std::time::Instant;
 
 /// JSON field names that carry wall-clock (non-deterministic) values.
@@ -34,6 +36,7 @@ pub struct Telemetry {
     /// The metrics registry (counters, gauges, histograms).
     pub metrics: MetricsRegistry,
     spans: Vec<SpanRecord>,
+    #[allow(clippy::disallowed_types)]
     starts: Vec<Option<Instant>>,
     open: Vec<usize>,
 }
@@ -111,6 +114,7 @@ impl Telemetry {
     }
 
     /// Opens a span; it becomes the child of the innermost open span.
+    #[allow(clippy::disallowed_methods, clippy::disallowed_types)]
     pub fn begin_span(&mut self, name: &str) -> SpanId {
         if !self.enabled {
             return SpanId::DISABLED;

@@ -2,130 +2,37 @@
 //!
 //! The build environment resolves crates only from an offline path set, so
 //! any registry dependency breaks `cargo build --offline` at resolution
-//! time — before a single test runs. This test parses every manifest in the
-//! workspace and fails if a dependency section names anything other than
-//! the in-tree path crates. The check is a whitelist on purpose:
-//! naming specific banned packages would rot as soon as a new one appeared.
+//! time — before a single test runs. The manifest parsing and the
+//! whitelist live in `mdbs_lint` (its `hermetic-manifests` rule, which
+//! `mdbs-lint` and ci.sh also run); this test is a thin wrapper so the
+//! policy is enforced from `cargo test` too, with exactly one
+//! implementation to keep honest.
 
-use std::fs;
 use std::path::{Path, PathBuf};
-
-/// The only dependencies any manifest may declare: our own path crates.
-const ALLOWED: [&str; 4] = ["mdbs-obs", "mdbs-stats", "mdbs-sim", "mdbs-core"];
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn manifests() -> Vec<PathBuf> {
-    let root = workspace_root();
-    let mut found = vec![root.join("Cargo.toml")];
-    let crates = root.join("crates");
-    for entry in fs::read_dir(&crates).expect("crates/ directory exists") {
-        let manifest = entry.expect("readable entry").path().join("Cargo.toml");
-        if manifest.is_file() {
-            found.push(manifest);
-        }
-    }
-    assert!(
-        found.len() >= 6,
-        "expected the root manifest plus at least five crate manifests, found {}",
-        found.len()
-    );
-    found
-}
-
-/// True for any `[...]` section header that declares dependencies:
-/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
-/// `[workspace.dependencies]`, `[target.'...'.dependencies]`, and the
-/// `[dependencies.<name>]` long form.
-fn dependency_section(header: &str) -> Option<Option<String>> {
-    let inner = header.trim().trim_start_matches('[').trim_end_matches(']');
-    let parts: Vec<&str> = inner.split('.').collect();
-    for (i, part) in parts.iter().enumerate() {
-        if part.ends_with("dependencies") {
-            // `[dependencies.foo]` names the dependency in the next segment.
-            return Some(parts.get(i + 1).map(|s| s.trim().to_string()));
-        }
-    }
-    None
-}
-
 #[test]
 fn every_manifest_declares_only_in_tree_path_dependencies() {
-    let mut violations = Vec::new();
-
-    for manifest in manifests() {
-        let text = fs::read_to_string(&manifest).expect("manifest is readable");
-        let mut in_dep_section = false;
-        for raw in text.lines() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line.starts_with('[') {
-                match dependency_section(line) {
-                    Some(Some(name)) => {
-                        // `[dependencies.<name>]` long-form table header.
-                        in_dep_section = false;
-                        if !ALLOWED.contains(&name.as_str()) {
-                            violations.push(format!("{}: section {line}", manifest.display()));
-                        }
-                    }
-                    Some(None) => in_dep_section = true,
-                    None => in_dep_section = false,
-                }
-                continue;
-            }
-            if !in_dep_section {
-                continue;
-            }
-            let Some((name, value)) = line.split_once('=') else {
-                continue;
-            };
-            let name = name.trim().trim_matches('"');
-            if !ALLOWED.contains(&name) {
-                violations.push(format!("{}: dependency `{name}`", manifest.display()));
-            } else if !value.contains("path") && !value.contains("workspace") {
-                violations.push(format!(
-                    "{}: `{name}` must be a path or workspace dependency, got `{}`",
-                    manifest.display(),
-                    value.trim()
-                ));
-            }
-        }
-    }
-
+    let findings =
+        mdbs_lint::check_manifests(&workspace_root()).expect("workspace manifests are readable");
     assert!(
-        violations.is_empty(),
-        "non-hermetic dependencies found (only in-tree path crates are allowed):\n  {}",
-        violations.join("\n  ")
+        findings.is_empty(),
+        "non-hermetic dependencies found (only in-tree path crates are allowed):\n{}",
+        mdbs_lint::render(&findings)
     );
 }
 
 #[test]
-fn workspace_dependency_table_lists_exactly_the_path_crates() {
-    let text =
-        fs::read_to_string(workspace_root().join("Cargo.toml")).expect("root manifest readable");
-    let mut in_table = false;
-    let mut names = Vec::new();
-    for raw in text.lines() {
-        let line = raw.trim();
-        if line.starts_with('[') {
-            in_table = line == "[workspace.dependencies]";
-            continue;
-        }
-        if in_table && !line.is_empty() && !line.starts_with('#') {
-            if let Some((name, _)) = line.split_once('=') {
-                names.push(name.trim().to_string());
-            }
-        }
+fn the_whitelist_is_exactly_the_in_tree_package_set() {
+    // The whitelist is derived from `crates/*/Cargo.toml`, so it can never
+    // drift from the workspace layout; sanity-check it contains the crates
+    // this test itself depends on.
+    let names =
+        mdbs_lint::in_tree_package_names(&workspace_root()).expect("crates/ directory is readable");
+    for expected in ["mdbs-core", "mdbs-bench", "mdbs-lint", "mdbs-obs"] {
+        assert!(names.contains(expected), "missing {expected} in {names:?}");
     }
-    names.sort();
-    let mut expected: Vec<String> = ALLOWED.iter().map(|s| s.to_string()).collect();
-    expected.sort();
-    assert_eq!(
-        names, expected,
-        "[workspace.dependencies] must list exactly the in-tree crates"
-    );
 }

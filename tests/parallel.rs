@@ -106,6 +106,8 @@ fn registry_readers_see_whole_snapshots_during_version_swaps() {
     let registry = ModelRegistry::new();
     registry.publish("oracle".into(), QueryClass::UnaryNoIndex, model_a.clone());
 
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(no-raw-threads): publish/read race stress test needs raw racing threads; nothing output-relevant is computed
     std::thread::scope(|scope| {
         let registry = &registry;
         let (model_a, model_b, schema) = (&model_a, &model_b, &schema);
@@ -143,44 +145,4 @@ fn registry_readers_see_whole_snapshots_during_version_swaps() {
     });
     assert_eq!(registry.version(), 201, "all publishes counted");
     assert_eq!(registry.len(), 1);
-}
-
-/// The deprecated `*_traced` entry points must keep compiling and delegate
-/// to the same implementation as the `PipelineCtx` API.
-#[test]
-#[allow(deprecated)]
-fn deprecated_traced_shim_delegates_to_the_unified_entry_point() {
-    use mdbs_core::derive::derive_cost_model_traced;
-    use mdbs_obs::Telemetry;
-
-    let mut agent = Site::Oracle.dynamic_agent(123);
-    let mut tel = Telemetry::enabled();
-    let old = derive_cost_model_traced(
-        &mut agent,
-        QueryClass::UnaryNoIndex,
-        StateAlgorithm::Iupma,
-        &DerivationConfig::quick(),
-        7,
-        &mut tel,
-    )
-    .expect("derivation succeeds");
-
-    let mut agent = Site::Oracle.dynamic_agent(123);
-    let mut ctx = PipelineCtx::traced(7);
-    let new = derive_cost_model(
-        &mut agent,
-        QueryClass::UnaryNoIndex,
-        StateAlgorithm::Iupma,
-        &DerivationConfig::quick(),
-        &mut ctx,
-    )
-    .expect("derivation succeeds");
-
-    assert_eq!(old.model.coefficients, new.model.coefficients);
-    assert_eq!(old.model.var_names, new.model.var_names);
-    assert_eq!(
-        strip_wall_clock(&tel.render_jsonl()),
-        strip_wall_clock(&ctx.telemetry.render_jsonl()),
-        "shim and unified API must emit identical telemetry"
-    );
 }
