@@ -40,6 +40,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 echo "==> cargo test --examples (examples as tests)"
 cargo test -q --offline --workspace --examples
 
+echo "==> suffstats parity gate (legacy full-QR vs Gram engines)"
+# Redundant with the workspace test run above by design: the parity suite
+# is the contract that lets the Gram engine stay the default, so it gets
+# its own named gate that survives any future test-partitioning.
+cargo test -q --offline -p mdbs-bench --test suffstats_parity
+
+echo "==> bench --json smoke (fit_suffstats n=00100)"
+BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-bench.$$.json"
+cargo bench -q --offline --bench fit_suffstats -- "n=00100" --json "$BENCH_JSON" > /dev/null
+./target/release/bench-json-check "$BENCH_JSON"
+rm -f "$BENCH_JSON"
+
 echo "==> repro fig1 --quick --telemetry (JSONL smoke)"
 # repro validates every telemetry line parses before writing and exits
 # non-zero otherwise, so the exit status is the assertion; the file

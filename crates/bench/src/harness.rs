@@ -22,7 +22,12 @@
 //! `cargo bench` passes filter arguments through; [`Harness::new`] reads
 //! them from the process arguments, so `cargo bench qr` runs only the
 //! measurements whose name contains `"qr"`.
+//!
+//! `--json PATH` (or `--json=PATH`) additionally writes the report as a
+//! machine-readable JSON document when [`Harness::finish`] runs, so CI can
+//! track results without scraping the human-oriented table.
 
+use mdbs_obs::json::Json;
 use std::hint::black_box;
 // lint:allow(no-wall-clock): the bench harness exists to measure wall-clock time; nothing here feeds reproducible output
 #[allow(clippy::disallowed_types)]
@@ -51,18 +56,31 @@ pub struct Harness {
     title: String,
     filters: Vec<String>,
     results: Vec<Measurement>,
+    json_path: Option<String>,
 }
 
 impl Harness {
     /// A harness reading name filters from the command line (as passed
-    /// through by `cargo bench -- <filter>`; `--`-prefixed flags that the
-    /// test harness would consume, like `--bench`, are ignored).
+    /// through by `cargo bench -- <filter>`). `--json PATH` (or
+    /// `--json=PATH`) selects a JSON report file; other `--`-prefixed
+    /// flags that the test harness would consume, like `--bench`, are
+    /// ignored.
     pub fn new(title: &str) -> Harness {
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with("--"))
-            .collect();
-        Harness::with_filters(title, filters)
+        let mut filters = Vec::new();
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                json_path = Some(args.next().expect("--json needs a file path"));
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                json_path = Some(p.to_string());
+            } else if !a.starts_with("--") {
+                filters.push(a);
+            }
+        }
+        let mut h = Harness::with_filters(title, filters);
+        h.json_path = json_path;
+        h
     }
 
     /// A harness with explicit name filters (empty = run everything).
@@ -76,7 +94,13 @@ impl Harness {
             title: title.to_string(),
             filters,
             results: Vec::new(),
+            json_path: None,
         }
+    }
+
+    /// Redirects the JSON report to `path` (what `--json PATH` sets).
+    pub fn set_json_path(&mut self, path: impl Into<String>) {
+        self.json_path = Some(path.into());
     }
 
     /// Whether `name` passes the command-line filters.
@@ -131,8 +155,34 @@ impl Harness {
         &self.results
     }
 
-    /// Prints the closing line. Call once at the end of `main`.
+    /// Renders the report as a JSON document (what the `--json` file gets).
+    pub fn to_json(&self) -> Json {
+        let results: Vec<Json> = self
+            .results
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(m.name.clone())),
+                    ("iters".into(), Json::Int(m.iters as i64)),
+                    ("median_ns".into(), Json::Int(m.median_ns as i64)),
+                    ("p95_ns".into(), Json::Int(m.p95_ns as i64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("title".into(), Json::Str(self.title.clone())),
+            ("results".into(), Json::Arr(results)),
+        ])
+    }
+
+    /// Prints the closing line and, when `--json PATH` was given, writes
+    /// the JSON report. Call once at the end of `main`.
     pub fn finish(self) {
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, self.to_json().render() + "\n")
+                .unwrap_or_else(|e| panic!("writing bench JSON to {path}: {e}"));
+            println!("json report -> {path}");
+        }
         println!(
             "== {}: {} measurement(s) ==\n",
             self.title,
@@ -175,6 +225,26 @@ mod tests {
         h.bench("drop/this", 0, 5, || ());
         assert_eq!(h.results().len(), 1);
         assert_eq!(h.results()[0].name, "keep/this");
+    }
+
+    #[test]
+    fn json_report_has_expected_shape() {
+        let mut h = Harness::with_filters("test", vec![]);
+        h.bench("a/b", 0, 5, || 1);
+        let j = h.to_json();
+        assert_eq!(j.get("title").and_then(Json::as_str), Some("test"));
+        let results = match j.get("results") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("results should be an array, got {other:?}"),
+        };
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.get("name").and_then(Json::as_str), Some("a/b"));
+        assert_eq!(r.get("iters").and_then(Json::as_i64), Some(5));
+        assert!(r.get("median_ns").and_then(Json::as_i64).is_some());
+        assert!(r.get("p95_ns").and_then(Json::as_i64).is_some());
+        // The rendered report parses back.
+        mdbs_obs::json::parse(&j.render()).expect("valid JSON");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! local cost estimates.
 
 use crate::classes::{classify, QueryClass};
-use crate::model::CostModel;
+use crate::model::{CostModel, ModelAccumulator};
 use crate::probing::ProbeCostEstimator;
 use crate::variables::VariableFamily;
 use mdbs_sim::catalog::LocalCatalog;
@@ -40,6 +40,8 @@ pub struct GlobalCatalog {
     models: HashMap<(SiteId, QueryClass), CostModel>,
     #[allow(clippy::disallowed_types)]
     probe_estimators: HashMap<SiteId, ProbeCostEstimator>,
+    #[allow(clippy::disallowed_types)]
+    fit_accumulators: HashMap<(SiteId, QueryClass), ModelAccumulator>,
 }
 
 impl GlobalCatalog {
@@ -58,9 +60,21 @@ impl GlobalCatalog {
         self.probe_estimators.insert(site, est);
     }
 
+    /// Stores (or replaces) the sufficient-statistics accumulator backing a
+    /// site/class model, so a later process can resume incremental refits
+    /// without rescanning the original sample observations.
+    pub fn insert_accumulator(&mut self, site: SiteId, class: QueryClass, acc: ModelAccumulator) {
+        self.fit_accumulators.insert((site, class), acc);
+    }
+
     /// Fetches the model for a site/class pair.
     pub fn model(&self, site: &SiteId, class: QueryClass) -> Option<&CostModel> {
         self.models.get(&(site.clone(), class))
+    }
+
+    /// Fetches the stored fit accumulator for a site/class pair, if any.
+    pub fn accumulator(&self, site: &SiteId, class: QueryClass) -> Option<&ModelAccumulator> {
+        self.fit_accumulators.get(&(site.clone(), class))
     }
 
     /// Fetches a site's probing-cost estimator.

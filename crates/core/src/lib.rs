@@ -84,7 +84,7 @@ pub use derive::{
     DerivedModel,
 };
 pub use mdbs::{GlobalExecution, Mdbs};
-pub use model::{CostModel, ModelForm};
+pub use model::{CostModel, FitEngine, ModelAccumulator, ModelForm};
 pub use observation::Observation;
 pub use pipeline::PipelineCtx;
 pub use qualvar::StateSet;

@@ -24,6 +24,8 @@
 use crate::catalog::SiteId;
 use crate::classes::QueryClass;
 use crate::derive::{derive_inner, DerivationConfig, DeriveJob, DerivedModel};
+use crate::model::ModelAccumulator;
+use crate::observation::Observation;
 use crate::pipeline::PipelineCtx;
 use crate::pool;
 use crate::registry::ModelRegistry;
@@ -113,6 +115,17 @@ impl DriftMonitor {
 }
 
 /// A derived model plus the machinery to keep it fresh.
+///
+/// Two refresh paths of very different cost:
+///
+/// * [`ModelMaintainer::refit_incremental`] folds new observations into
+///   the model's stored sufficient statistics ([`ModelAccumulator`]) and
+///   re-solves in O(k³) — coefficients track the environment while the
+///   contention-state partition and variable set stay fixed;
+/// * [`ModelMaintainer::rederive`] re-runs the whole sampling pipeline
+///   (probing, state determination, variable selection) and is reserved
+///   for when the states themselves have shifted — i.e. when the drift
+///   monitor says the model *shape* no longer matches the environment.
 #[derive(Debug, Clone)]
 pub struct ModelMaintainer {
     /// The model currently in production.
@@ -129,6 +142,11 @@ pub struct ModelMaintainer {
     /// model; a rebuild runs up to this many attempts (distinct sample
     /// seeds) and keeps the best fit by R².
     pub rederive_attempts: usize,
+    /// How many times [`ModelMaintainer::refit_incremental`] has run.
+    pub incremental_refits: usize,
+    /// Sufficient statistics of the production model's fitting sample,
+    /// kept current so incremental refits never rescan observations.
+    accumulator: ModelAccumulator,
 }
 
 impl ModelMaintainer {
@@ -139,6 +157,8 @@ impl ModelMaintainer {
         derivation: DerivationConfig,
         algorithm: StateAlgorithm,
     ) -> Self {
+        let accumulator =
+            ModelAccumulator::from_observations(&derived.model, &derived.observations);
         ModelMaintainer {
             derived,
             monitor: DriftMonitor::new(maintenance),
@@ -146,7 +166,32 @@ impl ModelMaintainer {
             algorithm,
             rederivations: 0,
             rederive_attempts: 3,
+            incremental_refits: 0,
+            accumulator,
         }
+    }
+
+    /// The sufficient statistics backing incremental refits (persisted in
+    /// the catalog as `gram-entry` blocks).
+    pub fn accumulator(&self) -> &ModelAccumulator {
+        &self.accumulator
+    }
+
+    /// Replaces the stored sufficient statistics (e.g. when restoring a
+    /// maintainer from a catalog that persisted them). The accumulator must
+    /// describe the same state partition and variable set as the production
+    /// model.
+    pub fn restore_accumulator(&mut self, accumulator: ModelAccumulator) -> Result<(), CoreError> {
+        let model = &self.derived.model;
+        if accumulator.states() != &model.states
+            || accumulator.var_indexes() != model.var_indexes.as_slice()
+        {
+            return Err(CoreError::Degenerate(
+                "accumulator does not match the production model".into(),
+            ));
+        }
+        self.accumulator = accumulator;
+        Ok(())
     }
 
     /// The class this maintainer covers.
@@ -215,12 +260,55 @@ impl ModelMaintainer {
             tel,
         )?;
         self.derived = best;
+        self.accumulator =
+            ModelAccumulator::from_observations(&self.derived.model, &self.derived.observations);
         self.monitor.reset();
         self.rederivations += 1;
         tel.inc("maintenance.rederivations", 1);
         tel.field(span, "attempts", self.rederive_attempts.max(1) as u64);
         tel.field(span, "r_squared", self.derived.model.fit.r_squared);
         tel.end_span(span);
+        Ok(())
+    }
+
+    /// Folds fresh production observations into the stored sufficient
+    /// statistics and re-solves the model in O(k³) — no design-matrix
+    /// rebuild, no rescan of the historical sample (which is *not* needed
+    /// at all for this path; only the accumulator is). The state partition
+    /// and variable set are kept; full [`ModelMaintainer::rederive`] stays
+    /// reserved for when the states themselves shift.
+    ///
+    /// The refreshed model replaces `derived.model`, the drift window is
+    /// cleared, and — when `registry` is given — the model is published as
+    /// a new snapshot version so concurrent estimators switch over
+    /// atomically. Counted as `maintenance.incremental_refits`.
+    pub fn refit_incremental(
+        &mut self,
+        site: &SiteId,
+        new_observations: &[Observation],
+        registry: Option<&ModelRegistry>,
+        ctx: &mut PipelineCtx,
+    ) -> Result<(), CoreError> {
+        let tel = &mut ctx.telemetry;
+        let span = tel.begin_span("maintenance.refit_incremental");
+        tel.field(span, "class", format!("{:?}", self.derived.class));
+        tel.field(span, "absorbed", new_observations.len() as u64);
+        self.accumulator.absorb(new_observations);
+        let model = self.accumulator.refit()?;
+        self.derived
+            .observations
+            .extend_from_slice(new_observations);
+        self.derived.model = model;
+        self.monitor.reset();
+        self.incremental_refits += 1;
+        tel.inc("maintenance.incremental_refits", 1);
+        tel.inc("fit.gram.rescans_avoided", self.accumulator.n() as u64);
+        tel.field(span, "n", self.accumulator.n() as u64);
+        tel.field(span, "r_squared", self.derived.model.fit.r_squared);
+        tel.end_span(span);
+        if let Some(registry) = registry {
+            registry.publish(site.clone(), self.derived.class, self.derived.model.clone());
+        }
         Ok(())
     }
 }
@@ -337,6 +425,8 @@ where
         match result {
             Ok(derived) => {
                 let (_, maintainer) = &mut fleet[i];
+                maintainer.accumulator =
+                    ModelAccumulator::from_observations(&derived.model, &derived.observations);
                 maintainer.derived = derived;
                 maintainer.monitor.reset();
                 maintainer.rederivations += 1;

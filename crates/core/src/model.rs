@@ -25,7 +25,7 @@
 use crate::observation::Observation;
 use crate::qualvar::StateSet;
 use crate::CoreError;
-use mdbs_stats::{Matrix, OlsFit};
+use mdbs_stats::{GramAccumulator, GramFit, Matrix, OlsFit};
 
 /// How the qualitative variable enters the regression equation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +38,24 @@ pub enum ModelForm {
     Concurrent,
     /// Per-state intercepts and slopes (the paper's choice).
     General,
+}
+
+/// Which fit machinery the state-determination and variable-selection
+/// searches use for their *candidate* evaluations.
+///
+/// Either way the **published** model (the search winner) is refitted once
+/// through the canonical observation-space QR of [`fit_cost_model`], so the
+/// engines produce identical catalogs; the engine only decides how the
+/// dozens of intermediate candidate fits are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitEngine {
+    /// Rebuild the design matrix and run a full O(n·k²) QR per candidate
+    /// (the historical behaviour; kept for parity testing).
+    FullRefit,
+    /// Solve candidates from cached sufficient statistics in O(k³),
+    /// independent of the observation count.
+    #[default]
+    Gram,
 }
 
 impl ModelForm {
@@ -150,44 +168,53 @@ impl CostModel {
     }
 }
 
+/// Where the entries of a state's local row `z = [1, x₁..x_p]` land in the
+/// full design row of a given form: local column `j` occupies global column
+/// `design_position(..)[j]`.
+///
+/// This is the single source of truth for the column layout — the
+/// observation-space [`design_row`] and the Gram-assembly path
+/// ([`fit_gram_from_blocks`]) both derive from it, so the two engines fit
+/// the *same* design by construction.
+pub(crate) fn design_position(form: ModelForm, m: usize, p: usize, state: usize) -> Vec<usize> {
+    match form {
+        ModelForm::Coincident => (0..=p).collect(),
+        ModelForm::Parallel => {
+            let mut pos = Vec::with_capacity(p + 1);
+            pos.push(state);
+            pos.extend(m..m + p);
+            pos
+        }
+        ModelForm::Concurrent => {
+            let mut pos = Vec::with_capacity(p + 1);
+            pos.push(0);
+            pos.extend(1 + state * p..1 + (state + 1) * p);
+            pos
+        }
+        ModelForm::General => (state * (p + 1)..(state + 1) * (p + 1)).collect(),
+    }
+}
+
 /// Builds the design-matrix row of one observation under a given form.
 fn design_row(form: ModelForm, m: usize, state: usize, x: &[f64]) -> Vec<f64> {
     let p = x.len();
-    match form {
-        ModelForm::Coincident => {
-            let mut row = Vec::with_capacity(p + 1);
-            row.push(1.0);
-            row.extend_from_slice(x);
-            row
-        }
-        ModelForm::Parallel => {
-            let mut row = vec![0.0; m];
-            row[state] = 1.0;
-            row.extend_from_slice(x);
-            row
-        }
-        ModelForm::Concurrent => {
-            let mut row = vec![0.0; 1 + m * p];
-            row[0] = 1.0;
-            for (j, &v) in x.iter().enumerate() {
-                row[1 + state * p + j] = v;
-            }
-            row
-        }
-        ModelForm::General => {
-            let mut row = vec![0.0; m * (p + 1)];
-            row[state * (p + 1)] = 1.0;
-            for (j, &v) in x.iter().enumerate() {
-                row[state * (p + 1) + 1 + j] = v;
-            }
-            row
-        }
+    let mut row = vec![0.0; form.num_params(m, p)];
+    let pos = design_position(form, m, p, state);
+    row[pos[0]] = 1.0;
+    for (j, &v) in x.iter().enumerate() {
+        row[pos[j + 1]] = v;
     }
+    row
 }
 
 /// Recovers the adjusted per-state coefficient table `b_{j,i}` from the raw
 /// coefficient vector.
-fn adjusted_coefficients(form: ModelForm, m: usize, p: usize, beta: &[f64]) -> Vec<Vec<f64>> {
+pub(crate) fn adjusted_coefficients(
+    form: ModelForm,
+    m: usize,
+    p: usize,
+    beta: &[f64],
+) -> Vec<Vec<f64>> {
     (0..m)
         .map(|s| match form {
             ModelForm::Coincident => beta.to_vec(),
@@ -223,6 +250,61 @@ pub fn min_obs_per_state(p: usize) -> usize {
     p + 2
 }
 
+/// Shared sample-sufficiency validation of both fit engines, in the exact
+/// legacy order: first the pooled total against `k + 1`, then (for the
+/// state-dependent general/concurrent forms with `m > 1`) each state
+/// against [`min_obs_per_state`].
+pub(crate) fn check_sample_counts(
+    form: ModelForm,
+    p: usize,
+    counts: &[usize],
+) -> Result<(), CoreError> {
+    let m = counts.len();
+    let k = form.num_params(m, p);
+    let total: usize = counts.iter().sum();
+    if total < k + 1 {
+        return Err(CoreError::InsufficientSamples {
+            needed: k + 1,
+            got: total,
+        });
+    }
+    if m > 1 && matches!(form, ModelForm::General | ModelForm::Concurrent) {
+        if let Some(&c) = counts.iter().find(|&&c| c < min_obs_per_state(p)) {
+            return Err(CoreError::InsufficientSamples {
+                needed: min_obs_per_state(p),
+                got: c,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fits a qualitative model from per-state sufficient-statistics blocks.
+///
+/// Each block holds the Gram statistics of one state's observations over
+/// the local row `z = [1, x₁..x_p]`; the blocks are pooled into the full
+/// design via [`design_position`] and solved in O(k³) without touching any
+/// observation. Validation and error semantics mirror [`fit_cost_model`]
+/// exactly ([`CoreError::InsufficientSamples`] in the same order, rank
+/// deficiency as `CoreError::Numeric(StatsError::Singular)`).
+pub(crate) fn fit_gram_from_blocks(
+    form: ModelForm,
+    p: usize,
+    blocks: &[GramAccumulator],
+) -> Result<GramFit, CoreError> {
+    let m = blocks.len();
+    let counts: Vec<usize> = blocks.iter().map(|b| b.n()).collect();
+    check_sample_counts(form, p, &counts)?;
+    let k = form.num_params(m, p);
+    let mut pooled = GramAccumulator::new(k);
+    for (s, block) in blocks.iter().enumerate() {
+        pooled
+            .merge_placed(block, &design_position(form, m, p, s))
+            .map_err(CoreError::Numeric)?;
+    }
+    pooled.solve(true).map_err(CoreError::Numeric)
+}
+
 /// Fits a qualitative regression cost model.
 ///
 /// `var_indexes`/`var_names` select the quantitative variables (indexes
@@ -240,27 +322,7 @@ pub fn fit_cost_model(
 ) -> Result<CostModel, CoreError> {
     let m = states.len();
     let p = var_indexes.len();
-    let k = form.num_params(m, p);
-    if observations.len() < k + 1 {
-        return Err(CoreError::InsufficientSamples {
-            needed: k + 1,
-            got: observations.len(),
-        });
-    }
-    if m > 1 && matches!(form, ModelForm::General | ModelForm::Concurrent) {
-        let counts = counts_per_state(&states, observations);
-        if let Some((i, &c)) = counts
-            .iter()
-            .enumerate()
-            .find(|&(_, &c)| c < min_obs_per_state(p))
-        {
-            let _ = i;
-            return Err(CoreError::InsufficientSamples {
-                needed: min_obs_per_state(p),
-                got: c,
-            });
-        }
-    }
+    check_sample_counts(form, p, &counts_per_state(&states, observations))?;
     let mut rows = Vec::with_capacity(observations.len());
     let mut y = Vec::with_capacity(observations.len());
     for o in observations {
@@ -288,6 +350,139 @@ pub fn fit_cost_model(
             k: ols.k,
         },
     })
+}
+
+/// Sufficient statistics of a fitted cost model, kept alive so maintenance
+/// can fold new observations in and refit in O(k³) **without** rescanning
+/// (or even retaining) the fitting sample — the cheap continuous refit that
+/// `ModelMaintainer::refit_incremental` builds on. Persisted alongside the
+/// model in the catalog (`gram-entry` blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAccumulator {
+    form: ModelForm,
+    states: StateSet,
+    var_indexes: Vec<usize>,
+    var_names: Vec<String>,
+    /// One `(p+1)`-wide Gram block per contention state, over the local
+    /// row `z = [1, x₁..x_p]`.
+    blocks: Vec<GramAccumulator>,
+}
+
+impl ModelAccumulator {
+    /// Builds the accumulator of a fitted model from its fitting sample.
+    pub fn from_observations(model: &CostModel, observations: &[Observation]) -> ModelAccumulator {
+        let mut acc = ModelAccumulator {
+            form: model.form,
+            states: model.states.clone(),
+            var_indexes: model.var_indexes.clone(),
+            var_names: model.var_names.clone(),
+            blocks: vec![GramAccumulator::new(model.num_variables() + 1); model.states.len()],
+        };
+        acc.absorb(observations);
+        acc
+    }
+
+    /// Rebuilds an accumulator from persisted parts. The blocks must match
+    /// the state count and variable width.
+    pub fn from_parts(
+        form: ModelForm,
+        states: StateSet,
+        var_indexes: Vec<usize>,
+        var_names: Vec<String>,
+        blocks: Vec<GramAccumulator>,
+    ) -> Result<ModelAccumulator, CoreError> {
+        if blocks.len() != states.len() || var_indexes.len() != var_names.len() {
+            return Err(CoreError::Degenerate(format!(
+                "model accumulator: {} blocks for {} states, {} indexes for {} names",
+                blocks.len(),
+                states.len(),
+                var_indexes.len(),
+                var_names.len()
+            )));
+        }
+        let width = var_indexes.len() + 1;
+        if blocks.iter().any(|b| b.k() != width) {
+            return Err(CoreError::Degenerate(format!(
+                "model accumulator: block width != {width}"
+            )));
+        }
+        Ok(ModelAccumulator {
+            form,
+            states,
+            var_indexes,
+            var_names,
+            blocks,
+        })
+    }
+
+    /// Folds new observations into the per-state blocks (rank-1 updates;
+    /// the observations are not retained).
+    pub fn absorb(&mut self, observations: &[Observation]) {
+        for o in observations {
+            let s = self.states.state_of(o.probe_cost);
+            let mut z = Vec::with_capacity(self.var_indexes.len() + 1);
+            z.push(1.0);
+            z.extend(o.project(&self.var_indexes));
+            self.blocks[s]
+                .add_row(&z, o.cost)
+                .expect("block width matches var_indexes by construction");
+        }
+    }
+
+    /// Total observations absorbed across all states.
+    pub fn n(&self) -> usize {
+        self.blocks.iter().map(|b| b.n()).sum()
+    }
+
+    /// The regression form.
+    pub fn form(&self) -> ModelForm {
+        self.form
+    }
+
+    /// The contention-state partition the blocks are keyed by.
+    pub fn states(&self) -> &StateSet {
+        &self.states
+    }
+
+    /// Indexes of the selected variables.
+    pub fn var_indexes(&self) -> &[usize] {
+        &self.var_indexes
+    }
+
+    /// Names of the selected variables.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The per-state Gram blocks (for persistence).
+    pub fn blocks(&self) -> &[GramAccumulator] {
+        &self.blocks
+    }
+
+    /// Refits the cost model from the accumulated statistics — O(k³),
+    /// independent of how many observations were absorbed.
+    pub fn refit(&self) -> Result<CostModel, CoreError> {
+        let p = self.var_indexes.len();
+        let gram = fit_gram_from_blocks(self.form, p, &self.blocks)?;
+        let coefficients =
+            adjusted_coefficients(self.form, self.states.len(), p, &gram.coefficients);
+        Ok(CostModel {
+            form: self.form,
+            states: self.states.clone(),
+            var_indexes: self.var_indexes.clone(),
+            var_names: self.var_names.clone(),
+            coefficients,
+            fit: FitStats {
+                r_squared: gram.r_squared,
+                adj_r_squared: gram.adj_r_squared,
+                see: gram.see,
+                f_statistic: gram.f_statistic,
+                f_p_value: gram.f_p_value,
+                n: gram.n,
+                k: gram.k,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! "The cost model parameters are kept in the MDBS catalog and utilized
 //! during query optimization" (paper §1) — which requires the models to
 //! survive the process that derived them. This module gives [`CostModel`],
-//! [`ProbeCostEstimator`] and the whole [`GlobalCatalog`] a line-oriented,
+//! [`ProbeCostEstimator`], [`ModelAccumulator`] (the sufficient statistics
+//! behind a model, so incremental refits can resume in a later process)
+//! and the whole [`GlobalCatalog`] a line-oriented,
 //! versioned, human-readable text format with exact `f64` round-trips
 //! (Rust's shortest-round-trip float formatting).
 //!
@@ -13,7 +15,7 @@
 
 use crate::catalog::{GlobalCatalog, SiteId};
 use crate::classes::QueryClass;
-use crate::model::{CostModel, FitStats, ModelForm};
+use crate::model::{CostModel, FitStats, ModelAccumulator, ModelForm};
 use crate::probing::ProbeCostEstimator;
 use crate::qualvar::StateSet;
 use crate::CoreError;
@@ -219,6 +221,145 @@ impl CostModel {
     }
 }
 
+impl ModelAccumulator {
+    /// Serializes the accumulator to a catalog entry.
+    ///
+    /// Each per-state Gram block is written as a `block` line holding the
+    /// scalar statistics followed by `xtx`/`xty` lines with the matrix
+    /// entries; every float uses the exact shortest-round-trip formatting,
+    /// so import reproduces the accumulator bit for bit.
+    pub fn to_catalog_entry(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("gramacc {FORMAT_VERSION}\n"));
+        out.push_str(&format!("form {}\n", self.form().as_str()));
+        let edges: Vec<String> = self.states().edges().iter().map(|&e| fmt_f64(e)).collect();
+        out.push_str(&format!("states {}\n", edges.join(" ")));
+        let vars: Vec<String> = self
+            .var_indexes()
+            .iter()
+            .zip(self.var_names())
+            .map(|(i, n)| format!("{i}:{n}"))
+            .collect();
+        out.push_str(&format!("vars {}\n", vars.join(" ")));
+        for (s, b) in self.blocks().iter().enumerate() {
+            out.push_str(&format!(
+                "block {s} {} {} {}\n",
+                b.n(),
+                fmt_f64(b.yty()),
+                fmt_f64(b.sum_y())
+            ));
+            let xtx: Vec<String> = b.xtx().iter().map(|&v| fmt_f64(v)).collect();
+            out.push_str(&format!("xtx {}\n", xtx.join(" ")));
+            let xty: Vec<String> = b.xty().iter().map(|&v| fmt_f64(v)).collect();
+            out.push_str(&format!("xty {}\n", xty.join(" ")));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
+    pub fn from_catalog_entry(text: &str) -> Result<ModelAccumulator, CoreError> {
+        struct PartialBlock {
+            state: usize,
+            n: usize,
+            yty: f64,
+            sum_y: f64,
+            xtx: Option<Vec<f64>>,
+            xty: Option<Vec<f64>>,
+        }
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let header = lines.next().ok_or_else(|| parse_err("empty entry"))?;
+        let mut h = header.split_whitespace();
+        if h.next() != Some("gramacc") {
+            return Err(parse_err("missing `gramacc` header"));
+        }
+        if h.next() != Some(FORMAT_VERSION) {
+            return Err(parse_err("unsupported gramacc version"));
+        }
+        let mut form: Option<ModelForm> = None;
+        let mut states: Option<StateSet> = None;
+        let mut var_indexes = Vec::new();
+        let mut var_names = Vec::new();
+        let mut blocks: Vec<PartialBlock> = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("form") => {
+                    form = Some(ModelForm::parse(
+                        parts.next().ok_or_else(|| parse_err("form tag missing"))?,
+                    )?);
+                }
+                Some("states") => {
+                    let edges: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    states = Some(StateSet::from_edges(edges?)?);
+                }
+                Some("vars") => {
+                    for v in parts {
+                        let (idx, name) = v
+                            .split_once(':')
+                            .ok_or_else(|| parse_err(format!("bad var spec `{v}`")))?;
+                        var_indexes.push(
+                            idx.parse::<usize>()
+                                .map_err(|_| parse_err(format!("bad var index `{idx}`")))?,
+                        );
+                        var_names.push(name.to_string());
+                    }
+                }
+                Some("block") => {
+                    let vals: Vec<&str> = parts.collect();
+                    if vals.len() != 4 {
+                        return Err(parse_err("block line needs 4 fields"));
+                    }
+                    blocks.push(PartialBlock {
+                        state: vals[0]
+                            .parse()
+                            .map_err(|_| parse_err("bad block state index"))?,
+                        n: vals[1].parse().map_err(|_| parse_err("bad block n"))?,
+                        yty: parse_f64(vals[2])?,
+                        sum_y: parse_f64(vals[3])?,
+                        xtx: None,
+                        xty: None,
+                    });
+                }
+                Some("xtx") => {
+                    let vals: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    let block = blocks
+                        .last_mut()
+                        .ok_or_else(|| parse_err("xtx line before any block"))?;
+                    block.xtx = Some(vals?);
+                }
+                Some("xty") => {
+                    let vals: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
+                    let block = blocks
+                        .last_mut()
+                        .ok_or_else(|| parse_err("xty line before any block"))?;
+                    block.xty = Some(vals?);
+                }
+                Some("end") => break,
+                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                None => continue,
+            }
+        }
+        let form = form.ok_or_else(|| parse_err("missing form"))?;
+        let states = states.ok_or_else(|| parse_err("missing states"))?;
+        let k = var_indexes.len() + 1;
+        blocks.sort_by_key(|b| b.state);
+        if blocks.iter().enumerate().any(|(i, b)| b.state != i) {
+            return Err(parse_err("block state indexes are not contiguous from 0"));
+        }
+        let grams: Result<Vec<_>, CoreError> = blocks
+            .into_iter()
+            .map(|b| {
+                let xtx = b.xtx.ok_or_else(|| parse_err("block missing xtx line"))?;
+                let xty = b.xty.ok_or_else(|| parse_err("block missing xty line"))?;
+                mdbs_stats::GramAccumulator::from_parts(k, b.n, xtx, xty, b.yty, b.sum_y)
+                    .map_err(CoreError::from)
+            })
+            .collect();
+        ModelAccumulator::from_parts(form, states, var_indexes, var_names, grams?)
+    }
+}
+
 impl ProbeCostEstimator {
     /// Serializes the estimator to a catalog entry.
     pub fn to_catalog_entry(&self) -> String {
@@ -307,6 +448,10 @@ impl GlobalCatalog {
                 let model = self.model(&site, class).expect("class listed for site");
                 out.push_str(&format!("entry {} {}\n", site, class.as_str()));
                 out.push_str(&model.to_catalog_entry());
+                if let Some(acc) = self.accumulator(&site, class) {
+                    out.push_str(&format!("gram-entry {} {}\n", site, class.as_str()));
+                    out.push_str(&acc.to_catalog_entry());
+                }
             }
             if let Some(est) = self.probe_estimator(&site) {
                 out.push_str(&format!("probe-entry {site}\n"));
@@ -344,6 +489,20 @@ impl GlobalCatalog {
                     let block = collect_block(&mut lines)?;
                     let model = CostModel::from_catalog_entry(&block)?;
                     catalog.insert_model(site, class, model);
+                }
+                Some("gram-entry") => {
+                    let site: SiteId = parts
+                        .next()
+                        .ok_or_else(|| parse_err("gram-entry site missing"))?
+                        .into();
+                    let class = QueryClass::parse(
+                        parts
+                            .next()
+                            .ok_or_else(|| parse_err("gram-entry class missing"))?,
+                    )?;
+                    let block = collect_block(&mut lines)?;
+                    let acc = ModelAccumulator::from_catalog_entry(&block)?;
+                    catalog.insert_accumulator(site, class, acc);
                 }
                 Some("probe-entry") => {
                     let site: SiteId = parts
@@ -488,6 +647,87 @@ mod tests {
                 "{site}/{class:?}"
             );
         }
+    }
+
+    #[test]
+    fn accumulator_roundtrip_exact() {
+        for m in [1usize, 3] {
+            let model = sample_model(m);
+            let obs: Vec<Observation> = (0..(12 * m))
+                .map(|i| {
+                    let x = i as f64 * 3.0;
+                    Observation {
+                        x: vec![x, x * 0.7, (i % 4) as f64 * 2.0],
+                        cost: 1.5 + 2.5 * x + (i % 3) as f64 * 0.01,
+                        probe_cost: (i % m) as f64 + 0.5,
+                    }
+                })
+                .collect();
+            let acc = ModelAccumulator::from_observations(&model, &obs);
+            let text = acc.to_catalog_entry();
+            let back = ModelAccumulator::from_catalog_entry(&text).unwrap();
+            // Bit-exact: shortest-round-trip floats reproduce every Gram entry.
+            assert_eq!(back, acc, "m = {m}");
+            assert_eq!(back.refit().unwrap(), acc.refit().unwrap(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn accumulator_parse_rejects_garbage() {
+        assert!(ModelAccumulator::from_catalog_entry("").is_err());
+        assert!(ModelAccumulator::from_catalog_entry("gramacc v999\nend\n").is_err());
+        let model = sample_model(3);
+        let acc = ModelAccumulator::from_observations(&model, &[]);
+        let text = acc.to_catalog_entry();
+        // Drop one block's xty line: the block is incomplete.
+        let mut dropped = false;
+        let truncated: String = text
+            .lines()
+            .filter(|l| {
+                if !dropped && l.starts_with("xty") {
+                    dropped = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(ModelAccumulator::from_catalog_entry(&truncated).is_err());
+        // Renumber a block so the state indexes are not contiguous.
+        let renumbered = text.replace("block 2 ", "block 7 ");
+        assert!(ModelAccumulator::from_catalog_entry(&renumbered).is_err());
+    }
+
+    #[test]
+    fn catalog_roundtrip_with_gram_entries() {
+        let mut catalog = GlobalCatalog::new();
+        let model = sample_model(3);
+        let obs: Vec<Observation> = (0..36)
+            .map(|i| {
+                let x = i as f64 * 3.0;
+                Observation {
+                    x: vec![x, x * 0.7, (i % 4) as f64 * 2.0],
+                    cost: 1.5 + 2.5 * x + (i % 3) as f64 * 0.01,
+                    probe_cost: (i % 3) as f64 + 0.5,
+                }
+            })
+            .collect();
+        let acc = ModelAccumulator::from_observations(&model, &obs);
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, model);
+        catalog.insert_accumulator("site-a".into(), QueryClass::UnaryNoIndex, acc.clone());
+        catalog.insert_model("site-b".into(), QueryClass::JoinNoIndex, sample_model(2));
+        let text = catalog.export();
+        let back = GlobalCatalog::import(&text).unwrap();
+        assert_eq!(
+            back.accumulator(&"site-a".into(), QueryClass::UnaryNoIndex),
+            Some(&acc)
+        );
+        assert!(back
+            .accumulator(&"site-b".into(), QueryClass::JoinNoIndex)
+            .is_none());
+        // A second export of the re-imported catalog is byte-identical.
+        assert_eq!(back.export(), text);
     }
 
     #[test]

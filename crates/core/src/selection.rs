@@ -18,7 +18,10 @@
 //! 4. Variables with a large **variance inflation factor** in some state
 //!    are excluded to avoid multicollinearity.
 
-use crate::model::{fit_cost_model, min_obs_per_state, CostModel, ModelForm};
+use crate::model::{
+    adjusted_coefficients, fit_cost_model, fit_gram_from_blocks, min_obs_per_state, CostModel,
+    FitEngine, ModelForm,
+};
 use crate::observation::Observation;
 use crate::qualvar::StateSet;
 use crate::variables::VariableFamily;
@@ -26,6 +29,7 @@ use crate::CoreError;
 use mdbs_obs::Telemetry;
 use mdbs_stats::pearson;
 use mdbs_stats::vif::variance_inflation_factors;
+use mdbs_stats::GramAccumulator;
 
 /// Tuning knobs of the selection procedure.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +51,9 @@ pub struct SelectionConfig {
     /// linear dependence) and leaves the moderate kind to the SEE-driven
     /// backward/forward steps.
     pub vif_threshold: f64,
+    /// How add/eliminate candidates are scored (the published winner is
+    /// always refitted through the canonical observation-space QR).
+    pub engine: FitEngine,
 }
 
 impl Default for SelectionConfig {
@@ -56,6 +63,7 @@ impl Default for SelectionConfig {
             backward_tolerance: 0.01,
             forward_min_gain: 0.02,
             vif_threshold: 100.0,
+            engine: FitEngine::default(),
         }
     }
 }
@@ -137,17 +145,73 @@ pub(crate) fn select_variables_inner(
             form
         }
     };
-    let fit = |idx: &[usize]| {
-        fit_cost_model(
-            form_for(states),
-            states.clone(),
-            idx.to_vec(),
-            names(idx),
-            observations,
-        )
+    // The Gram engine accumulates each state's observations once over the
+    // *full* candidate-variable width; every add/eliminate candidate is
+    // then scored by slicing that cached Gram matrix (column subset) and
+    // solving in O(k³) — the observations are never rescanned.
+    let full_blocks = match cfg.engine {
+        FitEngine::FullRefit => None,
+        FitEngine::Gram => {
+            let width = all.len() + 1;
+            let mut blocks: Vec<GramAccumulator> = vec![GramAccumulator::new(width); states.len()];
+            for o in observations {
+                let mut z = Vec::with_capacity(width);
+                z.push(1.0);
+                z.extend_from_slice(&o.x[..all.len()]);
+                blocks[states.state_of(o.probe_cost)]
+                    .add_row(&z, o.cost)
+                    .map_err(CoreError::Numeric)?;
+            }
+            tel.inc("fit.gram.prefix_builds", 1);
+            Some(blocks)
+        }
+    };
+    let fit = |idx: &[usize], tel: &mut Telemetry| -> Result<Scored, CoreError> {
+        match &full_blocks {
+            None => {
+                let model = fit_cost_model(
+                    form_for(states),
+                    states.clone(),
+                    idx.to_vec(),
+                    names(idx),
+                    observations,
+                )?;
+                Ok(Scored::from_model(model))
+            }
+            Some(blocks) => {
+                let mut cols = Vec::with_capacity(idx.len() + 1);
+                cols.push(0);
+                cols.extend(idx.iter().map(|&i| i + 1));
+                let sub: Vec<GramAccumulator> = blocks
+                    .iter()
+                    .map(|b| b.subset(&cols))
+                    .collect::<Result<_, _>>()
+                    .map_err(CoreError::Numeric)?;
+                let pooled_n: usize = sub.iter().map(|b| b.n()).sum();
+                let the_form = form_for(states);
+                let gram = fit_gram_from_blocks(the_form, idx.len(), &sub)?;
+                tel.inc("fit.gram.solves", 1);
+                if gram.solved_by_cholesky {
+                    tel.inc("fit.gram.cholesky", 1);
+                } else {
+                    tel.inc("fit.gram.qr_fallback", 1);
+                }
+                tel.inc("fit.gram.rescans_avoided", pooled_n as u64);
+                Ok(Scored {
+                    see: gram.see,
+                    coefficients: adjusted_coefficients(
+                        the_form,
+                        states.len(),
+                        idx.len(),
+                        &gram.coefficients,
+                    ),
+                    model: None,
+                })
+            }
+        }
     };
 
-    let mut model = fit(&current)?;
+    let mut model = fit(&current, tel)?;
 
     // Step 2: backward elimination over the basic variables.
     while current.len() > 1 {
@@ -161,10 +225,10 @@ pub(crate) fn select_variables_inner(
             })
             .expect("non-empty set");
         let reduced: Vec<usize> = current.iter().copied().filter(|&i| i != cand).collect();
-        match fit(&reduced) {
+        match fit(&reduced, tel) {
             Ok(reduced_model) => {
-                let see = model.fit.see.max(f64::MIN_POSITIVE);
-                let delta = (reduced_model.fit.see - model.fit.see) / see;
+                let see = model.see.max(f64::MIN_POSITIVE);
+                let delta = (reduced_model.see - model.see) / see;
                 if delta < cfg.backward_tolerance {
                     current = reduced;
                     model = reduced_model;
@@ -186,7 +250,7 @@ pub(crate) fn select_variables_inner(
             .iter()
             .map(|g| {
                 g.iter()
-                    .map(|o| o.cost - model.estimate_observation(o))
+                    .map(|o| o.cost - model.estimate(states, &current, o))
                     .collect()
             })
             .collect();
@@ -212,23 +276,69 @@ pub(crate) fn select_variables_inner(
             tel.inc("selection.vif_rejections", 1);
             continue;
         }
-        let Ok(aug_model) = fit(&augmented) else {
+        let Ok(aug_model) = fit(&augmented, tel) else {
             continue; // Singular with this candidate; try the next one.
         };
-        let see = model.fit.see.max(f64::MIN_POSITIVE);
-        let gain = (model.fit.see - aug_model.fit.see) / see;
-        if aug_model.fit.see < model.fit.see && gain > cfg.forward_min_gain {
+        let see = model.see.max(f64::MIN_POSITIVE);
+        let gain = (model.see - aug_model.see) / see;
+        if aug_model.see < model.see && gain > cfg.forward_min_gain {
             current = augmented;
             model = aug_model;
             tel.inc("selection.vars_added", 1);
         }
     }
 
+    // The published model always comes from the canonical observation-space
+    // QR, so both engines produce identical selections *and* identical
+    // model numerics; the Gram engine only accelerated the candidate scan.
+    let model = match model.model {
+        Some(model) => model,
+        None => fit_cost_model(
+            form_for(states),
+            states.clone(),
+            current.clone(),
+            names(&current),
+            observations,
+        )?,
+    };
+
     Ok(Selection {
         var_names: names(&current),
         var_indexes: current,
         model,
     })
+}
+
+/// A scored candidate variable set: the SEE that drives the search, the
+/// adjusted per-state coefficients (for residual computation in the
+/// forward step), and — legacy engine only — the fitted model itself.
+struct Scored {
+    see: f64,
+    coefficients: Vec<Vec<f64>>,
+    model: Option<CostModel>,
+}
+
+impl Scored {
+    fn from_model(model: CostModel) -> Scored {
+        Scored {
+            see: model.fit.see,
+            coefficients: model.coefficients.clone(),
+            model: Some(model),
+        }
+    }
+
+    /// Predicts one observation's cost — the same arithmetic as
+    /// [`CostModel::estimate_observation`], evaluated from the adjusted
+    /// coefficients without materializing a model.
+    fn estimate(&self, states: &StateSet, var_indexes: &[usize], o: &Observation) -> f64 {
+        let s = states.state_of(o.probe_cost);
+        let b = &self.coefficients[s.min(self.coefficients.len() - 1)];
+        let mut y = b[0];
+        for (j, &vi) in var_indexes.iter().enumerate() {
+            y += b[j + 1] * o.x[vi];
+        }
+        y
+    }
 }
 
 /// Splits observations into per-state groups.

@@ -23,12 +23,15 @@
 //! discarding the state; the [`ObservationSource`] trait is that hook.
 //! States that stay thin are merged into a neighbor.
 
-use crate::model::{counts_per_state, fit_cost_model, min_obs_per_state, CostModel, ModelForm};
+use crate::model::{
+    adjusted_coefficients, counts_per_state, fit_cost_model, fit_gram_from_blocks,
+    min_obs_per_state, CostModel, FitEngine, ModelForm,
+};
 use crate::observation::Observation;
 use crate::qualvar::StateSet;
 use crate::CoreError;
 use mdbs_obs::Telemetry;
-use mdbs_stats::cluster_1d;
+use mdbs_stats::{cluster_1d, GramAccumulator, GramPrefix};
 
 /// Which state-determination algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +61,9 @@ pub struct StatesConfig {
     /// the partition refines), so stopping at the first flat step can
     /// strand the model at a too-coarse partition.
     pub patience: usize,
+    /// How candidate partitions are scored (the published winner is always
+    /// refitted through the canonical observation-space QR).
+    pub engine: FitEngine,
 }
 
 impl Default for StatesConfig {
@@ -69,6 +75,7 @@ impl Default for StatesConfig {
             merge_threshold: 0.15,
             form: ModelForm::General,
             patience: 2,
+            engine: FitEngine::default(),
         }
     }
 }
@@ -159,21 +166,48 @@ pub(crate) fn determine_states_inner(
     if cfg.max_states == 0 {
         return Err(CoreError::Degenerate("max_states must be >= 1".into()));
     }
-    let fit = |obs: &[Observation], states: StateSet| {
-        let form = if states.is_single() {
+    let form_for = |states: &StateSet| {
+        if states.is_single() {
             ModelForm::Coincident
         } else {
             cfg.form
-        };
-        fit_cost_model(form, states, var_indexes.to_vec(), var_names.to_vec(), obs)
+        }
     };
 
-    // Phase 1, m = 1: the static special case.
-    let mut best = fit(observations, StateSet::single())?;
+    // The Gram engine accumulates every observation once, in probing-cost
+    // order, so each candidate partition is fitted from prefix differences
+    // without rescanning the sample. Rebuilt only when `populate_or_merge`
+    // draws extra observations (`fit.gram.prefix_builds` counts those).
+    let mut cache = match cfg.engine {
+        FitEngine::FullRefit => None,
+        FitEngine::Gram => Some(GramCache::build(observations, var_indexes, tel)?),
+    };
+
+    let fit_candidate = |obs: &[Observation],
+                         states: StateSet,
+                         cache: &Option<GramCache>,
+                         tel: &mut Telemetry| {
+        let form = form_for(&states);
+        match cache {
+            None => {
+                let model =
+                    fit_cost_model(form, states, var_indexes.to_vec(), var_names.to_vec(), obs)?;
+                Ok(Candidate::from_model(model))
+            }
+            Some(cache) => {
+                let blocks = cache.blocks(&states)?;
+                Candidate::from_blocks(form, states, var_indexes.len(), blocks, tel)
+            }
+        }
+    };
+
+    // Phase 1, m = 1: the static special case (fit errors propagate — an
+    // unusable sample aborts the derivation in either engine).
+    let mut best = fit_candidate(observations, StateSet::single(), &cache, tel)?;
     let mut history = vec![IterationStats {
         states: 1,
-        r_squared: best.fit.r_squared,
-        see: best.fit.see,
+        r_squared: best.r_squared,
+        see: best.see,
     }];
 
     let (c_min, c_max) = probe_range(observations)?;
@@ -197,7 +231,15 @@ pub(crate) fn determine_states_inner(
             tel.inc("states.collapsed_proposals", 1);
             continue; // Clustering could not produce more states.
         }
+        let before = observations.len();
         let states = populate_or_merge(proposed, observations, var_indexes.len(), source, tel);
+        if observations.len() != before {
+            // Targeted resampling appended observations — the prefix sums
+            // are stale, rebuild them once for this (and later) proposals.
+            if cache.is_some() {
+                cache = Some(GramCache::build(observations, var_indexes, tel)?);
+            }
+        }
         if states.len() <= history.last().map_or(1, |h| h.states)
             && states.len() <= best.num_states()
         {
@@ -210,8 +252,8 @@ pub(crate) fn determine_states_inner(
         // not viable, the same situation as a collapsed proposal above, so
         // it is skipped rather than aborting the whole derivation. Other
         // numeric failures still propagate.
-        let model = match fit(observations, states) {
-            Ok(model) => model,
+        let candidate = match fit_candidate(observations, states, &cache, tel) {
+            Ok(candidate) => candidate,
             Err(CoreError::Numeric(mdbs_stats::StatsError::Singular)) => {
                 tel.inc("states.rank_deficient_skipped", 1);
                 continue;
@@ -219,12 +261,12 @@ pub(crate) fn determine_states_inner(
             Err(e) => return Err(e),
         };
         history.push(IterationStats {
-            states: model.num_states(),
-            r_squared: model.fit.r_squared,
-            see: model.fit.see,
+            states: candidate.num_states(),
+            r_squared: candidate.r_squared,
+            see: candidate.see,
         });
-        let r2_gain = model.fit.r_squared - best.fit.r_squared;
-        let see_gain = (best.fit.see - model.fit.see) / best.fit.see.max(f64::MIN_POSITIVE);
+        let r2_gain = candidate.r_squared - best.r_squared;
+        let see_gain = (best.see - candidate.see) / best.see.max(f64::MIN_POSITIVE);
         if r2_gain < cfg.min_r2_gain && see_gain < cfg.min_see_gain {
             // Not improving sufficiently (Algorithm 3.1 l. 13) — but give
             // the refinement a little patience before giving up.
@@ -234,24 +276,173 @@ pub(crate) fn determine_states_inner(
             }
         } else {
             flat_steps = 0;
-            best = model;
+            best = candidate;
         }
     }
 
-    // Phase 2: merging adjustment.
+    // Phase 2: merging adjustment. The Gram engine combines the two
+    // adjacent states' accumulator blocks (`+`) and re-solves in O(k³);
+    // the legacy engine refits from scratch. Fit errors propagate here in
+    // both engines, as before.
     let mut merges = 0;
-    while let Some(i) = first_merge_candidate(&best, cfg.merge_threshold) {
+    while let Some(i) = first_merge_candidate(&best.coefficients, cfg.merge_threshold) {
         let merged_states = best.states.merge_with_next(i)?;
-        best = fit(observations, merged_states)?;
+        best = match best.blocks {
+            None => fit_candidate(observations, merged_states, &cache, tel)?,
+            Some(mut blocks) => {
+                let right = blocks.remove(i + 1);
+                blocks[i] += &right;
+                Candidate::from_blocks(
+                    form_for(&merged_states),
+                    merged_states,
+                    var_indexes.len(),
+                    blocks,
+                    tel,
+                )?
+            }
+        };
         merges += 1;
         tel.inc("states.merges", 1);
     }
 
+    // The published model always comes from the canonical observation-space
+    // QR, so both engines export identical catalogs; the Gram engine only
+    // accelerated the search.
+    let model = match best.model {
+        Some(model) => model,
+        None => fit_cost_model(
+            form_for(&best.states),
+            best.states,
+            var_indexes.to_vec(),
+            var_names.to_vec(),
+            observations,
+        )?,
+    };
+
     Ok(StatesResult {
-        model: best,
+        model,
         history,
         merges,
     })
+}
+
+/// One scored candidate partition during the search. The legacy engine
+/// carries the fully fitted model; the Gram engine carries the per-state
+/// accumulator blocks (so phase 2 can merge them) and defers building a
+/// `CostModel` until the search settles.
+struct Candidate {
+    states: StateSet,
+    r_squared: f64,
+    see: f64,
+    /// Adjusted per-state coefficients (phase 2 compares these).
+    coefficients: Vec<Vec<f64>>,
+    /// Per-state Gram blocks (Gram engine only).
+    blocks: Option<Vec<GramAccumulator>>,
+    /// The fitted model (legacy engine only).
+    model: Option<CostModel>,
+}
+
+impl Candidate {
+    fn from_model(model: CostModel) -> Candidate {
+        Candidate {
+            states: model.states.clone(),
+            r_squared: model.fit.r_squared,
+            see: model.fit.see,
+            coefficients: model.coefficients.clone(),
+            blocks: None,
+            model: Some(model),
+        }
+    }
+
+    fn from_blocks(
+        form: ModelForm,
+        states: StateSet,
+        p: usize,
+        blocks: Vec<GramAccumulator>,
+        tel: &mut Telemetry,
+    ) -> Result<Candidate, CoreError> {
+        let pooled_n: usize = blocks.iter().map(|b| b.n()).sum();
+        let gram = fit_gram_from_blocks(form, p, &blocks)?;
+        tel.inc("fit.gram.solves", 1);
+        if gram.solved_by_cholesky {
+            tel.inc("fit.gram.cholesky", 1);
+        } else {
+            tel.inc("fit.gram.qr_fallback", 1);
+        }
+        tel.inc("fit.gram.rescans_avoided", pooled_n as u64);
+        Ok(Candidate {
+            coefficients: adjusted_coefficients(form, states.len(), p, &gram.coefficients),
+            states,
+            r_squared: gram.r_squared,
+            see: gram.see,
+            blocks: Some(blocks),
+            model: None,
+        })
+    }
+
+    fn num_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// The Gram engine's per-derivation cache: every observation accumulated
+/// once in probing-cost order, as prefix sums, so any contiguous partition
+/// (uniform IUPMA slice, ICMA cluster cut, or phase-2 merge) is fitted by
+/// prefix difference.
+struct GramCache {
+    /// Probing costs ascending (ties broken by original index, so the
+    /// accumulation order — and hence every rounding — is deterministic).
+    probes: Vec<f64>,
+    prefix: GramPrefix,
+}
+
+impl GramCache {
+    fn build(
+        observations: &[Observation],
+        var_indexes: &[usize],
+        tel: &mut Telemetry,
+    ) -> Result<GramCache, CoreError> {
+        let mut order: Vec<usize> = (0..observations.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            observations[a]
+                .probe_cost
+                .partial_cmp(&observations[b].probe_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut prefix = GramPrefix::new(var_indexes.len() + 1);
+        let mut probes = Vec::with_capacity(observations.len());
+        for &i in &order {
+            let o = &observations[i];
+            let mut z = Vec::with_capacity(var_indexes.len() + 1);
+            z.push(1.0);
+            z.extend(o.project(var_indexes));
+            prefix.push(&z, o.cost).map_err(CoreError::Numeric)?;
+            probes.push(o.probe_cost);
+        }
+        tel.inc("fit.gram.prefix_builds", 1);
+        Ok(GramCache { probes, prefix })
+    }
+
+    /// Per-state sufficient-statistics blocks of a partition: because the
+    /// probes are sorted and `StateSet::state_of` is monotone, each state
+    /// covers a contiguous index range found by binary search.
+    fn blocks(&self, states: &StateSet) -> Result<Vec<GramAccumulator>, CoreError> {
+        let m = states.len();
+        let mut bounds = Vec::with_capacity(m + 1);
+        bounds.push(0);
+        for s in 0..m.saturating_sub(1) {
+            bounds.push(self.probes.partition_point(|&pc| states.state_of(pc) <= s));
+        }
+        bounds.push(self.probes.len());
+        (0..m)
+            .map(|s| {
+                self.prefix
+                    .range(bounds[s], bounds[s + 1])
+                    .map_err(CoreError::Numeric)
+            })
+            .collect()
+    }
 }
 
 /// The observed probing-cost range `[Cmin, Cmax]`.
@@ -321,11 +512,10 @@ fn populate_or_merge(
 
 /// Finds the first adjacent pair of states whose adjusted coefficients are
 /// so close that separating them is unnecessary (Algorithm 3.1 l. 17–21).
-fn first_merge_candidate(model: &CostModel, threshold: f64) -> Option<usize> {
-    let m = model.num_states();
-    (0..m.saturating_sub(1)).find(|&i| {
-        max_relative_coef_error(&model.coefficients[i], &model.coefficients[i + 1]) < threshold
-    })
+fn first_merge_candidate(coefficients: &[Vec<f64>], threshold: f64) -> Option<usize> {
+    let m = coefficients.len();
+    (0..m.saturating_sub(1))
+        .find(|&i| max_relative_coef_error(&coefficients[i], &coefficients[i + 1]) < threshold)
 }
 
 /// `max_j |a_j − b_j| / max(|a_j|, |b_j|)` over the coefficient vectors.

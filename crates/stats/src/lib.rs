@@ -12,6 +12,9 @@
 //! * [`matrix`] — a small dense matrix type with Householder QR
 //!   factorization and least-squares / linear-system solvers,
 //! * [`regression`] — ordinary least squares with the full diagnostic suite,
+//! * [`suffstats`] — incremental sufficient-statistics (Gram-matrix)
+//!   regression: rank-1 updates, block merges, column subsets, prefix sums
+//!   and an O(k³) solver that reproduces the full diagnostic suite,
 //! * [`distributions`] — Γ/β special functions and Normal, Student-t and
 //!   F cumulative distribution functions,
 //! * [`correlation`] — Pearson simple correlation,
@@ -34,6 +37,7 @@ pub mod distributions;
 pub mod matrix;
 pub mod regression;
 pub mod rng;
+pub mod suffstats;
 pub mod vif;
 
 pub use clustering::{cluster_1d, Cluster1D};
@@ -42,6 +46,7 @@ pub use describe::Summary;
 pub use matrix::Matrix;
 pub use regression::{OlsFit, RegressionError};
 pub use rng::Rng;
+pub use suffstats::{GramAccumulator, GramFit, GramPrefix};
 
 /// Error type shared by numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -23,6 +23,141 @@ use crate::StatsError;
 /// Convenient alias: regression routines share the crate error type.
 pub type RegressionError = StatsError;
 
+/// The total sum of squares SST, computed from the response moments
+/// `Σy²`, `Σy` and `n`.
+///
+/// This is the **single** place that decides centered vs uncentered SST
+/// for every solver in the crate (the observation-space QR of
+/// [`OlsFit::fit`] and the sufficient-statistics solver of
+/// [`crate::suffstats::GramAccumulator::solve`]):
+///
+/// * with an intercept (or a full set of per-state indicator columns,
+///   which spans the constant) SST is taken **about the mean** of `y`:
+///   `Σy² − (Σy)²/n`, clamped at zero against floating-point
+///   cancellation;
+/// * without an intercept, **about zero**: `Σy²`.
+pub fn total_sum_of_squares(yty: f64, sum_y: f64, n: usize, has_intercept: bool) -> f64 {
+    if has_intercept {
+        (yty - sum_y * sum_y / n as f64).max(0.0)
+    } else {
+        yty
+    }
+}
+
+/// Whole-model goodness-of-fit diagnostics shared by the QR and Gram
+/// solvers (see [`fit_summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSummary {
+    /// Coefficient of total determination R².
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Standard error of estimation √(SSE/(n−k)).
+    pub see: f64,
+    /// Overall F statistic.
+    pub f_statistic: f64,
+    /// Upper-tail p-value of the F statistic.
+    pub f_p_value: f64,
+}
+
+/// Computes R², adjusted R², SEE and the overall F test from the two sums
+/// of squares — the shared back half of every OLS solve in this crate.
+///
+/// Degenerate inputs follow the conventions the pipeline relies on:
+/// `sst ≤ 0` gives R² = 1, and a perfect fit (`sse ≤ 0`) or a model with
+/// no slope parameters reports `F = ∞` with p-value 0.
+pub fn fit_summary(
+    sse: f64,
+    sst: f64,
+    n: usize,
+    k: usize,
+    has_intercept: bool,
+) -> Result<FitSummary, StatsError> {
+    let df_resid = (n.saturating_sub(k)) as f64;
+    // Number of slope parameters for the F test (intercept excluded).
+    let df_model = if has_intercept {
+        k.saturating_sub(1) as f64
+    } else {
+        k as f64
+    };
+    let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+    let adj_r_squared = if sst > 0.0 && df_resid > 0.0 {
+        1.0 - (sse / df_resid) / (sst / (n as f64 - if has_intercept { 1.0 } else { 0.0 }))
+    } else {
+        r_squared
+    };
+    let see = if df_resid > 0.0 {
+        (sse / df_resid).sqrt()
+    } else {
+        0.0
+    };
+    let (f_statistic, f_pv) = if df_model > 0.0 && df_resid > 0.0 && sse > 0.0 {
+        let msr = (sst - sse).max(0.0) / df_model;
+        let mse = sse / df_resid;
+        let f = msr / mse;
+        (f, f_p_value(f, df_model, df_resid)?)
+    } else {
+        (f64::INFINITY, 0.0)
+    };
+    Ok(FitSummary {
+        r_squared,
+        adj_r_squared,
+        see,
+        f_statistic,
+        f_p_value: f_pv,
+    })
+}
+
+/// Per-coefficient inference results, index-aligned with the coefficient
+/// vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientInference {
+    /// Standard error of each coefficient.
+    pub std_errors: Vec<f64>,
+    /// t statistic of each coefficient.
+    pub t_statistics: Vec<f64>,
+    /// Two-sided p-value of each coefficient's t statistic.
+    pub t_p_values: Vec<f64>,
+}
+
+/// Per-coefficient inference shared by the QR and Gram solvers: standard
+/// errors `√(σ²·diag((XᵀX)⁻¹))`, t statistics and their two-sided
+/// p-values.
+pub fn coefficient_inference(
+    coefficients: &[f64],
+    xtx_inverse: &Matrix,
+    sse: f64,
+    n: usize,
+    k: usize,
+) -> Result<CoefficientInference, StatsError> {
+    let df_resid = (n.saturating_sub(k)) as f64;
+    let sigma2 = if df_resid > 0.0 { sse / df_resid } else { 0.0 };
+    let mut coef_std_errors = Vec::with_capacity(k);
+    for i in 0..k {
+        coef_std_errors.push((sigma2 * xtx_inverse[(i, i)]).max(0.0).sqrt());
+    }
+    let mut t_statistics = Vec::with_capacity(k);
+    let mut t_p_values = Vec::with_capacity(k);
+    for i in 0..k {
+        let t = if coef_std_errors[i] > 0.0 {
+            coefficients[i] / coef_std_errors[i]
+        } else {
+            f64::INFINITY
+        };
+        t_statistics.push(t);
+        t_p_values.push(if t.is_finite() && df_resid > 0.0 {
+            t_p_value_two_sided(t, df_resid)?
+        } else {
+            0.0
+        });
+    }
+    Ok(CoefficientInference {
+        std_errors: coef_std_errors,
+        t_statistics,
+        t_p_values,
+    })
+}
+
 /// The result of an ordinary-least-squares fit.
 #[derive(Debug, Clone)]
 pub struct OlsFit {
@@ -89,62 +224,15 @@ impl OlsFit {
         let fitted = x.matvec(&coefficients)?;
         let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
         let sse: f64 = residuals.iter().map(|e| e * e).sum();
-        let sst: f64 = if has_intercept {
-            let mean = y.iter().sum::<f64>() / n as f64;
-            y.iter().map(|v| (v - mean) * (v - mean)).sum()
-        } else {
-            y.iter().map(|v| v * v).sum()
-        };
-        let df_resid = (n - k) as f64;
-        // Number of slope parameters for the F test (intercept excluded).
-        let df_model = if has_intercept {
-            (k - 1) as f64
-        } else {
-            k as f64
-        };
-        let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
-        let adj_r_squared = if sst > 0.0 && df_resid > 0.0 {
-            1.0 - (sse / df_resid) / (sst / (n as f64 - if has_intercept { 1.0 } else { 0.0 }))
-        } else {
-            r_squared
-        };
-        let see = if df_resid > 0.0 {
-            (sse / df_resid).sqrt()
-        } else {
-            0.0
-        };
-        let (f_statistic, f_pv) = if df_model > 0.0 && df_resid > 0.0 && sse > 0.0 {
-            let msr = (sst - sse).max(0.0) / df_model;
-            let mse = sse / df_resid;
-            let f = msr / mse;
-            (f, f_p_value(f, df_model, df_resid)?)
-        } else {
-            (f64::INFINITY, 0.0)
-        };
+        let yty: f64 = y.iter().map(|v| v * v).sum();
+        let sum_y: f64 = y.iter().sum();
+        let sst = total_sum_of_squares(yty, sum_y, n, has_intercept);
+        let summary = fit_summary(sse, sst, n, k, has_intercept)?;
 
         // Coefficient covariance: σ² (XᵀX)⁻¹ = σ² R⁻¹ R⁻ᵀ.
         let r_inv = r.invert_upper_triangular()?;
         let xtx_inverse = r_inv.matmul(&r_inv.transpose())?;
-        let sigma2 = if df_resid > 0.0 { sse / df_resid } else { 0.0 };
-        let mut coef_std_errors = Vec::with_capacity(k);
-        for i in 0..k {
-            coef_std_errors.push((sigma2 * xtx_inverse[(i, i)]).sqrt());
-        }
-        let mut t_statistics = Vec::with_capacity(k);
-        let mut t_p_values = Vec::with_capacity(k);
-        for i in 0..k {
-            let t = if coef_std_errors[i] > 0.0 {
-                coefficients[i] / coef_std_errors[i]
-            } else {
-                f64::INFINITY
-            };
-            t_statistics.push(t);
-            t_p_values.push(if t.is_finite() && df_resid > 0.0 {
-                t_p_value_two_sided(t, df_resid)?
-            } else {
-                0.0
-            });
-        }
+        let inference = coefficient_inference(&coefficients, &xtx_inverse, sse, n, k)?;
 
         Ok(OlsFit {
             coefficients,
@@ -152,14 +240,14 @@ impl OlsFit {
             residuals,
             sse,
             sst,
-            r_squared,
-            adj_r_squared,
-            see,
-            f_statistic,
-            f_p_value: f_pv,
-            coef_std_errors,
-            t_statistics,
-            t_p_values,
+            r_squared: summary.r_squared,
+            adj_r_squared: summary.adj_r_squared,
+            see: summary.see,
+            f_statistic: summary.f_statistic,
+            f_p_value: summary.f_p_value,
+            coef_std_errors: inference.std_errors,
+            t_statistics: inference.t_statistics,
+            t_p_values: inference.t_p_values,
             n,
             k,
             xtx_inverse,

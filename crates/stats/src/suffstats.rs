@@ -1,0 +1,815 @@
+//! Sufficient-statistics regression: incremental Gram-matrix OLS.
+//!
+//! Every fit the multi-states pipeline performs — a partition proposal in
+//! IUPMA/ICMA, a merge in phase 2, a candidate add/drop in variable
+//! selection, an incremental maintenance refit — is ordinary least squares
+//! over some subset (rows) and sub-selection (columns) of one fixed data
+//! set. All of those fits are determined by the **sufficient statistics**
+//!
+//! ```text
+//! XᵀX (k×k),  Xᵀy (k),  Σy²,  Σy,  n
+//! ```
+//!
+//! which a [`GramAccumulator`] maintains under rank-1 row updates
+//! ([`GramAccumulator::add_row`] / [`GramAccumulator::remove_row`]), block
+//! merges (`+`, [`GramAccumulator::merge`]) and column-subset extraction
+//! ([`GramAccumulator::subset`]). Once accumulated, a candidate fit is an
+//! O(k³) solve ([`GramAccumulator::solve`]) **independent of n** — the
+//! observations are never rescanned.
+//!
+//! [`GramPrefix`] layers prefix sums on top: accumulate rows once in
+//! probing-cost order and any *contiguous* observation range — which is
+//! exactly what a contention-state partition induces — comes back as a
+//! prefix difference in O(k²) ([`GramPrefix::range`]).
+//!
+//! ## Numerical policy
+//!
+//! The normal-equations matrix XᵀX has the squared condition number of X,
+//! so the solver is defensive: it attempts a Cholesky factorization first
+//! (fast, and trustworthy while the pivots stay above a relative threshold
+//! of the largest diagonal entry) and falls back to Householder QR on the
+//! k×k Gram matrix when any pivot degenerates. Exact rank deficiency
+//! surfaces as [`StatsError::Singular`] from either route, matching the
+//! observation-space QR solver in [`crate::regression::OlsFit`] so callers'
+//! skip/propagate logic is engine-agnostic.
+
+use crate::matrix::Matrix;
+use crate::regression::{coefficient_inference, fit_summary, total_sum_of_squares};
+use crate::StatsError;
+
+/// Relative pivot tolerance of the Cholesky factorization: a pivot below
+/// `CHOLESKY_RELATIVE_TOLERANCE × max diagonal entry` is treated as rank
+/// deficiency and triggers the QR fallback. The value mirrors the
+/// `1e-12` relative threshold of the QR back substitution but is two
+/// orders looser because forming XᵀX squares the condition number.
+pub const CHOLESKY_RELATIVE_TOLERANCE: f64 = 1e-10;
+
+/// Sufficient statistics of a least-squares problem: `XᵀX`, `Xᵀy`, `Σy²`,
+/// `Σy` and the row count `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramAccumulator {
+    k: usize,
+    n: usize,
+    /// Row-major `k × k`, kept fully (symmetry is maintained, not exploited,
+    /// so subsetting and merging stay simple index arithmetic).
+    xtx: Vec<f64>,
+    xty: Vec<f64>,
+    yty: f64,
+    sum_y: f64,
+}
+
+impl GramAccumulator {
+    /// An empty accumulator for design rows of width `k`.
+    pub fn new(k: usize) -> GramAccumulator {
+        GramAccumulator {
+            k,
+            n: 0,
+            xtx: vec![0.0; k * k],
+            xty: vec![0.0; k],
+            yty: 0.0,
+            sum_y: 0.0,
+        }
+    }
+
+    /// Rebuilds an accumulator from previously exported parts (the catalog
+    /// persistence path). Dimensions must agree: `xtx` is `k²` long, `xty`
+    /// is `k` long.
+    pub fn from_parts(
+        k: usize,
+        n: usize,
+        xtx: Vec<f64>,
+        xty: Vec<f64>,
+        yty: f64,
+        sum_y: f64,
+    ) -> Result<GramAccumulator, StatsError> {
+        if xtx.len() != k * k || xty.len() != k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "from_parts: k = {k} but xtx has {} and xty has {} entries",
+                    xtx.len(),
+                    xty.len()
+                ),
+            });
+        }
+        Ok(GramAccumulator {
+            k,
+            n,
+            xtx,
+            xty,
+            yty,
+            sum_y,
+        })
+    }
+
+    /// Design-row width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of accumulated rows `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `XᵀX` entries, row-major `k × k`.
+    pub fn xtx(&self) -> &[f64] {
+        &self.xtx
+    }
+
+    /// The `Xᵀy` entries.
+    pub fn xty(&self) -> &[f64] {
+        &self.xty
+    }
+
+    /// `Σy²` over the accumulated rows.
+    pub fn yty(&self) -> f64 {
+        self.yty
+    }
+
+    /// `Σy` over the accumulated rows.
+    pub fn sum_y(&self) -> f64 {
+        self.sum_y
+    }
+
+    fn check_row(&self, row: &[f64]) -> Result<(), StatsError> {
+        if row.len() != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "gram row has {} values, accumulator holds {}",
+                    row.len(),
+                    self.k
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Folds one observation `(row, y)` in: a rank-1 update of `XᵀX` plus
+    /// the response moments.
+    pub fn add_row(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        self.check_row(row)?;
+        for (i, &ri) in row.iter().enumerate() {
+            let base = i * self.k;
+            for (j, &rj) in row.iter().enumerate() {
+                self.xtx[base + j] += ri * rj;
+            }
+            self.xty[i] += ri * y;
+        }
+        self.yty += y * y;
+        self.sum_y += y;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Removes one previously added observation (a rank-1 downdate). The
+    /// caller asserts the row was in fact accumulated; removing from an
+    /// empty accumulator is an error.
+    pub fn remove_row(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        self.check_row(row)?;
+        if self.n == 0 {
+            return Err(StatsError::InvalidArgument(
+                "remove_row on an empty accumulator".into(),
+            ));
+        }
+        for (i, &ri) in row.iter().enumerate() {
+            let base = i * self.k;
+            for (j, &rj) in row.iter().enumerate() {
+                self.xtx[base + j] -= ri * rj;
+            }
+            self.xty[i] -= ri * y;
+        }
+        self.yty -= y * y;
+        self.sum_y -= y;
+        self.n -= 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator of the same width into this one
+    /// (statistics are additive over disjoint row sets).
+    pub fn merge(&mut self, other: &GramAccumulator) -> Result<(), StatsError> {
+        if other.k != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("merge: width {} vs {}", other.k, self.k),
+            });
+        }
+        for (a, b) in self.xtx.iter_mut().zip(&other.xtx) {
+            *a += b;
+        }
+        for (a, b) in self.xty.iter_mut().zip(&other.xty) {
+            *a += b;
+        }
+        self.yty += other.yty;
+        self.sum_y += other.sum_y;
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Merges another accumulator whose local column `j` occupies global
+    /// column `placement[j]` of this (wider) accumulator — the assembly
+    /// step that pools per-state blocks into one qualitative-model Gram
+    /// matrix. `placement` must be as wide as `other` and stay inside
+    /// `self`'s bounds.
+    pub fn merge_placed(
+        &mut self,
+        other: &GramAccumulator,
+        placement: &[usize],
+    ) -> Result<(), StatsError> {
+        if placement.len() != other.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "merge_placed: {} placements for width {}",
+                    placement.len(),
+                    other.k
+                ),
+            });
+        }
+        if placement.iter().any(|&c| c >= self.k) {
+            return Err(StatsError::InvalidArgument(format!(
+                "merge_placed: placement exceeds width {}",
+                self.k
+            )));
+        }
+        for (i, &gi) in placement.iter().enumerate() {
+            for (j, &gj) in placement.iter().enumerate() {
+                self.xtx[gi * self.k + gj] += other.xtx[i * other.k + j];
+            }
+            self.xty[gi] += other.xty[i];
+        }
+        self.yty += other.yty;
+        self.sum_y += other.sum_y;
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// Extracts the sufficient statistics of the column subset `cols` — the
+    /// statistics of the same rows with the other columns dropped, which is
+    /// exactly what a variable-selection candidate fit needs.
+    pub fn subset(&self, cols: &[usize]) -> Result<GramAccumulator, StatsError> {
+        if cols.iter().any(|&c| c >= self.k) {
+            return Err(StatsError::InvalidArgument(format!(
+                "subset: column out of range 0..{}",
+                self.k
+            )));
+        }
+        let k = cols.len();
+        let mut xtx = vec![0.0; k * k];
+        let mut xty = vec![0.0; k];
+        for (i, &ci) in cols.iter().enumerate() {
+            for (j, &cj) in cols.iter().enumerate() {
+                xtx[i * k + j] = self.xtx[ci * self.k + cj];
+            }
+            xty[i] = self.xty[ci];
+        }
+        Ok(GramAccumulator {
+            k,
+            n: self.n,
+            xtx,
+            xty,
+            yty: self.yty,
+            sum_y: self.sum_y,
+        })
+    }
+
+    /// Subtracts another accumulator (for prefix differences); `other` must
+    /// describe a subset of this one's rows.
+    fn difference(&self, other: &GramAccumulator) -> Result<GramAccumulator, StatsError> {
+        if other.k != self.k {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("difference: width {} vs {}", other.k, self.k),
+            });
+        }
+        if other.n > self.n {
+            return Err(StatsError::InvalidArgument(
+                "difference: subtrahend has more rows".into(),
+            ));
+        }
+        Ok(GramAccumulator {
+            k: self.k,
+            n: self.n - other.n,
+            xtx: self
+                .xtx
+                .iter()
+                .zip(&other.xtx)
+                .map(|(a, b)| a - b)
+                .collect(),
+            xty: self
+                .xty
+                .iter()
+                .zip(&other.xty)
+                .map(|(a, b)| a - b)
+                .collect(),
+            yty: self.yty - other.yty,
+            sum_y: self.sum_y - other.sum_y,
+        })
+    }
+
+    /// Solves the accumulated least-squares problem and computes the full
+    /// [`crate::regression::OlsFit`]-style diagnostic suite from the
+    /// sufficient statistics alone.
+    ///
+    /// Requires one spare degree of freedom (`n ≥ k + 1`), like the
+    /// observation-space solver. Rank deficiency surfaces as
+    /// [`StatsError::Singular`] whether Cholesky or the QR fallback
+    /// detected it.
+    pub fn solve(&self, has_intercept: bool) -> Result<GramFit, StatsError> {
+        let (k, n) = (self.k, self.n);
+        if n < k + 1 {
+            return Err(StatsError::InsufficientData {
+                needed: k + 1,
+                got: n,
+            });
+        }
+        let (coefficients, xtx_inverse, cholesky) = match cholesky_factor(k, &self.xtx) {
+            Ok(l) => {
+                let beta = cholesky_solve(k, &l, &self.xty);
+                let inv = cholesky_inverse(k, &l);
+                (beta, inv, true)
+            }
+            Err(StatsError::Singular) => {
+                // QR on the k×k Gram matrix: β = R⁻¹Qᵀ(Xᵀy) and
+                // (XᵀX)⁻¹ = R⁻¹Qᵀ. Still-singular systems error here.
+                let a = Matrix::from_vec(k, k, self.xtx.clone())?;
+                let (q, r) = a.qr()?;
+                let inv = r.invert_upper_triangular()?.matmul(&q.transpose())?;
+                let beta = inv.matvec(&self.xty)?;
+                (beta, inv, false)
+            }
+            Err(e) => return Err(e),
+        };
+
+        // SSE = yᵀy − 2βᵀ(Xᵀy) + βᵀ(XᵀX)β, clamped: the quadratic form is
+        // exact algebra but loses absolute precision ~ε·yᵀy, which can dip
+        // below zero for near-perfect fits.
+        let bxy: f64 = coefficients.iter().zip(&self.xty).map(|(b, v)| b * v).sum();
+        let mut bxxb = 0.0;
+        for i in 0..k {
+            let row = &self.xtx[i * k..(i + 1) * k];
+            let xi: f64 = row.iter().zip(&coefficients).map(|(a, b)| a * b).sum();
+            bxxb += coefficients[i] * xi;
+        }
+        let sse = (self.yty - 2.0 * bxy + bxxb).max(0.0);
+        let sst = total_sum_of_squares(self.yty, self.sum_y, n, has_intercept);
+        let summary = fit_summary(sse, sst, n, k, has_intercept)?;
+        let inference = coefficient_inference(&coefficients, &xtx_inverse, sse, n, k)?;
+
+        Ok(GramFit {
+            coefficients,
+            sse,
+            sst,
+            r_squared: summary.r_squared,
+            adj_r_squared: summary.adj_r_squared,
+            see: summary.see,
+            f_statistic: summary.f_statistic,
+            f_p_value: summary.f_p_value,
+            coef_std_errors: inference.std_errors,
+            t_statistics: inference.t_statistics,
+            t_p_values: inference.t_p_values,
+            n,
+            k,
+            solved_by_cholesky: cholesky,
+        })
+    }
+}
+
+impl std::ops::AddAssign<&GramAccumulator> for GramAccumulator {
+    /// Block merge; panics on width mismatch (use [`GramAccumulator::merge`]
+    /// for a fallible version).
+    fn add_assign(&mut self, other: &GramAccumulator) {
+        self.merge(other).expect("accumulator widths must match");
+    }
+}
+
+impl std::ops::Add<&GramAccumulator> for GramAccumulator {
+    type Output = GramAccumulator;
+
+    /// Block merge; panics on width mismatch (use [`GramAccumulator::merge`]
+    /// for a fallible version).
+    fn add(mut self, other: &GramAccumulator) -> GramAccumulator {
+        self += other;
+        self
+    }
+}
+
+/// The result of a sufficient-statistics OLS solve: the same diagnostic
+/// suite as [`crate::regression::OlsFit`], minus the per-observation fitted
+/// values and residuals (which cannot be reconstructed from the statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramFit {
+    /// Estimated coefficients, one per design column.
+    pub coefficients: Vec<f64>,
+    /// Residual sum of squares.
+    pub sse: f64,
+    /// Total sum of squares (see [`total_sum_of_squares`]).
+    pub sst: f64,
+    /// Coefficient of total determination R².
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Standard error of estimation √(SSE/(n−k)).
+    pub see: f64,
+    /// Overall F statistic.
+    pub f_statistic: f64,
+    /// Upper-tail p-value of the F statistic.
+    pub f_p_value: f64,
+    /// Standard error of each coefficient.
+    pub coef_std_errors: Vec<f64>,
+    /// t statistic of each coefficient.
+    pub t_statistics: Vec<f64>,
+    /// Two-sided p-value of each coefficient's t statistic.
+    pub t_p_values: Vec<f64>,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of fitted parameters.
+    pub k: usize,
+    /// Whether the Cholesky route succeeded (`false` → QR fallback ran).
+    pub solved_by_cholesky: bool,
+}
+
+impl GramFit {
+    /// Predicts the response for one design row.
+    pub fn predict(&self, row: &[f64]) -> Result<f64, StatsError> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "predict: row has {} values, model has {} coefficients",
+                    row.len(),
+                    self.coefficients.len()
+                ),
+            });
+        }
+        Ok(row.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum())
+    }
+}
+
+/// Prefix sums of [`GramAccumulator`]s over an ordered row sequence.
+///
+/// Accumulate rows once (in probing-cost order, for the contention-state
+/// use case) and the statistics of any contiguous range `[a, b)` come back
+/// as a prefix difference in O(k²) — no rescan of the observations.
+#[derive(Debug, Clone)]
+pub struct GramPrefix {
+    /// `prefix[i]` holds rows `0..i`; `prefix.len() == rows pushed + 1`.
+    prefix: Vec<GramAccumulator>,
+}
+
+impl GramPrefix {
+    /// An empty prefix structure for rows of width `k`.
+    pub fn new(k: usize) -> GramPrefix {
+        GramPrefix {
+            prefix: vec![GramAccumulator::new(k)],
+        }
+    }
+
+    /// Design-row width `k`.
+    pub fn k(&self) -> usize {
+        self.prefix[0].k
+    }
+
+    /// Number of rows accumulated.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the next row in sequence.
+    pub fn push(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        let mut next = self.prefix.last().expect("prefix is never empty").clone();
+        next.add_row(row, y)?;
+        self.prefix.push(next);
+        Ok(())
+    }
+
+    /// Sufficient statistics of the contiguous row range `[a, b)`.
+    pub fn range(&self, a: usize, b: usize) -> Result<GramAccumulator, StatsError> {
+        if a > b || b > self.len() {
+            return Err(StatsError::InvalidArgument(format!(
+                "range [{a}, {b}) outside 0..{}",
+                self.len()
+            )));
+        }
+        self.prefix[b].difference(&self.prefix[a])
+    }
+
+    /// Statistics of the full row sequence (`range(0, len)` without the
+    /// subtraction).
+    pub fn total(&self) -> &GramAccumulator {
+        self.prefix.last().expect("prefix is never empty")
+    }
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix given row-major; returns the lower factor or
+/// [`StatsError::Singular`] when a pivot falls below the relative
+/// tolerance (see [`CHOLESKY_RELATIVE_TOLERANCE`]).
+fn cholesky_factor(k: usize, a: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let max_diag = (0..k).fold(0.0f64, |m, i| m.max(a[i * k + i].abs()));
+    let tol = CHOLESKY_RELATIVE_TOLERANCE * max_diag.max(1.0);
+    let mut l = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = a[i * k + j];
+            for t in 0..j {
+                sum -= l[i * k + t] * l[j * k + t];
+            }
+            if i == j {
+                if sum <= tol {
+                    return Err(StatsError::Singular);
+                }
+                l[i * k + i] = sum.sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·Lᵀ·x = b` by forward then backward substitution.
+fn cholesky_solve(k: usize, l: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut z = vec![0.0; k];
+    for i in 0..k {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i * k + j] * z[j];
+        }
+        z[i] = sum / l[i * k + i];
+    }
+    let mut x = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut sum = z[i];
+        for j in (i + 1)..k {
+            sum -= l[j * k + i] * x[j];
+        }
+        x[i] = sum / l[i * k + i];
+    }
+    x
+}
+
+/// `(L·Lᵀ)⁻¹` column by column (unit right-hand sides).
+fn cholesky_inverse(k: usize, l: &[f64]) -> Matrix {
+    let mut inv = Matrix::zeros(k, k);
+    for j in 0..k {
+        let mut e = vec![0.0; k];
+        e[j] = 1.0;
+        let col = cholesky_solve(k, l, &e);
+        for i in 0..k {
+            inv[(i, j)] = col[i];
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::OlsFit;
+
+    /// Mixed absolute/relative closeness at the parity tolerance.
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    /// Noisy multi-column design (noise keeps SSE well away from the
+    /// catastrophic-cancellation regime of perfect fits).
+    fn noisy_design(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x1 = (i % 17) as f64 * 1.5;
+                let x2 = ((i * 7) % 23) as f64 - 11.0;
+                vec![1.0, x1, x2]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 + 3.0 * r[1] - 0.8 * r[2] + ((i * 31 % 13) as f64 - 6.0) * 0.3)
+            .collect();
+        (rows, y)
+    }
+
+    fn accumulate(rows: &[Vec<f64>], y: &[f64]) -> GramAccumulator {
+        let mut acc = GramAccumulator::new(rows[0].len());
+        for (r, &v) in rows.iter().zip(y) {
+            acc.add_row(r, v).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn gram_solve_matches_ols_fit() {
+        let (rows, y) = noisy_design(120);
+        let acc = accumulate(&rows, &y);
+        let gram = acc.solve(true).unwrap();
+        let ols = OlsFit::fit(&Matrix::from_rows(&rows).unwrap(), &y, true).unwrap();
+        assert!(gram.solved_by_cholesky);
+        for (a, b) in gram.coefficients.iter().zip(&ols.coefficients) {
+            assert!(close(*a, *b), "{a} vs {b}");
+        }
+        assert!(close(gram.sse, ols.sse), "{} vs {}", gram.sse, ols.sse);
+        assert!(close(gram.sst, ols.sst));
+        assert!(close(gram.r_squared, ols.r_squared));
+        assert!(close(gram.adj_r_squared, ols.adj_r_squared));
+        assert!(close(gram.see, ols.see));
+        assert!(close(gram.f_statistic, ols.f_statistic));
+        assert!(close(gram.f_p_value, ols.f_p_value));
+        for (a, b) in gram.coef_std_errors.iter().zip(&ols.coef_std_errors) {
+            assert!(close(*a, *b), "std err {a} vs {b}");
+        }
+        for (a, b) in gram.t_statistics.iter().zip(&ols.t_statistics) {
+            assert!(close(*a, *b), "t {a} vs {b}");
+        }
+        assert_eq!((gram.n, gram.k), (ols.n, ols.k));
+    }
+
+    #[test]
+    fn no_intercept_solve_matches_ols_fit() {
+        let (rows, y) = noisy_design(60);
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r[1..].to_vec()).collect();
+        let acc = accumulate(&rows, &y);
+        let gram = acc.solve(false).unwrap();
+        let ols = OlsFit::fit(&Matrix::from_rows(&rows).unwrap(), &y, false).unwrap();
+        assert!(close(gram.sst, ols.sst));
+        assert!(close(gram.r_squared, ols.r_squared));
+        assert!(close(gram.adj_r_squared, ols.adj_r_squared));
+    }
+
+    #[test]
+    fn remove_row_is_the_inverse_of_add_row() {
+        let (rows, y) = noisy_design(50);
+        let mut acc = accumulate(&rows, &y);
+        let reference = accumulate(&rows[..49], &y[..49]);
+        acc.remove_row(&rows[49], y[49]).unwrap();
+        assert_eq!(acc.n(), 49);
+        let a = acc.solve(true).unwrap();
+        let b = reference.solve(true).unwrap();
+        for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+            assert!(close(*x, *y));
+        }
+        assert!(close(a.see, b.see));
+    }
+
+    #[test]
+    fn merge_equals_joint_accumulation() {
+        let (rows, y) = noisy_design(80);
+        let left = accumulate(&rows[..30], &y[..30]);
+        let right = accumulate(&rows[30..], &y[30..]);
+        let merged = left.clone() + &right;
+        let joint = accumulate(&rows, &y);
+        assert_eq!(merged.n(), joint.n());
+        let a = merged.solve(true).unwrap();
+        let b = joint.solve(true).unwrap();
+        for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+            assert!(close(*x, *y));
+        }
+        assert!(close(a.r_squared, b.r_squared));
+    }
+
+    #[test]
+    fn subset_matches_reduced_design() {
+        let (rows, y) = noisy_design(70);
+        let acc = accumulate(&rows, &y);
+        let reduced_rows: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], r[2]]).collect();
+        let direct = accumulate(&reduced_rows, &y);
+        let sub = acc.subset(&[0, 2]).unwrap();
+        let a = sub.solve(true).unwrap();
+        let b = direct.solve(true).unwrap();
+        for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+            assert!(close(*x, *y));
+        }
+        assert!(close(a.see, b.see));
+        assert!(acc.subset(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn prefix_range_matches_direct_accumulation() {
+        let (rows, y) = noisy_design(90);
+        let mut prefix = GramPrefix::new(3);
+        for (r, &v) in rows.iter().zip(&y) {
+            prefix.push(r, v).unwrap();
+        }
+        assert_eq!(prefix.len(), 90);
+        let mid = prefix.range(20, 75).unwrap();
+        let direct = accumulate(&rows[20..75], &y[20..75]);
+        assert_eq!(mid.n(), direct.n());
+        let a = mid.solve(true).unwrap();
+        let b = direct.solve(true).unwrap();
+        for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+            assert!(close(*x, *y));
+        }
+        assert!(prefix.range(10, 5).is_err());
+        assert!(prefix.range(0, 91).is_err());
+        assert_eq!(prefix.total().n(), 90);
+    }
+
+    #[test]
+    fn merge_placed_assembles_block_diagonal() {
+        // Two per-state blocks of width 2 placed into a 4-wide general
+        // design: state 0 → columns {0,1}, state 1 → columns {2,3}.
+        let (rows, y) = noisy_design(60);
+        let z: Vec<Vec<f64>> = rows.iter().map(|r| vec![1.0, r[1]]).collect();
+        let b0 = accumulate(&z[..30], &y[..30]);
+        let b1 = accumulate(&z[30..], &y[30..]);
+        let mut pooled = GramAccumulator::new(4);
+        pooled.merge_placed(&b0, &[0, 1]).unwrap();
+        pooled.merge_placed(&b1, &[2, 3]).unwrap();
+        // Reference: rows built the design-matrix way.
+        let mut direct = GramAccumulator::new(4);
+        for (i, (zr, &v)) in z.iter().zip(&y).enumerate() {
+            let row = if i < 30 {
+                vec![zr[0], zr[1], 0.0, 0.0]
+            } else {
+                vec![0.0, 0.0, zr[0], zr[1]]
+            };
+            direct.add_row(&row, v).unwrap();
+        }
+        // xtx/xty accumulate per-block in the same order either way and
+        // match bitwise; yty/sum_y sum in a different grouping, so compare
+        // those at tolerance.
+        assert_eq!(pooled.n(), direct.n());
+        assert_eq!(pooled.xtx(), direct.xtx());
+        assert_eq!(pooled.xty(), direct.xty());
+        assert!(close(pooled.yty(), direct.yty()));
+        assert!(close(pooled.sum_y(), direct.sum_y()));
+        assert!(pooled.merge_placed(&b0, &[0]).is_err());
+        assert!(pooled.merge_placed(&b0, &[0, 7]).is_err());
+    }
+
+    #[test]
+    fn exactly_singular_gram_errors() {
+        // Second column is 2× the first: rank 1.
+        let mut acc = GramAccumulator::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            acc.add_row(&[x, 2.0 * x], x * 3.0).unwrap();
+        }
+        assert_eq!(acc.solve(true).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn qr_fallback_handles_ill_conditioned_systems() {
+        // A Gram matrix whose Schur-complement pivot (1e-5 relative 1e-11
+        // of the max diagonal) sits below the Cholesky tolerance (1e-10
+        // relative) but above the QR back-substitution threshold (1e-12
+        // relative), so the solve must succeed via the fallback.
+        let acc = GramAccumulator::from_parts(
+            2,
+            10,
+            vec![1.0e6, 1.0e3, 1.0e3, 1.0 + 1.0e-5],
+            vec![2.0e6, 2.01e3],
+            4.1e6,
+            4.0e3,
+        )
+        .unwrap();
+        let fit = acc.solve(true).unwrap();
+        assert!(!fit.solved_by_cholesky, "expected the QR fallback");
+        assert!(fit.coefficients.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn insufficient_rows_error_matches_ols() {
+        let mut acc = GramAccumulator::new(3);
+        acc.add_row(&[1.0, 2.0, 3.0], 1.0).unwrap();
+        assert_eq!(
+            acc.solve(true).unwrap_err(),
+            StatsError::InsufficientData { needed: 4, got: 1 }
+        );
+    }
+
+    #[test]
+    fn dimension_errors_are_reported() {
+        let mut acc = GramAccumulator::new(2);
+        assert!(acc.add_row(&[1.0], 1.0).is_err());
+        assert!(acc.remove_row(&[1.0, 2.0], 1.0).is_err()); // empty
+        let other = GramAccumulator::new(3);
+        assert!(acc.merge(&other).is_err());
+        assert!(GramAccumulator::from_parts(2, 1, vec![0.0; 3], vec![0.0; 2], 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let (rows, y) = noisy_design(25);
+        let acc = accumulate(&rows, &y);
+        let back = GramAccumulator::from_parts(
+            acc.k(),
+            acc.n(),
+            acc.xtx().to_vec(),
+            acc.xty().to_vec(),
+            acc.yty(),
+            acc.sum_y(),
+        )
+        .unwrap();
+        assert_eq!(back, acc);
+    }
+
+    #[test]
+    fn predict_checks_width() {
+        let (rows, y) = noisy_design(30);
+        let fit = accumulate(&rows, &y).solve(true).unwrap();
+        assert!(fit.predict(&[1.0, 2.0, 3.0]).is_ok());
+        assert!(fit.predict(&[1.0]).is_err());
+    }
+}

@@ -10,6 +10,7 @@ use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::sampling::SampleGenerator;
 use mdbs_core::states::StateAlgorithm;
 use mdbs_core::variables::VariableFamily;
+use mdbs_core::{GlobalCatalog, ModelRegistry, Observation};
 use mdbs_sim::datagen::standard_database;
 use mdbs_sim::{ContentionProfile, EnvironmentEvent, LoadBuilder, MdbsAgent, VendorProfile};
 
@@ -165,7 +166,111 @@ fn data_growth_alone_does_not_drift() {
     );
 }
 
-/// A site migration — the database moves to a box with much faster disks
+/// Gathers `n` fresh production observations (full Table-3 variable vector,
+/// probing cost and observed cost) ready to be absorbed by a refit.
+fn fresh_observations(agent: &mut MdbsAgent, n: usize, seed: u64) -> Vec<Observation> {
+    let mut generator = SampleGenerator::new(seed);
+    let family = VariableFamily::Unary;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let q = generator.generate(QueryClass::UnaryNoIndex, agent.catalog());
+        let Some(x) = family.extract(agent.catalog(), &q) else {
+            continue;
+        };
+        agent.tick();
+        let probe = agent.probe();
+        let cost = agent.run(&q).expect("query runs").cost_s;
+        out.push(Observation {
+            x,
+            cost,
+            probe_cost: probe,
+        });
+    }
+    out
+}
+
+/// The cheap maintenance path: fold fresh observations into the stored
+/// sufficient statistics, re-solve in O(k³), publish a new registry
+/// snapshot — no re-sampling, no state re-determination.
+#[test]
+fn incremental_refit_absorbs_traffic_and_publishes() {
+    let mut agent = dynamic_agent(71);
+    let mut m = maintainer(&mut agent);
+    let before = m.derived.model.clone();
+    let n_before = m.accumulator().n();
+    assert_eq!(n_before, m.derived.observations.len());
+
+    // Seed the registry with the production model and note its version.
+    let registry = ModelRegistry::new();
+    let site = mdbs_core::catalog::SiteId::from("site-1");
+    let v0 = registry.publish(site.clone(), m.class(), before.clone());
+
+    // Dirty the drift window, then refit incrementally.
+    for _ in 0..30 {
+        m.observe(10.0, 100.0, &mut PipelineCtx::default());
+    }
+    let fresh = fresh_observations(&mut agent, 40, 72);
+    m.refit_incremental(&site, &fresh, Some(&registry), &mut PipelineCtx::default())
+        .expect("incremental refit succeeds");
+
+    assert_eq!(m.incremental_refits, 1);
+    assert_eq!(m.rederivations, 0, "no full re-derivation ran");
+    assert_eq!(m.accumulator().n(), n_before + fresh.len());
+    assert_eq!(m.derived.observations.len(), n_before + fresh.len());
+    assert_eq!(m.monitor.observations(), 0, "drift window cleared");
+    // Shape is preserved; only the coefficients/fit were re-solved.
+    assert_eq!(m.derived.model.form, before.form);
+    assert_eq!(m.derived.model.states, before.states);
+    assert_eq!(m.derived.model.var_indexes, before.var_indexes);
+    assert_eq!(m.derived.model.fit.n, n_before + fresh.len());
+    // A new snapshot version was published for concurrent estimators.
+    let snap = registry.get(&site, m.class()).expect("model registered");
+    assert!(snap.version > v0, "publish did not bump the version");
+    assert_eq!(snap.model, m.derived.model);
+}
+
+/// The accumulator survives the catalog text format: persist `gram-entry`
+/// blocks, restore into a fresh maintainer, and continue incremental
+/// refits from the exact same statistics.
+#[test]
+fn incremental_refit_resumes_from_persisted_accumulator() {
+    let mut agent = dynamic_agent(73);
+    let mut m = maintainer(&mut agent);
+    let site = mdbs_core::catalog::SiteId::from("site-1");
+
+    // Persist model + accumulator, round-trip through text.
+    let mut catalog = GlobalCatalog::new();
+    catalog.insert_model(site.clone(), m.class(), m.derived.model.clone());
+    catalog.insert_accumulator(site.clone(), m.class(), m.accumulator().clone());
+    let restored = GlobalCatalog::import(&catalog.export()).expect("catalog round-trips");
+    let acc = restored
+        .accumulator(&site, m.class())
+        .expect("gram-entry restored")
+        .clone();
+    assert_eq!(&acc, m.accumulator(), "text format is bit-exact");
+
+    // Restore into the maintainer and continue refitting from it.
+    m.restore_accumulator(acc)
+        .expect("accumulator matches model");
+    let fresh = fresh_observations(&mut agent, 30, 74);
+    m.refit_incremental(&site, &fresh, None, &mut PipelineCtx::default())
+        .expect("refit from restored statistics");
+    assert_eq!(m.incremental_refits, 1);
+
+    // A mismatched accumulator (different variable set) is rejected.
+    let wrong = mdbs_core::ModelAccumulator::from_parts(
+        m.derived.model.form,
+        m.derived.model.states.clone(),
+        vec![],
+        vec![],
+        vec![mdbs_stats::GramAccumulator::new(1); m.derived.model.states.len()],
+    )
+    .expect("well-formed accumulator");
+    assert!(
+        m.restore_accumulator(wrong).is_err(),
+        "shape mismatch accepted"
+    );
+}
 /// *and* gets physically reorganized (tables re-clustered on the hot
 /// predicate column a2) — re-routes the *existing* production workload
 /// from sequential scans to clustered-index scans on cheap storage. The
