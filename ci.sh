@@ -77,4 +77,42 @@ cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-2.txt"
 cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-8.txt"
 rm -rf "$PAR_DIR"
 
+echo "==> serve --loop --jobs 1/2/8 -> byte-identical report + stripped telemetry"
+SERVE_DIR="${TMPDIR:-/tmp}/mdbs-ci-serve.$$"
+mkdir -p "$SERVE_DIR"
+./target/release/mdbs-qcost derive --site oracle --class g1 --seed 7 \
+  --out "$SERVE_DIR/catalog.txt" > /dev/null
+for j in 1 2 8; do
+  # Once without telemetry: reports must be byte-identical. Once with:
+  # after strip-telemetry removes wall_ms and pool.sched.* scheduling
+  # metrics, the JSONL streams must be byte-identical too.
+  ./target/release/mdbs-qcost serve --loop --catalog "$SERVE_DIR/catalog.txt" \
+    --trace examples/serve_loop.trace --queue 4 --batch 2 --batch-delay 0.05 \
+    --service-cost 0.2 --deadline 0.5 --refit 20 --drift-window 20 \
+    --drift-min 8 --drift-fraction 0.65 --seed 7 --jobs "$j" \
+    > "$SERVE_DIR/out-$j.txt"
+  ./target/release/mdbs-qcost serve --loop --catalog "$SERVE_DIR/catalog.txt" \
+    --trace examples/serve_loop.trace --queue 4 --batch 2 --batch-delay 0.05 \
+    --service-cost 0.2 --deadline 0.5 --refit 20 --drift-window 20 \
+    --drift-min 8 --drift-fraction 0.65 --seed 7 --jobs "$j" \
+    --telemetry "$SERVE_DIR/tel.jsonl" > /dev/null
+  ./target/release/strip-telemetry "$SERVE_DIR/tel.jsonl" > "$SERVE_DIR/tel-$j.txt"
+done
+cmp "$SERVE_DIR/out-1.txt" "$SERVE_DIR/out-2.txt"
+cmp "$SERVE_DIR/out-1.txt" "$SERVE_DIR/out-8.txt"
+cmp "$SERVE_DIR/tel-1.txt" "$SERVE_DIR/tel-2.txt"
+cmp "$SERVE_DIR/tel-1.txt" "$SERVE_DIR/tel-8.txt"
+# The committed trace must exercise both online-maintenance paths while
+# still answering requests.
+grep -q "incremental refit" "$SERVE_DIR/out-1.txt"
+grep -q "rederived" "$SERVE_DIR/out-1.txt"
+grep -q "answered" "$SERVE_DIR/out-1.txt"
+rm -rf "$SERVE_DIR"
+
+echo "==> bench --json smoke (serve_loop virtual metrics)"
+SERVE_BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-serve-bench.$$.json"
+cargo bench -q --offline --bench serve_loop -- virtual --json "$SERVE_BENCH_JSON" > /dev/null
+./target/release/bench-json-check "$SERVE_BENCH_JSON"
+rm -f "$SERVE_BENCH_JSON"
+
 echo "==> ci.sh: all checks passed"

@@ -150,6 +150,35 @@ impl Harness {
         self.results.push(m);
     }
 
+    /// Records a measurement computed outside the wall-clock timer — e.g.
+    /// virtual-time latency percentiles from a deterministic replay, where
+    /// the "duration" is simulated rather than measured. `iters` is the
+    /// number of underlying samples the caller aggregated; the harness
+    /// prints and reports it exactly like a timed measurement.
+    pub fn record(&mut self, name: &str, iters: usize, median_ns: u128, p95_ns: u128) {
+        assert!(iters > 0, "need at least one underlying sample");
+        if !self.selected(name) {
+            return;
+        }
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            median_ns,
+            p95_ns,
+            min_ns: median_ns.min(p95_ns),
+            mean_ns: median_ns,
+        };
+        println!(
+            "{:<38} {:>8} {:>12} {:>12} {:>12}",
+            m.name,
+            m.iters,
+            format_ns(m.median_ns),
+            format_ns(m.p95_ns),
+            format_ns(m.min_ns),
+        );
+        self.results.push(m);
+    }
+
     /// The measurements recorded so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
@@ -245,6 +274,22 @@ mod tests {
         assert!(r.get("p95_ns").and_then(Json::as_i64).is_some());
         // The rendered report parses back.
         mdbs_obs::json::parse(&j.render()).expect("valid JSON");
+    }
+
+    #[test]
+    fn injected_measurements_report_like_timed_ones() {
+        let mut h = Harness::with_filters("test", vec![]);
+        h.record("virtual/latency", 40, 1_000_000, 5_000_000);
+        let m = &h.results()[0];
+        assert_eq!((m.iters, m.median_ns, m.p95_ns), (40, 1_000_000, 5_000_000));
+        let j = h.to_json();
+        // Injected rows satisfy the same JSON contract bench-json-check
+        // enforces on timed rows.
+        let r = match j.get("results") {
+            Some(Json::Arr(v)) => &v[0],
+            other => panic!("results should be an array, got {other:?}"),
+        };
+        assert_eq!(r.get("median_ns").and_then(Json::as_i64), Some(1_000_000));
     }
 
     #[test]

@@ -3,11 +3,14 @@
 
 use crate::args::{Args, ArgsError};
 use crate::site::{parse_profile, site_agent, SiteName};
-use mdbs_core::catalog::GlobalCatalog;
+use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::{classify, QueryClass};
 use mdbs_core::derive::{derive_all, derive_cost_model, BatchConfig, DerivationConfig, DeriveJob};
+use mdbs_core::maintenance::MaintenanceConfig;
+use mdbs_core::model::ModelAccumulator;
 use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::registry::ModelRegistry;
+use mdbs_core::server::{fleet_from_catalog, EstimationServer, RequestTrace, ServeConfig};
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_obs::{JsonlFileSink, Telemetry};
 use mdbs_sim::sql::parse_query;
@@ -125,6 +128,12 @@ USAGE:
   mdbs-qcost serve    --catalog catalog.txt --queries queries.txt
                       [--jobs N] [--profile uniform:20:125] [--seed N]
                       [--telemetry events.jsonl]
+  mdbs-qcost serve    --loop --catalog catalog.txt --trace trace.txt
+                      [--queue N] [--batch N] [--batch-delay S]
+                      [--service-cost S] [--deadline S] [--refit N]
+                      [--drift-window N] [--drift-min N] [--drift-fraction F]
+                      [--algorithm iupma|icma] [--jobs N]
+                      [--profile ...] [--seed N] [--telemetry events.jsonl]
   mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
                       [--telemetry events.jsonl]
   mdbs-qcost catalog  --file catalog.txt
@@ -142,7 +151,21 @@ one site/class pair (or an explicit `--jobs N`) derives the whole batch on
 a worker pool. The derived catalog is byte-identical for every `--jobs`
 value. `serve` answers a file of queries (one `site SQL...` per line,
 `#` comments and blank lines skipped) from the catalog's in-memory model
-registry, again on `--jobs` workers with order-independent output.
+registry, again on `--jobs` workers with order-independent output; a
+malformed line fails inline while the rest keep being served (nonzero
+exit only when no line succeeds).
+
+`serve --loop` replays a timestamped trace (`@TIME request|observe|degrade
+SITE ...` per line) through a long-lived estimation server: requests enter
+a bounded admission queue (capacity `--queue`), drain in micro-batches of
+up to `--batch` onto the worker pool against immutable registry snapshots,
+and `observe` lines feed the drift monitors — enough evidence triggers an
+incremental refit (every `--refit` observations) or a full rederivation
+(when the good-estimate fraction over the `--drift-window` falls below
+`--drift-fraction`, default 0.5), republished without blocking readers. Queued requests older than
+`--deadline` and arrivals beyond the queue capacity are shed. The loop
+runs in virtual time: the report and stripped telemetry are byte-identical
+for every `--jobs` value.
 
 `--telemetry PATH` writes structured spans and metrics as JSONL to PATH
 and appends a human-readable summary to the report. All telemetry except
@@ -254,6 +277,13 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
 
         let mut catalog = load_catalog(&out_path)?;
         catalog.insert_model(site.id().into(), class, derived.model.clone());
+        // Persist the fit's sufficient statistics too, so a later
+        // `serve --loop` resumes incremental refits from the full sample.
+        catalog.insert_accumulator(
+            site.id().into(),
+            class,
+            ModelAccumulator::from_observations(&derived.model, &derived.observations),
+        );
         if let Some(est) = &derived.probe_estimator {
             catalog.insert_probe_estimator(site.id().into(), est.clone());
         }
@@ -335,6 +365,11 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
                     outcome.job.site.clone(),
                     outcome.job.class,
                     derived.model.clone(),
+                );
+                catalog.insert_accumulator(
+                    outcome.job.site.clone(),
+                    outcome.job.class,
+                    ModelAccumulator::from_observations(&derived.model, &derived.observations),
                 );
                 if let Some(est) = &derived.probe_estimator {
                     catalog.insert_probe_estimator(outcome.job.site.clone(), est.clone());
@@ -468,8 +503,49 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
     check_keys(
         args,
-        &["catalog", "queries", "jobs", "profile", "seed", "telemetry"],
+        &[
+            "catalog",
+            "queries",
+            "jobs",
+            "profile",
+            "seed",
+            "telemetry",
+            "loop",
+            "trace",
+            "queue",
+            "batch",
+            "batch-delay",
+            "service-cost",
+            "deadline",
+            "refit",
+            "drift-window",
+            "drift-min",
+            "drift-fraction",
+            "algorithm",
+        ],
     )?;
+    if args.flag("loop") {
+        return cmd_serve_loop(args);
+    }
+    for key in [
+        "trace",
+        "queue",
+        "batch",
+        "batch-delay",
+        "service-cost",
+        "deadline",
+        "refit",
+        "drift-window",
+        "drift-min",
+        "drift-fraction",
+        "algorithm",
+    ] {
+        if args.parse_opt::<String>(key)?.is_some() {
+            return Err(CliError::Invalid(format!(
+                "`--{key}` only applies to `serve --loop`"
+            )));
+        }
+    }
     let catalog_path = args.required("catalog")?;
     let queries_path = args.required("queries")?;
     let jobs = args.parse_opt::<usize>("jobs")?;
@@ -484,6 +560,18 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let queries = std::fs::read_to_string(queries_path)
         .map_err(io_err(format!("cannot read `{queries_path}`")))?;
 
+    // The span covers the whole serve — parse, dispatch and aggregation —
+    // not just the post-pool bookkeeping.
+    let mut tel = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let span = tel.begin_span("serve");
+
+    // A malformed line is that line's problem, not the batch's: it becomes
+    // an inline failure row while every other line keeps being served.
+    let mut rows: Vec<(usize, Option<bool>, String)> = Vec::new();
     let mut work: Vec<(usize, SiteName, String)> = Vec::new();
     for (i, raw) in queries.lines().enumerate() {
         let line = raw.trim();
@@ -491,74 +579,218 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             continue;
         }
         let lineno = i + 1;
-        let (site_word, sql) = line.split_once(char::is_whitespace).ok_or_else(|| {
-            CliError::Invalid(format!("{queries_path}:{lineno}: expected `SITE SQL...`"))
-        })?;
-        let site = SiteName::parse(site_word)
-            .map_err(|e| CliError::Invalid(format!("{queries_path}:{lineno}: {e}")))?;
-        work.push((lineno, site, sql.trim().to_string()));
-    }
-    let total = work.len();
-    let workers = mdbs_core::pool::effective_workers(jobs, total);
-    let (answers, report) = mdbs_core::pool::run_jobs(work, workers, |_, (lineno, site, sql)| {
-        let mut agent = site_agent(site, &profile, split_stream(seed, lineno as u64));
-        let schema = agent.catalog().clone();
-        let query =
-            parse_query(&schema, &sql).map_err(|e| format!("{queries_path}:{lineno}: {e}"))?;
-        let class = classify(&schema, &query)
-            .ok_or_else(|| format!("{queries_path}:{lineno}: query cannot be classified"))?;
-        agent.tick();
-        let probe = agent.probe();
-        match registry.estimate_local_cost(&site.id().into(), &schema, &query, probe) {
-            Some(estimate) => Ok((
-                true,
-                format!(
-                    "  {lineno:>3} {} {}: probe {probe:.3}s -> estimate {estimate:.2}s\n",
-                    site.id(),
-                    class.label()
-                ),
-            )),
-            None => Ok((
-                false,
-                format!(
-                    "  {lineno:>3} {} {}: no model in catalog (derive --site {} --class {})\n",
-                    site.id(),
-                    class.label(),
-                    site.id(),
-                    class_tag(class)
-                ),
-            )),
+        let Some((site_word, sql)) = line.split_once(char::is_whitespace) else {
+            let msg = format!("{queries_path}:{lineno}: expected `SITE SQL...`");
+            rows.push((lineno, None, format!("  {lineno:>3} ERROR: {msg}\n")));
+            continue;
+        };
+        match SiteName::parse(site_word) {
+            Ok(site) => work.push((lineno, site, sql.trim().to_string())),
+            Err(e) => {
+                let msg = format!("{queries_path}:{lineno}: {e}");
+                rows.push((lineno, None, format!("  {lineno:>3} ERROR: {msg}\n")));
+            }
         }
+    }
+    let total = work.len() + rows.len();
+    let workers = mdbs_core::pool::effective_workers(jobs, work.len());
+    let (answers, report) = mdbs_core::pool::run_jobs(work, workers, |_, (lineno, site, sql)| {
+        let answer = serve_query_line(&registry, &profile, queries_path, lineno, site, &sql, seed);
+        (lineno, answer)
     });
 
-    let mut tel = if telemetry_path.is_some() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
-    let span = tel.begin_span("serve");
-    let mut lines = String::new();
     let mut answered = 0usize;
-    for answer in answers {
-        let (hit, line): (bool, String) = answer.map_err(CliError::Invalid)?;
-        answered += usize::from(hit);
-        lines.push_str(&line);
+    let mut served = 0usize;
+    for (lineno, answer) in answers {
+        match answer {
+            Ok((hit, line)) => {
+                served += 1;
+                answered += usize::from(hit);
+                rows.push((lineno, Some(hit), line));
+            }
+            Err(msg) => rows.push((lineno, None, format!("  {lineno:>3} ERROR: {msg}\n"))),
+        }
     }
+    rows.sort_by_key(|&(lineno, _, _)| lineno);
+    let failed = total - served;
+
     tel.field(span, "queries", total as u64);
     tel.field(span, "answered", answered as u64);
+    tel.field(span, "failed", failed as u64);
     tel.inc("pool.jobs_completed", report.jobs_completed as u64);
     tel.inc("pool.sched.steals", report.steals);
     tel.gauge("pool.sched.workers", report.workers as f64);
     registry.fold_metrics(&mut tel);
     tel.end_span(span);
 
+    if total > 0 && served == 0 {
+        // Only a batch with *no* serviceable line is a hard failure.
+        let details: String = rows.into_iter().map(|(_, _, line)| line).collect();
+        return Err(CliError::Invalid(format!(
+            "serve: all {total} quer(y/ies) failed:\n{details}"
+        )));
+    }
+
     let mut out = format!(
         "serve: {answered} of {total} quer(ies) answered from {catalog_path} ({} model(s))\n",
         registry.len()
     );
-    out.push_str(&lines);
+    if failed > 0 {
+        out.push_str(&format!("  {failed} line(s) failed (reported inline)\n"));
+    }
+    for (_, _, line) in rows {
+        out.push_str(&line);
+    }
     if let Some(path) = &telemetry_path {
         out.push_str(&telemetry_section(&tel, None, path)?);
+    }
+    Ok(out)
+}
+
+/// Prices one `SITE SQL...` line against the registry (the batch `serve`
+/// worker body). `Ok((hit, row))` serves the line — `hit` false means "no
+/// model in catalog"; `Err` is a per-line failure message.
+fn serve_query_line(
+    registry: &ModelRegistry,
+    profile: &mdbs_sim::ContentionProfile,
+    queries_path: &str,
+    lineno: usize,
+    site: SiteName,
+    sql: &str,
+    seed: u64,
+) -> Result<(bool, String), String> {
+    let mut agent = site_agent(site, profile, split_stream(seed, lineno as u64));
+    let schema = agent.catalog().clone();
+    let query = parse_query(&schema, sql).map_err(|e| format!("{queries_path}:{lineno}: {e}"))?;
+    let class = classify(&schema, &query)
+        .ok_or_else(|| format!("{queries_path}:{lineno}: query cannot be classified"))?;
+    agent.tick();
+    let probe = agent.probe();
+    match registry.estimate_local_cost(&site.id().into(), &schema, &query, probe) {
+        Some(estimate) => Ok((
+            true,
+            format!(
+                "  {lineno:>3} {} {}: probe {probe:.3}s -> estimate {estimate:.2}s\n",
+                site.id(),
+                class.label()
+            ),
+        )),
+        None => Ok((
+            false,
+            format!(
+                "  {lineno:>3} {} {}: no model in catalog (derive --site {} --class {})\n",
+                site.id(),
+                class.label(),
+                site.id(),
+                class_tag(class)
+            ),
+        )),
+    }
+}
+
+/// The long-lived serving loop: replays a timestamped request/observation
+/// trace through [`EstimationServer`] — micro-batched estimation over
+/// registry snapshots with background maintenance (incremental refits and
+/// drift-triggered rederivations) and deterministic backpressure, all in
+/// virtual time. Output is byte-identical for every `--jobs` value.
+fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
+    let catalog_path = args.required("catalog")?;
+    let trace_path = args.required("trace")?;
+    let jobs = args.parse_opt::<usize>("jobs")?;
+    let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
+    let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
+    let telemetry_path = args.parse_opt::<String>("telemetry")?;
+    let algorithm = parse_algorithm(args.or_default("algorithm", "iupma"))?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        queue_capacity: args
+            .parse_opt::<usize>("queue")?
+            .unwrap_or(defaults.queue_capacity),
+        batch_max: args
+            .parse_opt::<usize>("batch")?
+            .unwrap_or(defaults.batch_max),
+        batch_delay_s: args
+            .parse_opt::<f64>("batch-delay")?
+            .unwrap_or(defaults.batch_delay_s),
+        service_cost_s: args
+            .parse_opt::<f64>("service-cost")?
+            .unwrap_or(defaults.service_cost_s),
+        deadline_s: args
+            .parse_opt::<f64>("deadline")?
+            .unwrap_or(defaults.deadline_s),
+        refit_threshold: args
+            .parse_opt::<usize>("refit")?
+            .unwrap_or(defaults.refit_threshold),
+        workers: jobs,
+    };
+    let maintenance_defaults = MaintenanceConfig::default();
+    let maintenance = MaintenanceConfig {
+        window: args
+            .parse_opt::<usize>("drift-window")?
+            .unwrap_or(maintenance_defaults.window),
+        min_observations: args
+            .parse_opt::<usize>("drift-min")?
+            .unwrap_or(maintenance_defaults.min_observations),
+        min_good_fraction: args
+            .parse_opt::<f64>("drift-fraction")?
+            .unwrap_or(maintenance_defaults.min_good_fraction),
+    }
+    .validated();
+
+    let text = std::fs::read_to_string(catalog_path)
+        .map_err(io_err(format!("cannot read `{catalog_path}`")))?;
+    let catalog = GlobalCatalog::import(&text)?;
+    let registry = ModelRegistry::from_catalog(&catalog);
+    // Maintainers only for sites the CLI can build agents for; rederivation
+    // needs to re-run the sampling pipeline against the live site.
+    let fleet = fleet_from_catalog(
+        &catalog,
+        maintenance,
+        DerivationConfig::quick(),
+        algorithm,
+        |site| SiteName::parse(&site.0).is_ok(),
+    )?;
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(io_err(format!("cannot read `{trace_path}`")))?;
+    let trace = RequestTrace::parse(&trace_text);
+    if trace.is_empty() && !trace.errors.is_empty() {
+        let details: String = trace
+            .errors
+            .iter()
+            .map(|(lineno, msg)| format!("  {trace_path}:{lineno}: {msg}\n"))
+            .collect();
+        return Err(CliError::Invalid(format!(
+            "serve --loop: no well-formed trace line in {trace_path}:\n{details}"
+        )));
+    }
+
+    let mut ctx = if telemetry_path.is_some() {
+        PipelineCtx::traced(seed)
+    } else {
+        PipelineCtx::seeded(seed)
+    };
+    let mut server = EstimationServer::new(registry, fleet, config);
+    let report = server.run(
+        &trace,
+        |site: &SiteId, agent_seed: u64| {
+            SiteName::parse(&site.0)
+                .ok()
+                .map(|s| site_agent(s, &profile, agent_seed))
+        },
+        &mut ctx,
+    );
+
+    let mut out = format!(
+        "serve --loop: trace {trace_path} against {catalog_path} ({} maintained model(s))\n",
+        server.fleet().len()
+    );
+    out.push_str(&report.rendered);
+    out.push_str(&format!(
+        "throughput: {:.2} answered/virtual-s\n",
+        report.throughput_per_virtual_s()
+    ));
+    if let Some(path) = &telemetry_path {
+        out.push_str(&telemetry_section(&ctx.telemetry, None, path)?);
     }
     Ok(out)
 }
@@ -911,6 +1143,49 @@ mod tests {
         )))
         .unwrap();
         assert_eq!(out, serial, "serve output must not depend on worker count");
+    }
+
+    #[test]
+    fn serve_keeps_serving_good_lines_when_some_are_bad() {
+        // Regression: one malformed line used to discard the whole batch
+        // after the pool had already computed every answer.
+        let cat = tmp("serve-mixed-catalog.txt");
+        let _ = std::fs::remove_file(&cat);
+        dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 --out {cat}"
+        )))
+        .unwrap();
+        let qf = tmp("serve-mixed-queries.txt");
+        std::fs::write(
+            &qf,
+            "oracle select a1 from R2 where a2 < 100\n\
+             oracle select bogus syntax here\n\
+             teradata select a1 from R2 where a2 < 100\n\
+             oracle select a1, a5 from R8 where a5 > 100 and a6 < 500\n",
+        )
+        .unwrap();
+        let out = dispatch(&argv(&format!(
+            "serve --catalog {cat} --queries {qf} --jobs 2"
+        )))
+        .unwrap();
+        assert!(out.contains("2 of 4 quer(ies) answered"), "{out}");
+        assert!(out.contains("2 line(s) failed"), "{out}");
+        assert!(out.contains(&format!("{qf}:2")), "bad SQL located:\n{out}");
+        assert!(out.contains("unknown site"), "{out}");
+        // Failure rows stay inline, in line-number order with the answers.
+        let l1 = out.find("  1 oracle").expect("line 1 answered");
+        let l2 = out.find("  2 ERROR").expect("line 2 failed inline");
+        let l3 = out.find("  3 ERROR").expect("line 3 failed inline");
+        let l4 = out.find("  4 oracle").expect("line 4 answered");
+        assert!(
+            l1 < l2 && l2 < l3 && l3 < l4,
+            "rows keep input order:\n{out}"
+        );
+        let serial = dispatch(&argv(&format!(
+            "serve --catalog {cat} --queries {qf} --jobs 1"
+        )))
+        .unwrap();
+        assert_eq!(out, serial, "mixed output must not depend on worker count");
     }
 
     #[test]

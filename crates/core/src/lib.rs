@@ -73,6 +73,7 @@ pub mod qualvar;
 pub mod registry;
 pub mod sampling;
 pub mod selection;
+pub mod server;
 pub mod states;
 pub mod validate;
 pub mod variables;
@@ -89,6 +90,7 @@ pub use observation::Observation;
 pub use pipeline::PipelineCtx;
 pub use qualvar::StateSet;
 pub use registry::{ModelRegistry, RegisteredModel};
+pub use server::{EstimationServer, RequestTrace, ServeConfig, ServeReport, TraceEvent};
 pub use states::StateAlgorithm;
 
 /// Errors produced by the cost-model derivation machinery.

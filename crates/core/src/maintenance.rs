@@ -59,6 +59,26 @@ impl Default for MaintenanceConfig {
     }
 }
 
+impl MaintenanceConfig {
+    /// Returns a config whose fields are mutually consistent.
+    ///
+    /// [`DriftMonitor::record`] caps the evidence deque at `window`, so a
+    /// `min_observations` above `window` is a gate that can never be
+    /// satisfied: the monitor would silently never declare drift, no matter
+    /// how bad the estimates. This clamps `min_observations` into
+    /// `1..=window` (and `window` itself to at least 1,
+    /// `min_good_fraction` into `[0, 1]`) so every configuration the
+    /// monitor actually runs with can reach its gate.
+    pub fn validated(self) -> Self {
+        let window = self.window.max(1);
+        MaintenanceConfig {
+            window,
+            min_observations: self.min_observations.clamp(1, window),
+            min_good_fraction: self.min_good_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
 /// Sliding-window drift detection over estimate quality.
 #[derive(Debug, Clone)]
 pub struct DriftMonitor {
@@ -67,8 +87,12 @@ pub struct DriftMonitor {
 }
 
 impl DriftMonitor {
-    /// A monitor with the given configuration.
+    /// A monitor with the given configuration. The config is passed through
+    /// [`MaintenanceConfig::validated`] first, so a `min_observations` above
+    /// `window` — a gate the sliding window could never satisfy — is clamped
+    /// instead of making drift silently undetectable forever.
     pub fn new(config: MaintenanceConfig) -> Self {
+        let config = config.validated();
         DriftMonitor {
             recent: VecDeque::with_capacity(config.window),
             config,
@@ -169,6 +193,43 @@ impl ModelMaintainer {
             incremental_refits: 0,
             accumulator,
         }
+    }
+
+    /// Wraps a model restored from a catalog — the long-lived serving loop
+    /// starts from persisted models, not a fresh [`DerivedModel`].
+    ///
+    /// When the catalog also persisted the model's fit accumulator
+    /// (`gram-entry` blocks), pass it so incremental refits resume from the
+    /// full fitting sample; otherwise the accumulator starts empty and
+    /// warms up from production observations (early
+    /// [`ModelMaintainer::refit_incremental`] calls may fail with
+    /// insufficient per-state evidence until it has absorbed enough — the
+    /// serving loop treats that as "defer", not as fatal). Errors when a
+    /// provided accumulator does not describe the model's state partition
+    /// and variable set.
+    pub fn from_model(
+        class: QueryClass,
+        model: crate::model::CostModel,
+        accumulator: Option<ModelAccumulator>,
+        maintenance: MaintenanceConfig,
+        derivation: DerivationConfig,
+        algorithm: StateAlgorithm,
+    ) -> Result<Self, CoreError> {
+        let derived = DerivedModel {
+            class,
+            one_state: model.clone(),
+            model,
+            history: Vec::new(),
+            merges: 0,
+            observations: Vec::new(),
+            probe_estimator: None,
+            avg_sample_cost: 0.0,
+        };
+        let mut maintainer = ModelMaintainer::new(derived, maintenance, derivation, algorithm);
+        if let Some(acc) = accumulator {
+            maintainer.restore_accumulator(acc)?;
+        }
+        Ok(maintainer)
     }
 
     /// The sufficient statistics backing incremental refits (persisted in
@@ -537,9 +598,11 @@ mod tests {
     }
 
     #[test]
-    fn window_shorter_than_min_observations_never_drifts() {
-        // The window caps the evidence below the minimum: the gate can
-        // never be satisfied, no matter how bad the estimates.
+    fn min_observations_above_window_is_clamped_so_drift_stays_detectable() {
+        // Regression: the window caps the evidence deque, so a
+        // min_observations above it used to make the gate unsatisfiable —
+        // drift was silently undetectable forever. The monitor now clamps
+        // the gate to the window.
         let mut m = DriftMonitor::new(MaintenanceConfig {
             window: 10,
             min_observations: 20,
@@ -550,7 +613,38 @@ mod tests {
         }
         assert_eq!(m.observations(), 10);
         assert_eq!(m.good_fraction(), 0.0);
-        assert!(!m.drifted(), "window (10) < min_observations (20)");
+        assert!(
+            m.drifted(),
+            "a full window of bad estimates must declare drift even when \
+             min_observations was configured above the window"
+        );
+    }
+
+    #[test]
+    fn validated_clamps_degenerate_configs() {
+        let v = MaintenanceConfig {
+            window: 10,
+            min_observations: 20,
+            min_good_fraction: 1.5,
+        }
+        .validated();
+        assert_eq!(v.window, 10);
+        assert_eq!(v.min_observations, 10);
+        assert_eq!(v.min_good_fraction, 1.0);
+
+        let v = MaintenanceConfig {
+            window: 0,
+            min_observations: 0,
+            min_good_fraction: -0.5,
+        }
+        .validated();
+        assert_eq!(v.window, 1);
+        assert_eq!(v.min_observations, 1);
+        assert_eq!(v.min_good_fraction, 0.0);
+
+        // A sane config passes through untouched.
+        let sane = MaintenanceConfig::default();
+        assert_eq!(sane.clone().validated(), sane);
     }
 
     #[test]

@@ -152,13 +152,30 @@ impl ModelRegistry {
         query: &Query,
         probe_cost: f64,
     ) -> Option<f64> {
+        self.estimate_with_version(site, local_schema, query, probe_cost)
+            .map(|(estimate, _)| estimate)
+    }
+
+    /// Like [`ModelRegistry::estimate_local_cost`], but also reports the
+    /// version of the snapshot the estimate came from. The whole estimate is
+    /// computed against one `Arc` snapshot, so the pair is always coherent —
+    /// a serving loop can tag each answer with the model version it used and
+    /// a reader can assert that the versions it observes never regress while
+    /// maintenance republishes underneath it.
+    pub fn estimate_with_version(
+        &self,
+        site: &SiteId,
+        local_schema: &LocalCatalog,
+        query: &Query,
+        probe_cost: f64,
+    ) -> Option<(f64, u64)> {
         let class = classify(local_schema, query)?;
         let snapshot = self.get(site, class)?;
         let family: VariableFamily = class.family();
         let x = family.extract(local_schema, query)?;
         let model = &snapshot.model;
         let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
-        Some(model.estimate(&x_sel, probe_cost))
+        Some((model.estimate(&x_sel, probe_cost), snapshot.version))
     }
 
     /// Loads every model of a [`GlobalCatalog`] into the registry,

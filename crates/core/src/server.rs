@@ -1,0 +1,1030 @@
+//! A long-lived estimation server over [`ModelRegistry`] snapshots.
+//!
+//! The paper's premise is a *dynamic* multidatabase environment: contention
+//! shifts under live traffic and the cost models must be revised while
+//! estimates keep flowing. The one-shot `serve` batch answers a file and
+//! exits; this module is the persistent version (ROADMAP item 1):
+//!
+//! * an **admission queue + micro-batching front-end** — estimation
+//!   requests enter a bounded queue and are drained in small batches onto
+//!   the scoped-thread [`pool`], each request priced against an immutable
+//!   [`ModelRegistry`] `Arc` snapshot, so serving never blocks behind
+//!   maintenance;
+//! * a **background maintenance loop** — observed execution costs are
+//!   folded through [`ModelMaintainer::observe`]; enough fresh evidence
+//!   triggers [`ModelMaintainer::refit_incremental`] (O(k³), no rescan) and
+//!   a tripped drift monitor triggers [`rederive_drifted`] on the pool —
+//!   either way the fresh model is *published* as a new registry snapshot
+//!   and readers switch over atomically;
+//! * explicit **backpressure** — the queue is bounded (arrivals beyond
+//!   capacity are shed deterministically) and queued requests past their
+//!   deadline are shed at dispatch time; queue depth and shed counts are
+//!   first-class telemetry.
+//!
+//! ## Virtual time
+//!
+//! The loop runs on a deterministic virtual-time driver: every request,
+//! observation and environment change arrives as a timestamped line of a
+//! [`RequestTrace`], and all queueing/batching/shedding decisions are pure
+//! functions of those timestamps and the [`ServeConfig`] — no wall clock on
+//! any decision path (per the `mdbs-lint` policy). A scripted trace
+//! therefore replays **byte-identically at any worker count**: batches go
+//! to the pool, but the pool returns results in job order and every
+//! per-line agent is seeded by `split_stream(seed, lineno)`. Latency is
+//! measured in virtual seconds (completion minus arrival), which makes tail
+//! latency itself reproducible.
+//!
+//! Service is modelled as a serial backend: a dispatched batch occupies the
+//! server for `service_cost_s × batch_len` virtual seconds, during which
+//! arrivals keep queueing (and can overflow). This is what produces real
+//! backpressure dynamics — bursts fill the queue, the shed policy kicks in,
+//! and the depth/latency histograms record it — while staying replayable.
+
+use crate::catalog::SiteId;
+use crate::classes::{classify, QueryClass};
+use crate::maintenance::{rederive_drifted, ModelMaintainer};
+use crate::observation::Observation;
+use crate::pipeline::PipelineCtx;
+use crate::pool;
+use crate::registry::ModelRegistry;
+use crate::validate::TestPoint;
+use crate::variables::VariableFamily;
+use mdbs_sim::events::EnvironmentEvent;
+use mdbs_sim::sql::parse_query;
+use mdbs_sim::MdbsAgent;
+use mdbs_stats::rng::split_stream;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Knobs of the serving loop. All times are virtual seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity; arrivals beyond it are shed (queue-full).
+    pub queue_capacity: usize,
+    /// Largest micro-batch dispatched to the pool at once.
+    pub batch_max: usize,
+    /// How long a non-full batch waits for more arrivals before dispatch.
+    pub batch_delay_s: f64,
+    /// Virtual service cost per request (a batch of n occupies the server
+    /// for `n × service_cost_s`).
+    pub service_cost_s: f64,
+    /// Requests queued longer than this are shed at dispatch time.
+    pub deadline_s: f64,
+    /// Pending observations per model before an incremental refit runs.
+    pub refit_threshold: usize,
+    /// Worker threads per dispatched batch (`None` → available
+    /// parallelism). Never affects the report or stripped telemetry.
+    pub workers: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            batch_max: 8,
+            batch_delay_s: 0.05,
+            service_cost_s: 0.01,
+            deadline_s: 2.0,
+            refit_threshold: 24,
+            workers: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Clamps degenerate values (zero capacity/batch/threshold, negative
+    /// times) to the smallest sane ones, mirroring
+    /// [`crate::maintenance::MaintenanceConfig::validated`].
+    pub fn validated(self) -> Self {
+        ServeConfig {
+            queue_capacity: self.queue_capacity.max(1),
+            batch_max: self.batch_max.max(1),
+            batch_delay_s: self.batch_delay_s.max(0.0),
+            service_cost_s: self.service_cost_s.max(0.0),
+            deadline_s: self.deadline_s.max(0.0),
+            refit_threshold: self.refit_threshold.max(1),
+            workers: self.workers,
+        }
+    }
+}
+
+/// One event of a request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An estimation request: price `sql` at `site`.
+    Request {
+        /// Target site.
+        site: SiteId,
+        /// The SQL text to price.
+        sql: String,
+    },
+    /// Execution feedback: run `sql` at `site`, compare the observed cost
+    /// against the served estimate, feed the model's maintainer.
+    Observe {
+        /// Target site.
+        site: SiteId,
+        /// The SQL text to execute.
+        sql: String,
+    },
+    /// A durable environment change at `site`: page-I/O costs multiplied by
+    /// `factor` (> 1 = slower disks). Stale models drift until maintenance
+    /// rebuilds them against the changed site.
+    Degrade {
+        /// Target site.
+        site: SiteId,
+        /// Multiplicative I/O cost factor (must be finite and positive).
+        factor: f64,
+    },
+}
+
+/// A trace event with its virtual arrival time and source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Virtual arrival time (seconds).
+    pub at_s: f64,
+    /// 1-based line number in the trace file.
+    pub lineno: usize,
+    /// What arrives.
+    pub event: TraceEvent,
+}
+
+/// A parsed request/observation trace.
+///
+/// Malformed lines never abort the parse: they are collected in
+/// [`RequestTrace::errors`] with their line numbers and reported inline by
+/// the server, exactly like the batch `serve` command's per-line errors —
+/// one bad line must not drop the trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestTrace {
+    /// Well-formed events, in file order (timestamps are non-decreasing).
+    pub events: Vec<TracedEvent>,
+    /// `(lineno, message)` for every malformed line.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl RequestTrace {
+    /// Parses trace text. Each non-blank, non-`#` line is
+    ///
+    /// ```text
+    /// @TIME request SITE SQL...
+    /// @TIME observe SITE SQL...
+    /// @TIME degrade SITE FACTOR
+    /// ```
+    ///
+    /// with `TIME` in non-decreasing virtual seconds. Bad lines land in
+    /// [`RequestTrace::errors`] and do not advance the clock.
+    pub fn parse(text: &str) -> RequestTrace {
+        let mut trace = RequestTrace::default();
+        let mut last_at = 0.0f64;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_trace_line(line, last_at) {
+                Ok((at_s, event)) => {
+                    last_at = at_s;
+                    trace.events.push(TracedEvent {
+                        at_s,
+                        lineno,
+                        event,
+                    });
+                }
+                Err(msg) => trace.errors.push((lineno, msg)),
+            }
+        }
+        trace
+    }
+
+    /// Number of well-formed events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no well-formed event was parsed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn parse_trace_line(line: &str, last_at: f64) -> Result<(f64, TraceEvent), String> {
+    let rest = line
+        .strip_prefix('@')
+        .ok_or_else(|| "expected `@TIME request|observe|degrade SITE ...`".to_string())?;
+    let (time_word, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "expected an event after the timestamp".to_string())?;
+    let at_s: f64 = time_word
+        .parse()
+        .map_err(|_| format!("bad timestamp `{time_word}`"))?;
+    if !at_s.is_finite() || at_s < 0.0 {
+        return Err(format!(
+            "timestamp must be finite and >= 0, got `{time_word}`"
+        ));
+    }
+    if at_s < last_at {
+        return Err(format!(
+            "timestamp {at_s} goes backwards (previous event at {last_at})"
+        ));
+    }
+    let (kind, rest) = rest
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "expected `SITE ...` after the event kind".to_string())?;
+    let rest = rest.trim();
+    let event = match kind {
+        "request" | "observe" => {
+            let (site, sql) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("expected `SITE SQL...` after `{kind}`"))?;
+            let sql = sql.trim();
+            if sql.is_empty() {
+                return Err(format!("empty SQL after `{kind} {site}`"));
+            }
+            if kind == "request" {
+                TraceEvent::Request {
+                    site: site.into(),
+                    sql: sql.to_string(),
+                }
+            } else {
+                TraceEvent::Observe {
+                    site: site.into(),
+                    sql: sql.to_string(),
+                }
+            }
+        }
+        "degrade" => {
+            let (site, factor_word) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "expected `SITE FACTOR` after `degrade`".to_string())?;
+            let factor: f64 = factor_word
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad degrade factor `{}`", factor_word.trim()))?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(format!(
+                    "degrade factor must be finite and > 0, got {factor}"
+                ));
+            }
+            TraceEvent::Degrade {
+                site: site.into(),
+                factor,
+            }
+        }
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok((at_s, event))
+}
+
+/// What one trace replay did, with the deterministic rendered report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The full human-readable report (summary + per-line outcomes), a pure
+    /// function of trace, seed and config — byte-identical at any worker
+    /// count.
+    pub rendered: String,
+    /// Estimation requests admitted or shed.
+    pub requests: usize,
+    /// Requests answered with an estimate.
+    pub answered: usize,
+    /// Requests whose class had no registered model.
+    pub no_model: usize,
+    /// Malformed trace lines plus per-line processing failures.
+    pub errors: usize,
+    /// Requests shed because the queue was full at arrival.
+    pub shed_queue_full: usize,
+    /// Requests shed because they out-waited the deadline.
+    pub shed_deadline: usize,
+    /// Micro-batches dispatched.
+    pub batches: usize,
+    /// Largest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Observation events processed.
+    pub observations: usize,
+    /// Incremental refits published.
+    pub incremental_refits: usize,
+    /// Drift-triggered rederivations published.
+    pub rederivations: usize,
+    /// Virtual time at which the last work finished.
+    pub virtual_makespan_s: f64,
+    /// Median request latency in virtual seconds (0 when nothing served).
+    pub latency_p50_s: f64,
+    /// 95th-percentile request latency in virtual seconds.
+    pub latency_p95_s: f64,
+}
+
+impl ServeReport {
+    /// Sustained throughput: answered requests per virtual second.
+    pub fn throughput_per_virtual_s(&self) -> f64 {
+        if self.virtual_makespan_s > 0.0 {
+            self.answered as f64 / self.virtual_makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A request sitting in the admission queue.
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    lineno: usize,
+    arrived_s: f64,
+    site: SiteId,
+    sql: String,
+}
+
+/// The outcome of pricing one request against a registry snapshot.
+enum ServedAnswer {
+    Estimate {
+        class: QueryClass,
+        probe: f64,
+        estimate: f64,
+        version: u64,
+    },
+    NoModel {
+        class: QueryClass,
+    },
+}
+
+/// One executed observation, before it is routed to a maintainer.
+struct ObservedSample {
+    class: QueryClass,
+    probe: f64,
+    observed: f64,
+    estimate: Option<(f64, u64)>,
+    x: Vec<f64>,
+}
+
+/// The long-lived estimation server: a registry serving the hot path, a
+/// fleet of maintainers keeping its models fresh, and the loop config.
+#[derive(Debug)]
+pub struct EstimationServer {
+    /// The concurrent registry requests are priced against.
+    pub registry: ModelRegistry,
+    fleet: Vec<(SiteId, ModelMaintainer)>,
+    config: ServeConfig,
+}
+
+impl EstimationServer {
+    /// A server over `registry` with the given maintainer fleet.
+    ///
+    /// Invariant: every fleet site must be constructible by the `make_agent`
+    /// closure later passed to [`EstimationServer::run`] (rederivation
+    /// builds agents for drifted fleet members).
+    pub fn new(
+        registry: ModelRegistry,
+        fleet: Vec<(SiteId, ModelMaintainer)>,
+        config: ServeConfig,
+    ) -> Self {
+        EstimationServer {
+            registry,
+            fleet,
+            config: config.validated(),
+        }
+    }
+
+    /// The maintainer fleet (site, maintainer) in construction order.
+    pub fn fleet(&self) -> &[(SiteId, ModelMaintainer)] {
+        &self.fleet
+    }
+
+    /// Replays a request/observation trace through the serving loop.
+    ///
+    /// `make_agent` builds a deterministic per-line site agent from a seed
+    /// split off `ctx.seed` by the trace line number; it returns `None` for
+    /// sites it cannot build (reported as a per-line error, never fatal).
+    /// The returned report and the deterministic part of `ctx.telemetry`
+    /// are pure functions of `(trace, ctx.seed, config)` — independent of
+    /// `config.workers`.
+    pub fn run<F>(
+        &mut self,
+        trace: &RequestTrace,
+        make_agent: F,
+        ctx: &mut PipelineCtx,
+    ) -> ServeReport
+    where
+        F: Fn(&SiteId, u64) -> Option<MdbsAgent> + Sync,
+    {
+        let EstimationServer {
+            registry,
+            fleet,
+            config,
+        } = self;
+        let registry: &ModelRegistry = registry;
+        let config = config.clone();
+        let root_seed = ctx.seed;
+        let span = ctx.telemetry.begin_span("serve.loop");
+        ctx.telemetry
+            .field(span, "events", trace.events.len() as u64);
+        ctx.telemetry.field(span, "fleet", fleet.len() as u64);
+
+        let mut queue: VecDeque<QueuedRequest> = VecDeque::new();
+        let mut degradation: BTreeMap<SiteId, f64> = BTreeMap::new();
+        let mut pending: Vec<Vec<Observation>> = vec![Vec::new(); fleet.len()];
+        let mut lines: Vec<String> = Vec::new();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut report = ServeReport {
+            rendered: String::new(),
+            requests: 0,
+            answered: 0,
+            no_model: 0,
+            errors: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            batches: 0,
+            max_queue_depth: 0,
+            observations: 0,
+            incremental_refits: 0,
+            rederivations: 0,
+            virtual_makespan_s: 0.0,
+            latency_p50_s: 0.0,
+            latency_p95_s: 0.0,
+        };
+        let (mut pool_jobs, mut pool_steals, mut pool_workers) = (0usize, 0u64, 0usize);
+
+        // Malformed trace lines are reported up front; they carry no
+        // timestamp that survived parsing, so they cannot be interleaved.
+        for (lineno, msg) in &trace.errors {
+            report.errors += 1;
+            ctx.telemetry.inc("serve.line_errors", 1);
+            lines.push(format!("  {lineno:>3} ERROR: {msg}"));
+        }
+
+        let mut clock = 0.0f64;
+        let mut busy_until = 0.0f64;
+        let mut events = trace.events.iter().peekable();
+        loop {
+            // When could the server next start a batch?
+            let trigger = if queue.is_empty() {
+                None
+            } else if queue.len() >= config.batch_max {
+                Some(busy_until.max(clock))
+            } else {
+                let head_arrived = queue.front().expect("non-empty").arrived_s;
+                Some(busy_until.max(head_arrived + config.batch_delay_s))
+            };
+            let next_event_at = events.peek().map(|e| e.at_s);
+            // Dispatch when the batch trigger fires no later than the next
+            // arrival (ties dispatch first); otherwise admit the arrival.
+            let dispatch = match (trigger, next_event_at) {
+                (Some(t_batch), Some(t_event)) => t_batch <= t_event,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if dispatch {
+                let t_batch = trigger.expect("dispatch implies a trigger");
+                clock = clock.max(t_batch);
+                // Deadline shed: queued requests that out-waited their
+                // deadline are answered with a shed, not served late.
+                while let Some(front) = queue.front() {
+                    if clock - front.arrived_s > config.deadline_s {
+                        let q = queue.pop_front().expect("front exists");
+                        report.shed_deadline += 1;
+                        ctx.telemetry.inc("serve.shed.deadline", 1);
+                        lines.push(format!(
+                            "  {:>3} @{:.3} SHED (deadline: waited {:.3}s)",
+                            q.lineno,
+                            clock,
+                            clock - q.arrived_s
+                        ));
+                    } else {
+                        break;
+                    }
+                }
+                let n = queue.len().min(config.batch_max);
+                if n == 0 {
+                    continue;
+                }
+                let batch: Vec<(QueuedRequest, f64)> = queue
+                    .drain(..n)
+                    .map(|q| {
+                        let factor = degradation.get(&q.site).copied().unwrap_or(1.0);
+                        (q, factor)
+                    })
+                    .collect();
+                let completion = clock + config.service_cost_s * batch.len() as f64;
+                busy_until = completion;
+                report.batches += 1;
+                ctx.telemetry.inc("serve.batches", 1);
+                ctx.telemetry
+                    .observe("serve.batch_size", batch.len() as f64);
+                let workers = pool::effective_workers(config.workers, batch.len());
+                let make_agent = &make_agent;
+                let (results, pool_report) =
+                    pool::run_jobs(batch, workers, move |_, (q, factor)| {
+                        let outcome = serve_one(registry, make_agent, &q, factor, root_seed);
+                        (q, outcome)
+                    });
+                pool_jobs += pool_report.jobs_completed;
+                pool_steals += pool_report.steals;
+                pool_workers = pool_workers.max(pool_report.workers);
+                for (q, outcome) in results {
+                    let latency = completion - q.arrived_s;
+                    match outcome {
+                        Ok(ServedAnswer::Estimate {
+                            class,
+                            probe,
+                            estimate,
+                            version,
+                        }) => {
+                            report.answered += 1;
+                            ctx.telemetry.inc("serve.answered", 1);
+                            latencies.push(latency);
+                            ctx.telemetry.observe("serve.latency_virtual_s", latency);
+                            lines.push(format!(
+                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: probe {:.3}s -> estimate {:.2}s [v{}]",
+                                q.lineno,
+                                q.arrived_s,
+                                completion,
+                                latency,
+                                q.site,
+                                class.label(),
+                                probe,
+                                estimate,
+                                version
+                            ));
+                        }
+                        Ok(ServedAnswer::NoModel { class }) => {
+                            report.no_model += 1;
+                            ctx.telemetry.inc("serve.no_model", 1);
+                            latencies.push(latency);
+                            ctx.telemetry.observe("serve.latency_virtual_s", latency);
+                            lines.push(format!(
+                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: no model in registry",
+                                q.lineno,
+                                q.arrived_s,
+                                completion,
+                                latency,
+                                q.site,
+                                class.label()
+                            ));
+                        }
+                        Err(msg) => {
+                            report.errors += 1;
+                            ctx.telemetry.inc("serve.line_errors", 1);
+                            lines.push(format!("  {:>3} ERROR: {msg}", q.lineno));
+                        }
+                    }
+                }
+                continue;
+            }
+            let ev = events.next().expect("peeked");
+            clock = clock.max(ev.at_s);
+            match &ev.event {
+                TraceEvent::Request { site, sql } => {
+                    report.requests += 1;
+                    ctx.telemetry.inc("serve.requests", 1);
+                    if queue.len() >= config.queue_capacity {
+                        report.shed_queue_full += 1;
+                        ctx.telemetry.inc("serve.shed.queue_full", 1);
+                        lines.push(format!(
+                            "  {:>3} @{:.3} SHED (queue full at {})",
+                            ev.lineno,
+                            ev.at_s,
+                            queue.len()
+                        ));
+                    } else {
+                        queue.push_back(QueuedRequest {
+                            lineno: ev.lineno,
+                            arrived_s: ev.at_s,
+                            site: site.clone(),
+                            sql: sql.clone(),
+                        });
+                        report.max_queue_depth = report.max_queue_depth.max(queue.len());
+                        ctx.telemetry
+                            .observe("serve.queue_depth", queue.len() as f64);
+                    }
+                }
+                TraceEvent::Degrade { site, factor } => {
+                    let cumulative = degradation.entry(site.clone()).or_insert(1.0);
+                    *cumulative *= factor;
+                    ctx.telemetry.inc("serve.degrades", 1);
+                    lines.push(format!(
+                        "  {:>3} @{:.3} degrade {} x{:.2} (cumulative x{:.2})",
+                        ev.lineno, ev.at_s, site, factor, cumulative
+                    ));
+                }
+                TraceEvent::Observe { site, sql } => {
+                    report.observations += 1;
+                    ctx.telemetry.inc("serve.observations", 1);
+                    let factor = degradation.get(site).copied().unwrap_or(1.0);
+                    let sample = observe_one(
+                        registry,
+                        &make_agent,
+                        site,
+                        sql,
+                        factor,
+                        root_seed,
+                        ev.lineno,
+                    );
+                    let sample = match sample {
+                        Ok(s) => s,
+                        Err(msg) => {
+                            report.errors += 1;
+                            ctx.telemetry.inc("serve.line_errors", 1);
+                            lines.push(format!("  {:>3} ERROR: {msg}", ev.lineno));
+                            continue;
+                        }
+                    };
+                    let idx = fleet
+                        .iter()
+                        .position(|(s, m)| s == site && m.class() == sample.class);
+                    let (Some(i), Some((estimate, version))) = (idx, sample.estimate) else {
+                        report.no_model += 1;
+                        ctx.telemetry.inc("serve.no_model", 1);
+                        lines.push(format!(
+                            "  {:>3} @{:.3} observe {} {}: no maintained model",
+                            ev.lineno,
+                            ev.at_s,
+                            site,
+                            sample.class.label()
+                        ));
+                        continue;
+                    };
+                    let good = TestPoint {
+                        observed: sample.observed,
+                        estimated: estimate,
+                        result_card: 0,
+                        probe_cost: sample.probe,
+                    }
+                    .is_good();
+                    let drifted = {
+                        let (_, maintainer) = &mut fleet[i];
+                        let drifted = maintainer.observe(sample.observed, estimate, ctx);
+                        pending[i].push(Observation {
+                            x: sample.x,
+                            cost: sample.observed,
+                            probe_cost: sample.probe,
+                        });
+                        drifted
+                    };
+                    lines.push(format!(
+                        "  {:>3} @{:.3} observe {} {}: observed {:.2}s vs estimate {:.2}s [v{}] ({})",
+                        ev.lineno,
+                        ev.at_s,
+                        site,
+                        sample.class.label(),
+                        sample.observed,
+                        estimate,
+                        version,
+                        if good { "good" } else { "off" }
+                    ));
+                    if drifted {
+                        // Rebuild every currently-drifted fleet member on
+                        // the pool and publish the fresh snapshots; stale
+                        // pending observations predate the new models.
+                        let drifted_idx: Vec<usize> = fleet
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (_, m))| m.monitor.drifted())
+                            .map(|(j, _)| j)
+                            .collect();
+                        let degradation = &degradation;
+                        let make_agent = &make_agent;
+                        let rebuilt = rederive_drifted(
+                            fleet,
+                            config.workers,
+                            |site, _class, env_seed| {
+                                let mut agent = make_agent(site, env_seed)
+                                    .expect("fleet sites are agent-constructible");
+                                let factor = degradation.get(site).copied().unwrap_or(1.0);
+                                apply_degradation(&mut agent, factor)
+                                    .expect("degrade factors are validated at parse");
+                                agent
+                            },
+                            Some(registry),
+                            ctx,
+                        );
+                        match rebuilt {
+                            Ok(n) => {
+                                report.rederivations += n;
+                                for j in drifted_idx {
+                                    pending[j].clear();
+                                }
+                                lines.push(format!(
+                                    "  maintenance @{:.3}: rederived {} drifted model(s) -> registry v{}",
+                                    ev.at_s,
+                                    n,
+                                    registry.version()
+                                ));
+                            }
+                            Err(e) => {
+                                ctx.telemetry.inc("maintenance.rederive_failures", 1);
+                                lines.push(format!(
+                                    "  maintenance @{:.3}: rederivation FAILED ({e}); serving continues",
+                                    ev.at_s
+                                ));
+                            }
+                        }
+                    } else if pending[i].len() >= config.refit_threshold {
+                        // Cheap path: fold the fresh evidence into the
+                        // model's sufficient statistics and republish.
+                        // Either way the pending batch is consumed — the
+                        // accumulator absorbs it even when the re-solve is
+                        // deferred for lack of per-state evidence.
+                        let batch = std::mem::take(&mut pending[i]);
+                        let (site_id, maintainer) = &mut fleet[i];
+                        let site_id = site_id.clone();
+                        match maintainer.refit_incremental(&site_id, &batch, Some(registry), ctx) {
+                            Ok(()) => {
+                                report.incremental_refits += 1;
+                                lines.push(format!(
+                                    "  maintenance @{:.3}: incremental refit {} {} ({} obs) -> registry v{}",
+                                    ev.at_s,
+                                    site_id,
+                                    sample.class.label(),
+                                    batch.len(),
+                                    registry.version()
+                                ));
+                            }
+                            Err(e) => {
+                                ctx.telemetry.inc("maintenance.refit_deferred", 1);
+                                lines.push(format!(
+                                    "  maintenance @{:.3}: refit deferred ({e}); serving continues",
+                                    ev.at_s
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        report.virtual_makespan_s = clock.max(busy_until);
+        (report.latency_p50_s, report.latency_p95_s) = percentiles(&mut latencies);
+        ctx.telemetry
+            .field(span, "requests", report.requests as u64);
+        ctx.telemetry
+            .field(span, "answered", report.answered as u64);
+        ctx.telemetry.field(
+            span,
+            "shed",
+            (report.shed_queue_full + report.shed_deadline) as u64,
+        );
+        ctx.telemetry
+            .field(span, "observations", report.observations as u64);
+        ctx.telemetry
+            .field(span, "incremental_refits", report.incremental_refits as u64);
+        ctx.telemetry
+            .field(span, "rederivations", report.rederivations as u64);
+        ctx.telemetry
+            .gauge("serve.virtual_makespan_s", report.virtual_makespan_s);
+        ctx.telemetry
+            .gauge("serve.max_queue_depth", report.max_queue_depth as f64);
+        ctx.telemetry.inc("pool.jobs_completed", pool_jobs as u64);
+        ctx.telemetry.inc("pool.sched.steals", pool_steals);
+        ctx.telemetry
+            .gauge("pool.sched.workers", pool_workers as f64);
+        registry.fold_metrics(&mut ctx.telemetry);
+        ctx.telemetry.end_span(span);
+
+        let mut rendered = format!(
+            "serve loop: {} request(s) — {} answered, {} no-model, {} shed ({} queue-full, {} deadline), {} error line(s)\n",
+            report.requests,
+            report.answered,
+            report.no_model,
+            report.shed_queue_full + report.shed_deadline,
+            report.shed_queue_full,
+            report.shed_deadline,
+            report.errors
+        );
+        rendered.push_str(&format!(
+            "maintenance: {} observation(s), {} incremental refit(s), {} rederivation(s); registry v{} ({} model(s))\n",
+            report.observations,
+            report.incremental_refits,
+            report.rederivations,
+            registry.version(),
+            registry.len()
+        ));
+        rendered.push_str(&format!(
+            "virtual time: makespan {:.3}s, latency p50 {:.3}s p95 {:.3}s, peak queue {}, {} batch(es)\n",
+            report.virtual_makespan_s,
+            report.latency_p50_s,
+            report.latency_p95_s,
+            report.max_queue_depth,
+            report.batches
+        ));
+        for line in &lines {
+            rendered.push_str(line);
+            rendered.push('\n');
+        }
+        report.rendered = rendered;
+        report
+    }
+}
+
+/// Builds the maintainer fleet for every catalog model whose site passes
+/// `site_filter`, restoring persisted fit accumulators when present so
+/// incremental refits resume from the full fitting sample.
+pub fn fleet_from_catalog(
+    catalog: &crate::catalog::GlobalCatalog,
+    maintenance: crate::maintenance::MaintenanceConfig,
+    derivation: crate::derive::DerivationConfig,
+    algorithm: crate::states::StateAlgorithm,
+    site_filter: impl Fn(&SiteId) -> bool,
+) -> Result<Vec<(SiteId, ModelMaintainer)>, crate::CoreError> {
+    let mut fleet = Vec::new();
+    for site in catalog.sites() {
+        if !site_filter(&site) {
+            continue;
+        }
+        for class in catalog.classes_for(&site) {
+            let model = catalog.model(&site, class).expect("listed by the catalog");
+            let maintainer = ModelMaintainer::from_model(
+                class,
+                model.clone(),
+                catalog.accumulator(&site, class).cloned(),
+                maintenance.clone(),
+                derivation.clone(),
+                algorithm,
+            )?;
+            fleet.push((site.clone(), maintainer));
+        }
+    }
+    Ok(fleet)
+}
+
+/// Prices one queued request against the registry. Every failure is a
+/// per-line message, never a panic or an abort.
+fn serve_one<F>(
+    registry: &ModelRegistry,
+    make_agent: &F,
+    q: &QueuedRequest,
+    degrade_factor: f64,
+    root_seed: u64,
+) -> Result<ServedAnswer, String>
+where
+    F: Fn(&SiteId, u64) -> Option<MdbsAgent>,
+{
+    let mut agent = make_agent(&q.site, split_stream(root_seed, q.lineno as u64))
+        .ok_or_else(|| format!("unknown site `{}`", q.site))?;
+    apply_degradation(&mut agent, degrade_factor)?;
+    let schema = agent.catalog().clone();
+    let query = parse_query(&schema, &q.sql).map_err(|e| e.to_string())?;
+    let class =
+        classify(&schema, &query).ok_or_else(|| "query cannot be classified".to_string())?;
+    agent.tick();
+    let probe = agent.probe();
+    match registry.estimate_with_version(&q.site, &schema, &query, probe) {
+        Some((estimate, version)) => Ok(ServedAnswer::Estimate {
+            class,
+            probe,
+            estimate,
+            version,
+        }),
+        None => Ok(ServedAnswer::NoModel { class }),
+    }
+}
+
+/// Executes one observation event: estimate, run, package the feedback.
+fn observe_one<F>(
+    registry: &ModelRegistry,
+    make_agent: &F,
+    site: &SiteId,
+    sql: &str,
+    degrade_factor: f64,
+    root_seed: u64,
+    lineno: usize,
+) -> Result<ObservedSample, String>
+where
+    F: Fn(&SiteId, u64) -> Option<MdbsAgent>,
+{
+    let mut agent = make_agent(site, split_stream(root_seed, lineno as u64))
+        .ok_or_else(|| format!("unknown site `{site}`"))?;
+    apply_degradation(&mut agent, degrade_factor)?;
+    let schema = agent.catalog().clone();
+    let query = parse_query(&schema, sql).map_err(|e| e.to_string())?;
+    let class =
+        classify(&schema, &query).ok_or_else(|| "query cannot be classified".to_string())?;
+    let family: VariableFamily = class.family();
+    let x = family
+        .extract(&schema, &query)
+        .ok_or_else(|| "explanatory variables cannot be extracted".to_string())?;
+    agent.tick();
+    let probe = agent.probe();
+    let estimate = registry.estimate_with_version(site, &schema, &query, probe);
+    let observed = agent.run(&query).map_err(|e| e.to_string())?.cost_s;
+    Ok(ObservedSample {
+        class,
+        probe,
+        observed,
+        estimate,
+        x,
+    })
+}
+
+/// Applies a site's cumulative durable I/O degradation to a fresh agent.
+fn apply_degradation(agent: &mut MdbsAgent, factor: f64) -> Result<(), String> {
+    if (factor - 1.0).abs() > f64::EPSILON {
+        agent
+            .apply_event(&EnvironmentEvent::DiskReplacement {
+                io_cost_factor: factor,
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Nearest-rank p50/p95 of a latency sample; `(0, 0)` when empty.
+fn percentiles(samples: &mut [f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p50 = samples[samples.len() / 2];
+    let p95_idx = ((samples.len() as f64 * 0.95).ceil() as usize).clamp(1, samples.len()) - 1;
+    (p50, samples[p95_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_parses_all_three_event_kinds() {
+        let trace = RequestTrace::parse(
+            "# serve-loop trace\n\
+             @0.0 request oracle select a1 from R2 where a2 < 100\n\
+             \n\
+             @0.5 observe oracle select a1 from R2 where a2 < 100\n\
+             @1.0 degrade oracle 4.0\n",
+        );
+        assert!(trace.errors.is_empty(), "{:?}", trace.errors);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events[0].lineno, 2);
+        assert!(matches!(trace.events[0].event, TraceEvent::Request { .. }));
+        assert!(matches!(trace.events[1].event, TraceEvent::Observe { .. }));
+        assert!(matches!(
+            trace.events[2].event,
+            TraceEvent::Degrade { factor, .. } if factor == 4.0
+        ));
+    }
+
+    #[test]
+    fn bad_trace_lines_are_collected_not_fatal() {
+        let trace = RequestTrace::parse(
+            "@0.0 request oracle select a1 from R2 where a2 < 100\n\
+             no-at-prefix request oracle select a1 from R2\n\
+             @abc request oracle select a1 from R2\n\
+             @0.5 frobnicate oracle select a1 from R2\n\
+             @0.6 request oracle\n\
+             @0.7 degrade oracle -2\n\
+             @1.0 request oracle select a1 from R2 where a2 < 50\n\
+             @0.2 request oracle select a1 from R2 where a2 < 50\n",
+        );
+        assert_eq!(trace.len(), 2, "lines 1 and 7 are well-formed");
+        assert_eq!(trace.errors.len(), 6);
+        let messages: Vec<&str> = trace.errors.iter().map(|(_, m)| m.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("expected `@TIME")));
+        assert!(messages.iter().any(|m| m.contains("bad timestamp")));
+        assert!(messages.iter().any(|m| m.contains("unknown event kind")));
+        assert!(messages.iter().any(|m| m.contains("goes backwards")));
+        assert!(messages.iter().any(|m| m.contains("degrade factor")));
+    }
+
+    #[test]
+    fn trace_timestamps_must_not_regress_but_may_tie() {
+        let trace = RequestTrace::parse(
+            "@1.0 request oracle select a1 from R2 where a2 < 100\n\
+             @1.0 request oracle select a1 from R2 where a2 < 200\n",
+        );
+        assert_eq!(trace.len(), 2);
+        assert!(trace.errors.is_empty());
+    }
+
+    #[test]
+    fn serve_config_validation_clamps_degenerate_knobs() {
+        let v = ServeConfig {
+            queue_capacity: 0,
+            batch_max: 0,
+            batch_delay_s: -1.0,
+            service_cost_s: -1.0,
+            deadline_s: -1.0,
+            refit_threshold: 0,
+            workers: Some(3),
+        }
+        .validated();
+        assert_eq!(v.queue_capacity, 1);
+        assert_eq!(v.batch_max, 1);
+        assert_eq!(v.batch_delay_s, 0.0);
+        assert_eq!(v.service_cost_s, 0.0);
+        assert_eq!(v.deadline_s, 0.0);
+        assert_eq!(v.refit_threshold, 1);
+        assert_eq!(v.workers, Some(3));
+        let sane = ServeConfig::default();
+        assert_eq!(sane.clone().validated(), sane);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(percentiles(&mut empty), (0.0, 0.0));
+        let mut one = vec![2.0];
+        assert_eq!(percentiles(&mut one), (2.0, 2.0));
+        let mut many: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p50, p95) = percentiles(&mut many);
+        assert_eq!(p50, 51.0);
+        assert_eq!(p95, 95.0);
+    }
+}
