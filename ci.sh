@@ -95,18 +95,44 @@ for j in 1 2 8; do
     --trace examples/serve_loop.trace --queue 4 --batch 2 --batch-delay 0.05 \
     --service-cost 0.2 --deadline 0.5 --refit 20 --drift-window 20 \
     --drift-min 8 --drift-fraction 0.65 --seed 7 --jobs "$j" \
+    --heartbeat 10 --flight-recorder "$SERVE_DIR/flight-$j.jsonl" \
+    --report-json "$SERVE_DIR/report-$j.json" \
     --telemetry "$SERVE_DIR/tel.jsonl" > /dev/null
   ./target/release/strip-telemetry "$SERVE_DIR/tel.jsonl" > "$SERVE_DIR/tel-$j.txt"
+  ./target/release/strip-telemetry "$SERVE_DIR/flight-$j.jsonl" \
+    > "$SERVE_DIR/flight-$j.txt"
 done
 cmp "$SERVE_DIR/out-1.txt" "$SERVE_DIR/out-2.txt"
 cmp "$SERVE_DIR/out-1.txt" "$SERVE_DIR/out-8.txt"
 cmp "$SERVE_DIR/tel-1.txt" "$SERVE_DIR/tel-2.txt"
 cmp "$SERVE_DIR/tel-1.txt" "$SERVE_DIR/tel-8.txt"
+# Flight records carry no wall-clock at all, so the dumps must already be
+# byte-identical across worker counts after the strip pass.
+cmp "$SERVE_DIR/flight-1.txt" "$SERVE_DIR/flight-2.txt"
+cmp "$SERVE_DIR/flight-1.txt" "$SERVE_DIR/flight-8.txt"
+cmp "$SERVE_DIR/report-1.json" "$SERVE_DIR/report-2.json"
+cmp "$SERVE_DIR/report-1.json" "$SERVE_DIR/report-8.json"
 # The committed trace must exercise both online-maintenance paths while
 # still answering requests.
 grep -q "incremental refit" "$SERVE_DIR/out-1.txt"
 grep -q "rederived" "$SERVE_DIR/out-1.txt"
 grep -q "answered" "$SERVE_DIR/out-1.txt"
+
+echo "==> serve --loop observability (heartbeats, ledger, stats round-trip)"
+# The 58s committed trace at 10s virtual heartbeats must beat at least
+# twice, and the accuracy ledger must populate in the human report.
+HB_COUNT=$(grep -c '"kind":"heartbeat"' "$SERVE_DIR/flight-1.jsonl")
+test "$HB_COUNT" -ge 2
+grep -q "accuracy ledger" "$SERVE_DIR/out-1.txt"
+grep -q '"ledger":\[{' "$SERVE_DIR/report-1.json"
+# `stats` strictly re-parses every line of both JSONL streams through the
+# workspace's own JSON reader, so a clean run is schema validation.
+./target/release/mdbs-qcost stats "$SERVE_DIR/tel.jsonl" > "$SERVE_DIR/stats-tel.txt"
+grep -q "heartbeats:" "$SERVE_DIR/stats-tel.txt"
+grep -q "accuracy ledger" "$SERVE_DIR/stats-tel.txt"
+./target/release/mdbs-qcost stats "$SERVE_DIR/flight-1.jsonl" \
+  > "$SERVE_DIR/stats-flight.txt"
+grep -q "flight records by kind:" "$SERVE_DIR/stats-flight.txt"
 rm -rf "$SERVE_DIR"
 
 echo "==> bench --json smoke (serve_loop virtual metrics)"
@@ -114,5 +140,14 @@ SERVE_BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-serve-bench.$$.json"
 cargo bench -q --offline --bench serve_loop -- virtual --json "$SERVE_BENCH_JSON" > /dev/null
 ./target/release/bench-json-check "$SERVE_BENCH_JSON"
 rm -f "$SERVE_BENCH_JSON"
+
+echo "==> bench --json smoke (serve_observability recording overhead)"
+# The bench itself asserts full recording costs zero *virtual* throughput
+# (bit-identical makespan and latency percentiles vs recording-off).
+OBS_BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-obs-bench.$$.json"
+cargo bench -q --offline --bench serve_observability -- virtual \
+  --json "$OBS_BENCH_JSON" > /dev/null
+./target/release/bench-json-check "$OBS_BENCH_JSON"
+rm -f "$OBS_BENCH_JSON"
 
 echo "==> ci.sh: all checks passed"

@@ -1,17 +1,20 @@
 //! A tiny `--flag value` argument parser.
 //!
 //! The workspace's dependency budget has no `clap`; the CLI's needs — a
-//! subcommand word followed by `--key value` pairs — fit in a page of code
-//! with better error messages than ad-hoc `args()` indexing.
+//! subcommand word followed by `--key value` pairs, plus bare positional
+//! operands (`stats telemetry.jsonl`) — fit in a page of code with better
+//! error messages than ad-hoc `args()` indexing.
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// positional operands.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand word (first non-flag argument).
     pub command: String,
     options: BTreeMap<String, String>,
+    positional: Vec<String>,
 }
 
 /// Argument-parsing errors.
@@ -36,9 +39,13 @@ impl Args {
             None => return Err(ArgsError("no subcommand given (try `help`)".into())),
         };
         let mut options = BTreeMap::new();
+        let mut positional = Vec::new();
         while let Some(flag) = it.next() {
             let Some(key) = flag.strip_prefix("--") else {
-                return Err(ArgsError(format!("expected `--flag`, got `{flag}`")));
+                // A bare word is a positional operand (e.g. the file in
+                // `stats telemetry.jsonl`).
+                positional.push(flag.clone());
+                continue;
             };
             let value = match it.peek() {
                 Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
@@ -49,7 +56,16 @@ impl Args {
                 return Err(ArgsError(format!("`--{key}` given twice")));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            options,
+            positional,
+        })
+    }
+
+    /// Bare (non-`--`) operands after the subcommand, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
     }
 
     /// A required string option.
@@ -118,6 +134,16 @@ mod tests {
     #[test]
     fn duplicate_flag_is_an_error() {
         assert!(Args::parse(&argv("x --a 1 --a 2")).is_err());
+    }
+
+    #[test]
+    fn bare_words_are_positional_operands() {
+        let a = Args::parse(&argv("stats tel.jsonl --limit 5")).unwrap();
+        assert_eq!(a.command, "stats");
+        assert_eq!(a.positional(), ["tel.jsonl".to_string()]);
+        assert_eq!(a.parse_opt::<usize>("limit").unwrap(), Some(5));
+        let b = Args::parse(&argv("derive")).unwrap();
+        assert!(b.positional().is_empty());
     }
 
     #[test]

@@ -98,6 +98,15 @@ fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> CliError
 /// Top-level dispatch; returns the text to print.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
+    // Only `stats` takes bare operands; everywhere else a non-flag word
+    // is a typo, and silently ignoring it would be worse than rejecting.
+    if args.command != "stats" {
+        if let Some(op) = args.positional().first() {
+            return Err(CliError::Invalid(format!(
+                "unexpected operand `{op}` (options are `--key value`)"
+            )));
+        }
+    }
     match args.command.as_str() {
         "help" => Ok(usage()),
         "derive" => cmd_derive(&args),
@@ -105,6 +114,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&args),
         "run" => cmd_run(&args),
         "catalog" => cmd_catalog(&args),
+        "stats" => cmd_stats(&args),
         other => Err(CliError::Invalid(format!(
             "unknown subcommand `{other}`\n\n{}",
             usage()
@@ -133,10 +143,13 @@ USAGE:
                       [--service-cost S] [--deadline S] [--refit N]
                       [--drift-window N] [--drift-min N] [--drift-fraction F]
                       [--algorithm iupma|icma] [--jobs N]
+                      [--heartbeat S] [--flight-recorder flight.jsonl]
+                      [--report-json report.json]
                       [--profile ...] [--seed N] [--telemetry events.jsonl]
   mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
                       [--telemetry events.jsonl]
   mdbs-qcost catalog  --file catalog.txt
+  mdbs-qcost stats    events.jsonl
   mdbs-qcost help
 
 The sites are the built-in simulated local DBSs (an Oracle-8.0-like and a
@@ -166,6 +179,17 @@ incremental refit (every `--refit` observations) or a full rederivation
 `--deadline` and arrivals beyond the queue capacity are shed. The loop
 runs in virtual time: the report and stripped telemetry are byte-identical
 for every `--jobs` value.
+
+`serve --loop` observability: `--heartbeat S` emits a snapshot record
+(queue depth, shed counters, registry version, accuracy-ledger totals)
+every S seconds of *virtual* time; `--flight-recorder PATH` dumps the
+flight recorder — the last N request lifecycles (trace id, queue wait,
+batch, model version, detected state, outcome) plus every maintenance
+event and anomaly — as JSONL; `--report-json PATH` writes the
+machine-readable report (all counters, latency percentiles and the
+per-site/per-state accuracy ledger). `stats FILE` renders a telemetry or
+flight-recorder JSONL back into tables (heartbeat time series, accuracy
+ledger), strictly re-parsing every line.
 
 `--telemetry PATH` writes structured spans and metrics as JSONL to PATH
 and appends a human-readable summary to the report. All telemetry except
@@ -522,6 +546,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             "drift-min",
             "drift-fraction",
             "algorithm",
+            "heartbeat",
+            "flight-recorder",
+            "report-json",
         ],
     )?;
     if args.flag("loop") {
@@ -539,6 +566,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "drift-min",
         "drift-fraction",
         "algorithm",
+        "heartbeat",
+        "flight-recorder",
+        "report-json",
     ] {
         if args.parse_opt::<String>(key)?.is_some() {
             return Err(CliError::Invalid(format!(
@@ -722,7 +752,13 @@ fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
             .parse_opt::<usize>("refit")?
             .unwrap_or(defaults.refit_threshold),
         workers: jobs,
+        heartbeat_s: args
+            .parse_opt::<f64>("heartbeat")?
+            .unwrap_or(defaults.heartbeat_s),
+        flight_capacity: defaults.flight_capacity,
     };
+    let flight_path = args.parse_opt::<String>("flight-recorder")?;
+    let report_json_path = args.parse_opt::<String>("report-json")?;
     let maintenance_defaults = MaintenanceConfig::default();
     let maintenance = MaintenanceConfig {
         window: args
@@ -789,6 +825,23 @@ fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
         "throughput: {:.2} answered/virtual-s\n",
         report.throughput_per_virtual_s()
     ));
+    if let Some(path) = &flight_path {
+        let recorder = server.recorder();
+        std::fs::write(path, recorder.dump_jsonl())
+            .map_err(io_err(format!("cannot write `{path}`")))?;
+        out.push_str(&format!(
+            "flight recorder: {} record(s) ({} request(s), {} event(s)) written to {path}\n",
+            recorder.len(),
+            recorder.request_len(),
+            recorder.event_len(),
+        ));
+    }
+    if let Some(path) = &report_json_path {
+        let mut body = report.to_json().render();
+        body.push('\n');
+        std::fs::write(path, body).map_err(io_err(format!("cannot write `{path}`")))?;
+        out.push_str(&format!("report json: written to {path}\n"));
+    }
     if let Some(path) = &telemetry_path {
         out.push_str(&telemetry_section(&ctx.telemetry, None, path)?);
     }
@@ -863,6 +916,153 @@ fn cmd_catalog(args: &Args) -> Result<String, CliError> {
         }
         if catalog.probe_estimator(&site).is_some() {
             out.push_str(&format!("  {site} / probing-cost estimator (eq. 2)\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a telemetry or flight-recorder JSONL file back into tables:
+/// heartbeat time series, the per-site/per-state accuracy ledger, and a
+/// census of record kinds. Every line is strictly re-parsed through the
+/// same JSON implementation that wrote it, so a clean `stats` run doubles
+/// as schema validation for the emitted file.
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    check_keys(args, &["file"])?;
+    let path = match (args.parse_opt::<String>("file")?, args.positional()) {
+        (Some(p), []) => p,
+        (None, [p]) => p.clone(),
+        (None, []) => {
+            return Err(CliError::Invalid(
+                "stats: give a JSONL file (`mdbs-qcost stats telemetry.jsonl`)".into(),
+            ))
+        }
+        _ => {
+            return Err(CliError::Invalid(
+                "stats: give exactly one JSONL file".into(),
+            ))
+        }
+    };
+    let text = std::fs::read_to_string(&path).map_err(io_err(format!("cannot read `{path}`")))?;
+    render_stats(&path, &text)
+}
+
+/// The testable body of `stats`: parses `text` (one JSON object per line)
+/// and renders the tables. Fails on the first line that is not a record
+/// this workspace could have written.
+fn render_stats(path: &str, text: &str) -> Result<String, CliError> {
+    use mdbs_obs::json::{parse, Json};
+
+    fn num(obj: &Json, key: &str) -> f64 {
+        obj.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+    }
+
+    let mut lines = 0usize;
+    let mut spans = 0usize;
+    let mut metrics = 0usize;
+    let mut flights = std::collections::BTreeMap::<String, usize>::new();
+    let mut heartbeats: Vec<Json> = Vec::new();
+    // (site, state) -> [n, mean_rel, p50, p95] folded from the ledger metrics.
+    let mut ledger = std::collections::BTreeMap::<(String, String), [f64; 4]>::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse(line)
+            .map_err(|e| CliError::Invalid(format!("{path}:{}: not a JSON record: {e}", i + 1)))?;
+        lines += 1;
+        match value.get("type").and_then(Json::as_str).unwrap_or("") {
+            "span" => {
+                spans += 1;
+                if value.get("name").and_then(Json::as_str) == Some("serve.heartbeat") {
+                    if let Some(fields) = value.get("fields") {
+                        heartbeats.push(fields.clone());
+                    }
+                }
+            }
+            "counter" | "gauge" | "histogram" => {
+                metrics += 1;
+                let name = value.get("name").and_then(Json::as_str).unwrap_or("");
+                if let Some(rest) = name.strip_prefix("serve.ledger.") {
+                    // serve.ledger.<site>.<state>.<metric>; the state label
+                    // (`S1`...) never contains a dot, the site id may.
+                    if let Some((cell, metric)) = rest.rsplit_once('.') {
+                        if let Some((site, state)) = cell.rsplit_once('.') {
+                            let row = ledger
+                                .entry((site.to_string(), state.to_string()))
+                                .or_default();
+                            match metric {
+                                "mean_rel_err" => row[1] = num(&value, "value"),
+                                "abs_rel_err" => {
+                                    row[0] = num(&value, "count");
+                                    row[2] = num(&value, "p50");
+                                    row[3] = num(&value, "p95");
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            "flight" => {
+                let kind = value.get("kind").and_then(Json::as_str).unwrap_or("?");
+                *flights.entry(kind.to_string()).or_default() += 1;
+                if kind == "heartbeat" {
+                    heartbeats.push(value.clone());
+                }
+            }
+            other => {
+                return Err(CliError::Invalid(format!(
+                    "{path}:{}: unknown record type `{other}`",
+                    i + 1
+                )))
+            }
+        }
+    }
+
+    let mut out = format!(
+        "stats {path}: {lines} record(s) — {spans} span(s), {metrics} metric(s), {} flight record(s)\n",
+        flights.values().sum::<usize>()
+    );
+    if !flights.is_empty() {
+        out.push_str("flight records by kind:\n");
+        for (kind, n) in &flights {
+            out.push_str(&format!("  {kind:<16} {n}\n"));
+        }
+    }
+    if !heartbeats.is_empty() {
+        out.push_str("heartbeats:\n");
+        out.push_str(
+            "      at_s  queue  requests  answered  shed  batches  observations  refits  rederives  registry\n",
+        );
+        for hb in &heartbeats {
+            let shed = num(hb, "shed_queue_full") + num(hb, "shed_deadline");
+            out.push_str(&format!(
+                "  {:>8.3}  {:>5}  {:>8}  {:>8}  {:>4}  {:>7}  {:>12}  {:>6}  {:>9}  {:>8}\n",
+                num(hb, "at_s"),
+                num(hb, "queue_depth") as u64,
+                num(hb, "requests") as u64,
+                num(hb, "answered") as u64,
+                shed as u64,
+                num(hb, "batches") as u64,
+                num(hb, "observations") as u64,
+                num(hb, "incremental_refits") as u64,
+                num(hb, "rederivations") as u64,
+                num(hb, "registry_version") as u64,
+            ));
+        }
+    }
+    if !ledger.is_empty() {
+        out.push_str("accuracy ledger (site x state):\n");
+        for ((site, state), row) in &ledger {
+            out.push_str(&format!(
+                "  {site}/{state}: n={} mean rel {:+.1}% |rel| p50 {:.1}% p95 {:.1}%\n",
+                row[0] as u64,
+                row[1] * 100.0,
+                row[2] * 100.0,
+                row[3] * 100.0,
+            ));
         }
     }
     Ok(out)
@@ -1285,6 +1485,80 @@ mod tests {
         .unwrap_err();
         assert!(e.to_string().contains("telemetry"), "{e}");
         assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn serve_loop_observability_end_to_end() {
+        use mdbs_obs::json::Json;
+
+        let cat = tmp("loop-obs-catalog.txt");
+        let _ = std::fs::remove_file(&cat);
+        dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 --seed 7 --out {cat}"
+        )))
+        .unwrap();
+        let trace = tmp("loop-obs.trace");
+        std::fs::write(
+            &trace,
+            "@0.0 request oracle select a1 from R2 where a2 < 100\n\
+             @1.0 observe oracle select a1 from R2 where a2 < 100\n\
+             @2.0 request oracle select a3 from R4 where a4 > 200\n\
+             @3.0 observe oracle select a3 from R4 where a4 > 200\n\
+             @9.0 request oracle select a1 from R2 where a2 < 100\n",
+        )
+        .unwrap();
+        let tel = tmp("loop-obs-tel.jsonl");
+        let flight = tmp("loop-obs-flight.jsonl");
+        let report = tmp("loop-obs-report.json");
+        let out = dispatch(&argv(&format!(
+            "serve --loop --catalog {cat} --trace {trace} --seed 7 --heartbeat 4 \
+             --flight-recorder {flight} --report-json {report} --telemetry {tel}"
+        )))
+        .unwrap();
+        assert!(out.contains("heartbeat(s)"), "{out}");
+        assert!(out.contains("accuracy ledger"), "{out}");
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("report json: written"), "{out}");
+
+        // The machine-readable report round-trips and carries the ledger.
+        let rep = std::fs::read_to_string(&report).unwrap();
+        let rep = mdbs_obs::json::parse(&rep).unwrap();
+        assert!(
+            matches!(rep.get("ledger"), Some(Json::Arr(rows)) if !rows.is_empty()),
+            "report json must carry a non-empty ledger: {}",
+            rep.render()
+        );
+        assert!(rep.get("heartbeats").and_then(Json::as_i64).unwrap_or(0) >= 2);
+
+        // `stats` renders both emitted files back into tables.
+        let st = dispatch(&argv(&format!("stats {tel}"))).unwrap();
+        assert!(st.contains("heartbeats:"), "{st}");
+        assert!(st.contains("accuracy ledger"), "{st}");
+        let sf = dispatch(&argv(&format!("stats --file {flight}"))).unwrap();
+        assert!(sf.contains("flight records by kind:"), "{sf}");
+        assert!(sf.contains("request"), "{sf}");
+        assert!(sf.contains("heartbeat"), "{sf}");
+    }
+
+    #[test]
+    fn stats_rejects_bad_input() {
+        assert!(dispatch(&argv("stats")).is_err());
+        assert!(dispatch(&argv("stats /nonexistent/nowhere.jsonl")).is_err());
+        let bad = tmp("stats-bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let e = dispatch(&argv(&format!("stats {bad}"))).unwrap_err();
+        assert!(e.to_string().contains(":1"), "{e}");
+        assert!(dispatch(&argv(&format!("stats {bad} extra.jsonl"))).is_err());
+        let alien = tmp("stats-alien.jsonl");
+        std::fs::write(&alien, "{\"type\":\"mystery\"}\n").unwrap();
+        let e = dispatch(&argv(&format!("stats {alien}"))).unwrap_err();
+        assert!(e.to_string().contains("unknown record type"), "{e}");
+    }
+
+    #[test]
+    fn operands_rejected_outside_stats() {
+        let e = dispatch(&argv("derive oops --site oracle")).unwrap_err();
+        assert!(e.to_string().contains("unexpected operand"), "{e}");
     }
 
     #[test]

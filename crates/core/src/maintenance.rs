@@ -342,14 +342,17 @@ impl ModelMaintainer {
     /// The refreshed model replaces `derived.model`, the drift window is
     /// cleared, and — when `registry` is given — the model is published as
     /// a new snapshot version so concurrent estimators switch over
-    /// atomically. Counted as `maintenance.incremental_refits`.
+    /// atomically; the published version is returned (`None` without a
+    /// registry) so callers can stamp maintenance records with the exact
+    /// snapshot the refit produced. Counted as
+    /// `maintenance.incremental_refits`.
     pub fn refit_incremental(
         &mut self,
         site: &SiteId,
         new_observations: &[Observation],
         registry: Option<&ModelRegistry>,
         ctx: &mut PipelineCtx,
-    ) -> Result<(), CoreError> {
+    ) -> Result<Option<u64>, CoreError> {
         let tel = &mut ctx.telemetry;
         let span = tel.begin_span("maintenance.refit_incremental");
         tel.field(span, "class", format!("{:?}", self.derived.class));
@@ -366,11 +369,14 @@ impl ModelMaintainer {
         tel.inc("fit.gram.rescans_avoided", self.accumulator.n() as u64);
         tel.field(span, "n", self.accumulator.n() as u64);
         tel.field(span, "r_squared", self.derived.model.fit.r_squared);
-        tel.end_span(span);
-        if let Some(registry) = registry {
-            registry.publish(site.clone(), self.derived.class, self.derived.model.clone());
+        let published = registry.map(|registry| {
+            registry.publish(site.clone(), self.derived.class, self.derived.model.clone())
+        });
+        if let Some(version) = published {
+            tel.field(span, "published_version", version);
         }
-        Ok(())
+        tel.end_span(span);
+        Ok(published)
     }
 }
 

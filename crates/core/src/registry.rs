@@ -48,6 +48,23 @@ pub struct RegisteredModel {
     pub model: CostModel,
 }
 
+/// A served estimate with its full provenance: the snapshot version it
+/// was computed against and the contention state the probing cost mapped
+/// to — everything a flight record or accuracy ledger needs to explain
+/// the number. Computed against one `Arc` snapshot, so the fields are
+/// always mutually coherent even while maintenance republishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateDetail {
+    /// The estimated query cost.
+    pub estimate: f64,
+    /// Version of the snapshot the estimate came from.
+    pub version: u64,
+    /// Index of the contention state `probe_cost` mapped to.
+    pub state: usize,
+    /// The paper's label for that state (`S1` = highest contention).
+    pub state_label: String,
+}
+
 /// One lock shard: a plain map from key to published snapshot.
 #[allow(clippy::disallowed_types)]
 type Shard = RwLock<HashMap<(SiteId, QueryClass), Arc<RegisteredModel>>>;
@@ -169,13 +186,34 @@ impl ModelRegistry {
         query: &Query,
         probe_cost: f64,
     ) -> Option<(f64, u64)> {
+        self.estimate_detailed(site, local_schema, query, probe_cost)
+            .map(|d| (d.estimate, d.version))
+    }
+
+    /// Like [`ModelRegistry::estimate_with_version`], but also reports the
+    /// contention state `probe_cost` mapped to, as an index and as the
+    /// paper's `S_i` label — the provenance the serving loop threads into
+    /// flight records and the per-state accuracy ledger.
+    pub fn estimate_detailed(
+        &self,
+        site: &SiteId,
+        local_schema: &LocalCatalog,
+        query: &Query,
+        probe_cost: f64,
+    ) -> Option<EstimateDetail> {
         let class = classify(local_schema, query)?;
         let snapshot = self.get(site, class)?;
         let family: VariableFamily = class.family();
         let x = family.extract(local_schema, query)?;
         let model = &snapshot.model;
         let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
-        Some((model.estimate(&x_sel, probe_cost), snapshot.version))
+        let state = model.states.state_of(probe_cost);
+        Some(EstimateDetail {
+            estimate: model.estimate(&x_sel, probe_cost),
+            version: snapshot.version,
+            state,
+            state_label: model.states.paper_label(state),
+        })
     }
 
     /// Loads every model of a [`GlobalCatalog`] into the registry,

@@ -39,6 +39,22 @@
 //! arrivals keep queueing (and can overflow). This is what produces real
 //! backpressure dynamics — bursts fill the queue, the shed policy kicks in,
 //! and the depth/latency histograms record it — while staying replayable.
+//!
+//! ## Observability
+//!
+//! Every request is minted a deterministic **trace id** at admission
+//! (line number + a seed-derived tag) that follows it through queueing,
+//! batch dispatch, estimation and its shed/answer outcome; the whole
+//! lifecycle lands as one record in the [`FlightRecorder`] ring
+//! (`ServeConfig::flight_capacity`), alongside every maintenance event
+//! (refits, rederivations, degrades) and anomaly (shed bursts, rederive
+//! failures). Observed-vs-served residuals fold into a per-(site, state)
+//! [`AccuracyLedger`] exported in the report, the telemetry and
+//! [`ServeReport::to_json`]. With `ServeConfig::heartbeat_s > 0`, a
+//! snapshot record (queue depth, shed counters, registry version, ledger
+//! totals) is emitted every Δt of *virtual* time, turning a replay into
+//! a time series. All of it is seed-pure: flight dumps and stripped
+//! telemetry stay byte-identical at any worker count.
 
 use crate::catalog::SiteId;
 use crate::classes::{classify, QueryClass};
@@ -46,9 +62,13 @@ use crate::maintenance::{rederive_drifted, ModelMaintainer};
 use crate::observation::Observation;
 use crate::pipeline::PipelineCtx;
 use crate::pool;
-use crate::registry::ModelRegistry;
+use crate::registry::{EstimateDetail, ModelRegistry};
 use crate::validate::TestPoint;
 use crate::variables::VariableFamily;
+use mdbs_obs::json::Json;
+use mdbs_obs::metrics::percentile_sorted;
+use mdbs_obs::recorder::{AccuracyLedger, FlightRecorder, LedgerSummary};
+use mdbs_obs::Telemetry;
 use mdbs_sim::events::EnvironmentEvent;
 use mdbs_sim::sql::parse_query;
 use mdbs_sim::MdbsAgent;
@@ -74,6 +94,12 @@ pub struct ServeConfig {
     /// Worker threads per dispatched batch (`None` → available
     /// parallelism). Never affects the report or stripped telemetry.
     pub workers: Option<usize>,
+    /// Virtual-time heartbeat interval in seconds; `0` disables
+    /// heartbeats.
+    pub heartbeat_s: f64,
+    /// Flight-recorder ring capacity (retained request lifecycles); `0`
+    /// disables flight recording entirely.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +112,8 @@ impl Default for ServeConfig {
             deadline_s: 2.0,
             refit_threshold: 24,
             workers: None,
+            heartbeat_s: 0.0,
+            flight_capacity: 256,
         }
     }
 }
@@ -103,6 +131,12 @@ impl ServeConfig {
             deadline_s: self.deadline_s.max(0.0),
             refit_threshold: self.refit_threshold.max(1),
             workers: self.workers,
+            heartbeat_s: if self.heartbeat_s.is_finite() {
+                self.heartbeat_s.max(0.0)
+            } else {
+                0.0
+            },
+            flight_capacity: self.flight_capacity,
         }
     }
 }
@@ -311,6 +345,15 @@ pub struct ServeReport {
     pub latency_p50_s: f64,
     /// 95th-percentile request latency in virtual seconds.
     pub latency_p95_s: f64,
+    /// 99th-percentile request latency in virtual seconds.
+    pub latency_p99_s: f64,
+    /// Virtual-time heartbeat snapshots emitted
+    /// (`ServeConfig::heartbeat_s`).
+    pub heartbeats: usize,
+    /// Per-(site, state) accuracy of served estimates against observed
+    /// costs, in key order (empty when no observation carried an
+    /// estimate).
+    pub ledger: Vec<LedgerSummary>,
 }
 
 impl ServeReport {
@@ -322,11 +365,82 @@ impl ServeReport {
             0.0
         }
     }
+
+    /// Fraction of arrived requests that were shed (0 when none arrived).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.requests > 0 {
+            (self.shed_queue_full + self.shed_deadline) as f64 / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as a machine-readable JSON object: every counter, the
+    /// virtual-time latency summary and the accuracy ledger. A pure
+    /// function of (trace, seed, config) like the rendered text.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".to_string(), Json::from(self.requests)),
+            ("answered".to_string(), Json::from(self.answered)),
+            ("no_model".to_string(), Json::from(self.no_model)),
+            ("errors".to_string(), Json::from(self.errors)),
+            (
+                "shed_queue_full".to_string(),
+                Json::from(self.shed_queue_full),
+            ),
+            ("shed_deadline".to_string(), Json::from(self.shed_deadline)),
+            (
+                "shed_fraction".to_string(),
+                Json::from(self.shed_fraction()),
+            ),
+            ("batches".to_string(), Json::from(self.batches)),
+            (
+                "max_queue_depth".to_string(),
+                Json::from(self.max_queue_depth),
+            ),
+            ("observations".to_string(), Json::from(self.observations)),
+            (
+                "incremental_refits".to_string(),
+                Json::from(self.incremental_refits),
+            ),
+            ("rederivations".to_string(), Json::from(self.rederivations)),
+            (
+                "virtual_makespan_s".to_string(),
+                Json::from(self.virtual_makespan_s),
+            ),
+            ("latency_p50_s".to_string(), Json::from(self.latency_p50_s)),
+            ("latency_p95_s".to_string(), Json::from(self.latency_p95_s)),
+            ("latency_p99_s".to_string(), Json::from(self.latency_p99_s)),
+            (
+                "throughput_per_virtual_s".to_string(),
+                Json::from(self.throughput_per_virtual_s()),
+            ),
+            ("heartbeats".to_string(), Json::from(self.heartbeats)),
+            (
+                "ledger".to_string(),
+                Json::Arr(self.ledger.iter().map(LedgerSummary::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Stream salt for trace-id tags, so ids never collide with the per-line
+/// agent seed stream.
+const TRACE_ID_STREAM: u64 = 0x7472_6163_655f_6964; // "trace_id"
+
+/// Deterministic request trace id, minted at admission: the 1-based trace
+/// line number (hex) plus a seed-derived tag. Unique per line by
+/// construction, and a pure function of `(seed, lineno)` — identical at
+/// every worker count.
+fn mint_trace_id(root_seed: u64, lineno: usize) -> String {
+    let tag = split_stream(root_seed ^ TRACE_ID_STREAM, lineno as u64);
+    format!("{lineno:04x}-{:012x}", tag & 0xffff_ffff_ffff)
 }
 
 /// A request sitting in the admission queue.
 #[derive(Debug, Clone)]
 struct QueuedRequest {
+    trace_id: String,
     lineno: usize,
     arrived_s: f64,
     site: SiteId,
@@ -338,8 +452,7 @@ enum ServedAnswer {
     Estimate {
         class: QueryClass,
         probe: f64,
-        estimate: f64,
-        version: u64,
+        detail: EstimateDetail,
     },
     NoModel {
         class: QueryClass,
@@ -351,7 +464,7 @@ struct ObservedSample {
     class: QueryClass,
     probe: f64,
     observed: f64,
-    estimate: Option<(f64, u64)>,
+    estimate: Option<EstimateDetail>,
     x: Vec<f64>,
 }
 
@@ -363,6 +476,7 @@ pub struct EstimationServer {
     pub registry: ModelRegistry,
     fleet: Vec<(SiteId, ModelMaintainer)>,
     config: ServeConfig,
+    recorder: FlightRecorder,
 }
 
 impl EstimationServer {
@@ -376,16 +490,27 @@ impl EstimationServer {
         fleet: Vec<(SiteId, ModelMaintainer)>,
         config: ServeConfig,
     ) -> Self {
+        let config = config.validated();
+        let recorder = FlightRecorder::new(config.flight_capacity);
         EstimationServer {
             registry,
             fleet,
-            config: config.validated(),
+            config,
+            recorder,
         }
     }
 
     /// The maintainer fleet (site, maintainer) in construction order.
     pub fn fleet(&self) -> &[(SiteId, ModelMaintainer)] {
         &self.fleet
+    }
+
+    /// The flight recorder: request lifecycles (bounded ring) plus
+    /// maintenance/heartbeat/anomaly events accumulated by
+    /// [`EstimationServer::run`]. Dump with
+    /// [`FlightRecorder::dump_jsonl`].
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Replays a request/observation trace through the serving loop.
@@ -409,6 +534,7 @@ impl EstimationServer {
             registry,
             fleet,
             config,
+            recorder,
         } = self;
         let registry: &ModelRegistry = registry;
         let config = config.clone();
@@ -439,8 +565,20 @@ impl EstimationServer {
             virtual_makespan_s: 0.0,
             latency_p50_s: 0.0,
             latency_p95_s: 0.0,
+            latency_p99_s: 0.0,
+            heartbeats: 0,
+            ledger: Vec::new(),
         };
         let (mut pool_jobs, mut pool_steals, mut pool_workers) = (0usize, 0u64, 0usize);
+        let mut ledger = AccuracyLedger::new();
+        // Virtual-time heartbeat schedule: the next tick, or never.
+        let mut next_hb = if config.heartbeat_s > 0.0 {
+            config.heartbeat_s
+        } else {
+            f64::INFINITY
+        };
+        // Consecutive queue-full sheds, for shed-burst anomaly detection.
+        let mut queue_full_streak = 0usize;
 
         // Malformed trace lines are reported up front; they carry no
         // timestamp that survived parsing, so they cannot be interleaved.
@@ -474,13 +612,28 @@ impl EstimationServer {
             };
             if dispatch {
                 let t_batch = trigger.expect("dispatch implies a trigger");
+                while next_hb <= t_batch {
+                    emit_heartbeat(
+                        next_hb,
+                        queue.len(),
+                        &mut report,
+                        registry.version(),
+                        &ledger,
+                        pool_jobs,
+                        &mut ctx.telemetry,
+                        recorder,
+                    );
+                    next_hb += config.heartbeat_s;
+                }
                 clock = clock.max(t_batch);
                 // Deadline shed: queued requests that out-waited their
                 // deadline are answered with a shed, not served late.
+                let mut deadline_shed_now = 0usize;
                 while let Some(front) = queue.front() {
                     if clock - front.arrived_s > config.deadline_s {
                         let q = queue.pop_front().expect("front exists");
                         report.shed_deadline += 1;
+                        deadline_shed_now += 1;
                         ctx.telemetry.inc("serve.shed.deadline", 1);
                         lines.push(format!(
                             "  {:>3} @{:.3} SHED (deadline: waited {:.3}s)",
@@ -488,9 +641,31 @@ impl EstimationServer {
                             clock,
                             clock - q.arrived_s
                         ));
+                        recorder.record_request(vec![
+                            ("trace_id".to_string(), Json::from(q.trace_id.as_str())),
+                            ("lineno".to_string(), Json::from(q.lineno)),
+                            ("site".to_string(), Json::from(q.site.0.as_str())),
+                            ("sql".to_string(), Json::from(q.sql.as_str())),
+                            ("arrived_s".to_string(), Json::from(q.arrived_s)),
+                            ("shed_s".to_string(), Json::from(clock)),
+                            ("waited_s".to_string(), Json::from(clock - q.arrived_s)),
+                            ("outcome".to_string(), Json::from("shed_deadline")),
+                        ]);
                     } else {
                         break;
                     }
+                }
+                // A whole batch's worth of deadline sheds in one dispatch
+                // is a shed burst: dump-worthy.
+                if deadline_shed_now >= config.batch_max {
+                    recorder.record_event(
+                        "anomaly",
+                        vec![
+                            ("what".to_string(), Json::from("shed_burst")),
+                            ("at_s".to_string(), Json::from(clock)),
+                            ("shed_deadline".to_string(), Json::from(deadline_shed_now)),
+                        ],
+                    );
                 }
                 let n = queue.len().min(config.batch_max);
                 if n == 0 {
@@ -504,8 +679,10 @@ impl EstimationServer {
                     })
                     .collect();
                 let completion = clock + config.service_cost_s * batch.len() as f64;
+                let dispatched_s = clock;
                 busy_until = completion;
                 report.batches += 1;
+                let batch_id = report.batches;
                 ctx.telemetry.inc("serve.batches", 1);
                 ctx.telemetry
                     .observe("serve.batch_size", batch.len() as f64);
@@ -521,19 +698,35 @@ impl EstimationServer {
                 pool_workers = pool_workers.max(pool_report.workers);
                 for (q, outcome) in results {
                     let latency = completion - q.arrived_s;
+                    // Lifecycle prefix shared by every outcome of this
+                    // dispatched request.
+                    let mut record = vec![
+                        ("trace_id".to_string(), Json::from(q.trace_id.as_str())),
+                        ("lineno".to_string(), Json::from(q.lineno)),
+                        ("site".to_string(), Json::from(q.site.0.as_str())),
+                        ("sql".to_string(), Json::from(q.sql.as_str())),
+                        ("arrived_s".to_string(), Json::from(q.arrived_s)),
+                        (
+                            "queue_wait_s".to_string(),
+                            Json::from(dispatched_s - q.arrived_s),
+                        ),
+                        ("batch".to_string(), Json::from(batch_id)),
+                        ("dispatched_s".to_string(), Json::from(dispatched_s)),
+                        ("completed_s".to_string(), Json::from(completion)),
+                        ("latency_s".to_string(), Json::from(latency)),
+                    ];
                     match outcome {
                         Ok(ServedAnswer::Estimate {
                             class,
                             probe,
-                            estimate,
-                            version,
+                            detail,
                         }) => {
                             report.answered += 1;
                             ctx.telemetry.inc("serve.answered", 1);
                             latencies.push(latency);
                             ctx.telemetry.observe("serve.latency_virtual_s", latency);
                             lines.push(format!(
-                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: probe {:.3}s -> estimate {:.2}s [v{}]",
+                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: probe {:.3}s -> estimate {:.2}s [v{} {}]",
                                 q.lineno,
                                 q.arrived_s,
                                 completion,
@@ -541,9 +734,18 @@ impl EstimationServer {
                                 q.site,
                                 class.label(),
                                 probe,
-                                estimate,
-                                version
+                                detail.estimate,
+                                detail.version,
+                                detail.state_label
                             ));
+                            record.extend([
+                                ("outcome".to_string(), Json::from("answered")),
+                                ("class".to_string(), Json::from(class.label())),
+                                ("probe_s".to_string(), Json::from(probe)),
+                                ("estimate_s".to_string(), Json::from(detail.estimate)),
+                                ("model_version".to_string(), Json::from(detail.version)),
+                                ("state".to_string(), Json::from(detail.state_label.as_str())),
+                            ]);
                         }
                         Ok(ServedAnswer::NoModel { class }) => {
                             report.no_model += 1;
@@ -559,24 +761,48 @@ impl EstimationServer {
                                 q.site,
                                 class.label()
                             ));
+                            record.extend([
+                                ("outcome".to_string(), Json::from("no_model")),
+                                ("class".to_string(), Json::from(class.label())),
+                            ]);
                         }
                         Err(msg) => {
                             report.errors += 1;
                             ctx.telemetry.inc("serve.line_errors", 1);
                             lines.push(format!("  {:>3} ERROR: {msg}", q.lineno));
+                            record.extend([
+                                ("outcome".to_string(), Json::from("error")),
+                                ("error".to_string(), Json::from(msg.as_str())),
+                            ]);
                         }
                     }
+                    recorder.record_request(record);
                 }
                 continue;
             }
             let ev = events.next().expect("peeked");
+            while next_hb <= ev.at_s {
+                emit_heartbeat(
+                    next_hb,
+                    queue.len(),
+                    &mut report,
+                    registry.version(),
+                    &ledger,
+                    pool_jobs,
+                    &mut ctx.telemetry,
+                    recorder,
+                );
+                next_hb += config.heartbeat_s;
+            }
             clock = clock.max(ev.at_s);
             match &ev.event {
                 TraceEvent::Request { site, sql } => {
                     report.requests += 1;
                     ctx.telemetry.inc("serve.requests", 1);
+                    let trace_id = mint_trace_id(root_seed, ev.lineno);
                     if queue.len() >= config.queue_capacity {
                         report.shed_queue_full += 1;
+                        queue_full_streak += 1;
                         ctx.telemetry.inc("serve.shed.queue_full", 1);
                         lines.push(format!(
                             "  {:>3} @{:.3} SHED (queue full at {})",
@@ -584,8 +810,35 @@ impl EstimationServer {
                             ev.at_s,
                             queue.len()
                         ));
+                        recorder.record_request(vec![
+                            ("trace_id".to_string(), Json::from(trace_id.as_str())),
+                            ("lineno".to_string(), Json::from(ev.lineno)),
+                            ("site".to_string(), Json::from(site.0.as_str())),
+                            ("sql".to_string(), Json::from(sql.as_str())),
+                            ("arrived_s".to_string(), Json::from(ev.at_s)),
+                            ("queue_depth".to_string(), Json::from(queue.len())),
+                            ("outcome".to_string(), Json::from("shed_queue_full")),
+                        ]);
+                        // A batch's worth of consecutive arrivals bounced
+                        // off a full queue: record the burst once, when
+                        // the streak crosses the threshold.
+                        if queue_full_streak == config.batch_max {
+                            recorder.record_event(
+                                "anomaly",
+                                vec![
+                                    ("what".to_string(), Json::from("shed_burst")),
+                                    ("at_s".to_string(), Json::from(ev.at_s)),
+                                    (
+                                        "consecutive_queue_full".to_string(),
+                                        Json::from(queue_full_streak),
+                                    ),
+                                ],
+                            );
+                        }
                     } else {
+                        queue_full_streak = 0;
                         queue.push_back(QueuedRequest {
+                            trace_id,
                             lineno: ev.lineno,
                             arrived_s: ev.at_s,
                             site: site.clone(),
@@ -599,11 +852,21 @@ impl EstimationServer {
                 TraceEvent::Degrade { site, factor } => {
                     let cumulative = degradation.entry(site.clone()).or_insert(1.0);
                     *cumulative *= factor;
+                    let cumulative = *cumulative;
                     ctx.telemetry.inc("serve.degrades", 1);
                     lines.push(format!(
                         "  {:>3} @{:.3} degrade {} x{:.2} (cumulative x{:.2})",
                         ev.lineno, ev.at_s, site, factor, cumulative
                     ));
+                    recorder.record_event(
+                        "degrade",
+                        vec![
+                            ("at_s".to_string(), Json::from(ev.at_s)),
+                            ("site".to_string(), Json::from(site.0.as_str())),
+                            ("factor".to_string(), Json::from(*factor)),
+                            ("cumulative".to_string(), Json::from(cumulative)),
+                        ],
+                    );
                 }
                 TraceEvent::Observe { site, sql } => {
                     report.observations += 1;
@@ -627,10 +890,21 @@ impl EstimationServer {
                             continue;
                         }
                     };
+                    // Every observed cost with a previously-served estimate
+                    // feeds the accuracy ledger, keyed by the contention
+                    // state the estimate was made in.
+                    if let Some(detail) = &sample.estimate {
+                        ledger.record(
+                            &site.0,
+                            &detail.state_label,
+                            detail.estimate,
+                            sample.observed,
+                        );
+                    }
                     let idx = fleet
                         .iter()
                         .position(|(s, m)| s == site && m.class() == sample.class);
-                    let (Some(i), Some((estimate, version))) = (idx, sample.estimate) else {
+                    let (Some(i), Some(detail)) = (idx, sample.estimate) else {
                         report.no_model += 1;
                         ctx.telemetry.inc("serve.no_model", 1);
                         lines.push(format!(
@@ -642,6 +916,7 @@ impl EstimationServer {
                         ));
                         continue;
                     };
+                    let estimate = detail.estimate;
                     let good = TestPoint {
                         observed: sample.observed,
                         estimated: estimate,
@@ -660,14 +935,15 @@ impl EstimationServer {
                         drifted
                     };
                     lines.push(format!(
-                        "  {:>3} @{:.3} observe {} {}: observed {:.2}s vs estimate {:.2}s [v{}] ({})",
+                        "  {:>3} @{:.3} observe {} {}: observed {:.2}s vs estimate {:.2}s [v{} {}] ({})",
                         ev.lineno,
                         ev.at_s,
                         site,
                         sample.class.label(),
                         sample.observed,
                         estimate,
-                        version,
+                        detail.version,
+                        detail.state_label,
                         if good { "good" } else { "off" }
                     ));
                     if drifted {
@@ -708,6 +984,17 @@ impl EstimationServer {
                                     n,
                                     registry.version()
                                 ));
+                                recorder.record_event(
+                                    "rederive",
+                                    vec![
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("rebuilt".to_string(), Json::from(n)),
+                                        (
+                                            "registry_version".to_string(),
+                                            Json::from(registry.version()),
+                                        ),
+                                    ],
+                                );
                             }
                             Err(e) => {
                                 ctx.telemetry.inc("maintenance.rederive_failures", 1);
@@ -715,6 +1002,14 @@ impl EstimationServer {
                                     "  maintenance @{:.3}: rederivation FAILED ({e}); serving continues",
                                     ev.at_s
                                 ));
+                                recorder.record_event(
+                                    "anomaly",
+                                    vec![
+                                        ("what".to_string(), Json::from("rederive_failed")),
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("error".to_string(), Json::from(e.to_string().as_str())),
+                                    ],
+                                );
                             }
                         }
                     } else if pending[i].len() >= config.refit_threshold {
@@ -727,16 +1022,27 @@ impl EstimationServer {
                         let (site_id, maintainer) = &mut fleet[i];
                         let site_id = site_id.clone();
                         match maintainer.refit_incremental(&site_id, &batch, Some(registry), ctx) {
-                            Ok(()) => {
+                            Ok(published) => {
                                 report.incremental_refits += 1;
+                                let version = published.unwrap_or_else(|| registry.version());
                                 lines.push(format!(
                                     "  maintenance @{:.3}: incremental refit {} {} ({} obs) -> registry v{}",
                                     ev.at_s,
                                     site_id,
                                     sample.class.label(),
                                     batch.len(),
-                                    registry.version()
+                                    version
                                 ));
+                                recorder.record_event(
+                                    "refit",
+                                    vec![
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("site".to_string(), Json::from(site_id.0.as_str())),
+                                        ("class".to_string(), Json::from(sample.class.label())),
+                                        ("absorbed".to_string(), Json::from(batch.len())),
+                                        ("registry_version".to_string(), Json::from(version)),
+                                    ],
+                                );
                             }
                             Err(e) => {
                                 ctx.telemetry.inc("maintenance.refit_deferred", 1);
@@ -744,6 +1050,14 @@ impl EstimationServer {
                                     "  maintenance @{:.3}: refit deferred ({e}); serving continues",
                                     ev.at_s
                                 ));
+                                recorder.record_event(
+                                    "refit_deferred",
+                                    vec![
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("site".to_string(), Json::from(site_id.0.as_str())),
+                                        ("error".to_string(), Json::from(e.to_string().as_str())),
+                                    ],
+                                );
                             }
                         }
                     }
@@ -752,7 +1066,27 @@ impl EstimationServer {
         }
 
         report.virtual_makespan_s = clock.max(busy_until);
-        (report.latency_p50_s, report.latency_p95_s) = percentiles(&mut latencies);
+        // Trailing heartbeats: the schedule runs to the end of the replay
+        // even when the last stretch is pure service time.
+        while next_hb <= report.virtual_makespan_s {
+            emit_heartbeat(
+                next_hb,
+                queue.len(),
+                &mut report,
+                registry.version(),
+                &ledger,
+                pool_jobs,
+                &mut ctx.telemetry,
+                recorder,
+            );
+            next_hb += config.heartbeat_s;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        report.latency_p50_s = percentile_sorted(&latencies, 0.50);
+        report.latency_p95_s = percentile_sorted(&latencies, 0.95);
+        report.latency_p99_s = percentile_sorted(&latencies, 0.99);
+        ledger.fold_metrics(&mut ctx.telemetry);
+        report.ledger = ledger.summaries();
         ctx.telemetry
             .field(span, "requests", report.requests as u64);
         ctx.telemetry
@@ -769,6 +1103,10 @@ impl EstimationServer {
         ctx.telemetry
             .field(span, "rederivations", report.rederivations as u64);
         ctx.telemetry
+            .field(span, "heartbeats", report.heartbeats as u64);
+        ctx.telemetry
+            .field(span, "ledger_cells", report.ledger.len() as u64);
+        ctx.telemetry
             .gauge("serve.virtual_makespan_s", report.virtual_makespan_s);
         ctx.telemetry
             .gauge("serve.max_queue_depth", report.max_queue_depth as f64);
@@ -780,13 +1118,14 @@ impl EstimationServer {
         ctx.telemetry.end_span(span);
 
         let mut rendered = format!(
-            "serve loop: {} request(s) — {} answered, {} no-model, {} shed ({} queue-full, {} deadline), {} error line(s)\n",
+            "serve loop: {} request(s) — {} answered, {} no-model, {} shed ({} queue-full, {} deadline; {:.1}% of requests), {} error line(s)\n",
             report.requests,
             report.answered,
             report.no_model,
             report.shed_queue_full + report.shed_deadline,
             report.shed_queue_full,
             report.shed_deadline,
+            report.shed_fraction() * 100.0,
             report.errors
         );
         rendered.push_str(&format!(
@@ -798,13 +1137,16 @@ impl EstimationServer {
             registry.len()
         ));
         rendered.push_str(&format!(
-            "virtual time: makespan {:.3}s, latency p50 {:.3}s p95 {:.3}s, peak queue {}, {} batch(es)\n",
+            "virtual time: makespan {:.3}s, latency p50 {:.3}s p95 {:.3}s p99 {:.3}s, peak queue {}, {} batch(es), {} heartbeat(s)\n",
             report.virtual_makespan_s,
             report.latency_p50_s,
             report.latency_p95_s,
+            report.latency_p99_s,
             report.max_queue_depth,
-            report.batches
+            report.batches,
+            report.heartbeats
         ));
+        rendered.push_str(&ledger.render());
         for line in &lines {
             rendered.push_str(line);
             rendered.push('\n');
@@ -812,6 +1154,58 @@ impl EstimationServer {
         report.rendered = rendered;
         report
     }
+}
+
+/// Emits one virtual-time heartbeat: a `serve.heartbeat` telemetry span
+/// and a flight-recorder event, both carrying the same snapshot of the
+/// serving state at virtual second `at_s`. Every field is seed-pure.
+#[allow(clippy::too_many_arguments)]
+fn emit_heartbeat(
+    at_s: f64,
+    queue_depth: usize,
+    report: &mut ServeReport,
+    registry_version: u64,
+    ledger: &AccuracyLedger,
+    pool_jobs: usize,
+    telemetry: &mut Telemetry,
+    recorder: &mut FlightRecorder,
+) {
+    report.heartbeats += 1;
+    telemetry.inc("serve.heartbeats", 1);
+    let snapshot: Vec<(String, Json)> = vec![
+        ("at_s".to_string(), Json::from(at_s)),
+        ("queue_depth".to_string(), Json::from(queue_depth)),
+        ("requests".to_string(), Json::from(report.requests)),
+        ("answered".to_string(), Json::from(report.answered)),
+        (
+            "shed_queue_full".to_string(),
+            Json::from(report.shed_queue_full),
+        ),
+        (
+            "shed_deadline".to_string(),
+            Json::from(report.shed_deadline),
+        ),
+        ("batches".to_string(), Json::from(report.batches)),
+        ("observations".to_string(), Json::from(report.observations)),
+        (
+            "incremental_refits".to_string(),
+            Json::from(report.incremental_refits),
+        ),
+        (
+            "rederivations".to_string(),
+            Json::from(report.rederivations),
+        ),
+        ("registry_version".to_string(), Json::from(registry_version)),
+        ("ledger_cells".to_string(), Json::from(ledger.len())),
+        ("ledger_samples".to_string(), Json::from(ledger.samples())),
+        ("pool_jobs".to_string(), Json::from(pool_jobs)),
+    ];
+    let span = telemetry.begin_span("serve.heartbeat");
+    for (key, value) in &snapshot {
+        telemetry.field(span, key, value.clone());
+    }
+    telemetry.end_span(span);
+    recorder.record_event("heartbeat", snapshot);
 }
 
 /// Builds the maintainer fleet for every catalog model whose site passes
@@ -866,12 +1260,11 @@ where
         classify(&schema, &query).ok_or_else(|| "query cannot be classified".to_string())?;
     agent.tick();
     let probe = agent.probe();
-    match registry.estimate_with_version(&q.site, &schema, &query, probe) {
-        Some((estimate, version)) => Ok(ServedAnswer::Estimate {
+    match registry.estimate_detailed(&q.site, &schema, &query, probe) {
+        Some(detail) => Ok(ServedAnswer::Estimate {
             class,
             probe,
-            estimate,
-            version,
+            detail,
         }),
         None => Ok(ServedAnswer::NoModel { class }),
     }
@@ -903,7 +1296,7 @@ where
         .ok_or_else(|| "explanatory variables cannot be extracted".to_string())?;
     agent.tick();
     let probe = agent.probe();
-    let estimate = registry.estimate_with_version(site, &schema, &query, probe);
+    let estimate = registry.estimate_detailed(site, &schema, &query, probe);
     let observed = agent.run(&query).map_err(|e| e.to_string())?.cost_s;
     Ok(ObservedSample {
         class,
@@ -924,17 +1317,6 @@ fn apply_degradation(agent: &mut MdbsAgent, factor: f64) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     Ok(())
-}
-
-/// Nearest-rank p50/p95 of a latency sample; `(0, 0)` when empty.
-fn percentiles(samples: &mut [f64]) -> (f64, f64) {
-    if samples.is_empty() {
-        return (0.0, 0.0);
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let p50 = samples[samples.len() / 2];
-    let p95_idx = ((samples.len() as f64 * 0.95).ceil() as usize).clamp(1, samples.len()) - 1;
-    (p50, samples[p95_idx])
 }
 
 #[cfg(test)]
@@ -1003,6 +1385,8 @@ mod tests {
             deadline_s: -1.0,
             refit_threshold: 0,
             workers: Some(3),
+            heartbeat_s: -1.0,
+            flight_capacity: 0,
         }
         .validated();
         assert_eq!(v.queue_capacity, 1);
@@ -1012,19 +1396,60 @@ mod tests {
         assert_eq!(v.deadline_s, 0.0);
         assert_eq!(v.refit_threshold, 1);
         assert_eq!(v.workers, Some(3));
+        assert_eq!(v.heartbeat_s, 0.0);
+        assert_eq!(v.flight_capacity, 0, "capacity 0 = disabled, not clamped");
+        assert_eq!(
+            ServeConfig {
+                heartbeat_s: f64::NAN,
+                ..ServeConfig::default()
+            }
+            .validated()
+            .heartbeat_s,
+            0.0
+        );
         let sane = ServeConfig::default();
         assert_eq!(sane.clone().validated(), sane);
     }
 
     #[test]
-    fn percentiles_are_nearest_rank() {
-        let mut empty: Vec<f64> = vec![];
-        assert_eq!(percentiles(&mut empty), (0.0, 0.0));
-        let mut one = vec![2.0];
-        assert_eq!(percentiles(&mut one), (2.0, 2.0));
-        let mut many: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let (p50, p95) = percentiles(&mut many);
-        assert_eq!(p50, 51.0);
-        assert_eq!(p95, 95.0);
+    fn trace_ids_are_unique_and_seed_stable() {
+        let ids: Vec<String> = (1..=500).map(|l| mint_trace_id(9, l)).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "trace ids must be unique per line");
+        // A pure function of (seed, lineno): stable across calls, distinct
+        // across seeds.
+        assert_eq!(mint_trace_id(9, 42), mint_trace_id(9, 42));
+        assert_ne!(mint_trace_id(9, 42), mint_trace_id(10, 42));
+    }
+
+    #[test]
+    fn empty_report_json_is_well_formed() {
+        let report = ServeReport {
+            rendered: String::new(),
+            requests: 0,
+            answered: 0,
+            no_model: 0,
+            errors: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            batches: 0,
+            max_queue_depth: 0,
+            observations: 0,
+            incremental_refits: 0,
+            rederivations: 0,
+            virtual_makespan_s: 0.0,
+            latency_p50_s: 0.0,
+            latency_p95_s: 0.0,
+            latency_p99_s: 0.0,
+            heartbeats: 0,
+            ledger: Vec::new(),
+        };
+        assert_eq!(report.shed_fraction(), 0.0);
+        let rendered = report.to_json().render();
+        let parsed = mdbs_obs::json::parse(&rendered).expect("report json parses");
+        assert_eq!(parsed.get("requests").and_then(Json::as_i64), Some(0));
+        assert!(matches!(parsed.get("ledger"), Some(Json::Arr(a)) if a.is_empty()));
     }
 }

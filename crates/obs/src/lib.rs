@@ -16,7 +16,11 @@
 //!   non-deterministic wall-clock duration, collected by the [`Telemetry`]
 //!   facade that instrumented code receives as `&mut Telemetry`,
 //! * [`sink`] — a structured [`EventSink`] trait with
-//!   in-memory, discarding and file-backed JSONL implementations.
+//!   in-memory, discarding and file-backed JSONL implementations,
+//! * [`recorder`] — the serving-loop [`FlightRecorder`] (bounded ring of
+//!   request lifecycles plus maintenance/heartbeat events) and the
+//!   per-(site, state) [`AccuracyLedger`] of served-vs-observed relative
+//!   error.
 //!
 //! **Determinism policy.** Telemetry from a seeded run is itself a pure
 //! function of the seeds *except* for wall-clock attribution. Wall-clock
@@ -43,11 +47,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod span;
 pub mod telemetry;
 
 pub use metrics::MetricsRegistry;
+pub use recorder::{AccuracyLedger, FlightRecorder, LedgerSummary};
 pub use sink::{Event, EventSink, JsonlFileSink, MemorySink, NullSink};
 pub use span::{SpanId, SpanRecord};
 pub use telemetry::{strip_wall_clock, Telemetry};

@@ -12,6 +12,24 @@ use std::collections::BTreeMap;
 /// Bucket index for non-positive or non-finite values.
 const UNDERFLOW_BUCKET: i32 = i32::MIN;
 
+/// Nearest-rank 1-based rank for quantile `q` over `len` samples,
+/// clamped into `[1, len]` (callers guarantee `len > 0`).
+fn nearest_rank(len: u64, q: f64) -> u64 {
+    ((len as f64 * q).ceil() as u64).clamp(1, len)
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (`0.0` when empty).
+///
+/// This is the one percentile definition shared across the workspace —
+/// the serve-loop report, the accuracy ledger and the histogram
+/// summaries all use the same rank formula so their numbers agree.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(nearest_rank(sorted.len() as u64, q) - 1) as usize]
+}
+
 /// A log-bucketed histogram of nonnegative measurements.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Histogram {
@@ -100,6 +118,46 @@ fn bucket_of(v: f64) -> i32 {
 }
 
 impl HistogramSummary {
+    /// Nearest-rank quantile reconstructed from the log buckets: walks
+    /// buckets in ascending order until the cumulative count reaches the
+    /// rank, then returns that bucket's upper edge clamped into
+    /// `[min, max]` (the underflow bucket resolves to `min`). Bucket
+    /// resolution bounds the error to one power of two; exact sample
+    /// sets should use [`percentile_sorted`] instead.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = nearest_rank(self.count, q);
+        let mut cumulative = 0u64;
+        for &(exponent, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                if exponent == UNDERFLOW_BUCKET {
+                    return self.min.min(0.0);
+                }
+                let upper = 2.0f64.powi(exponent.saturating_add(1).min(1023));
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Nearest-rank p50 from the buckets (see [`Self::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Nearest-rank p95 from the buckets (see [`Self::percentile`]).
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// Nearest-rank p99 from the buckets (see [`Self::percentile`]).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
     /// The summary as a JSON object (used by the JSONL rendering).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -107,6 +165,9 @@ impl HistogramSummary {
             ("sum".into(), Json::from(self.sum)),
             ("min".into(), Json::from(self.min)),
             ("max".into(), Json::from(self.max)),
+            ("p50".into(), Json::from(self.p50())),
+            ("p95".into(), Json::from(self.p95())),
+            ("p99".into(), Json::from(self.p99())),
             (
                 "buckets".into(),
                 Json::Arr(
@@ -240,11 +301,15 @@ impl MetricsRegistry {
             for (name, hist) in &self.histograms {
                 let s = hist.summary();
                 out.push_str(&format!(
-                    "  {name}: n={} mean={:.4} min={:.4} max={:.4}\n",
+                    "  {name}: n={} mean={:.4} min={:.4} max={:.4} \
+                     p50={:.4} p95={:.4} p99={:.4}\n",
                     s.count,
                     hist.mean(),
                     s.min,
-                    s.max
+                    s.max,
+                    s.p50(),
+                    s.p95(),
+                    s.p99()
                 ));
             }
         }
@@ -337,6 +402,57 @@ mod tests {
         let h = a.histogram("h").unwrap().summary();
         assert_eq!((h.count, h.min, h.max), (2, 1.0, 4.0));
         assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn percentile_sorted_is_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&samples, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&samples, 0.95), 95.0);
+        assert_eq!(percentile_sorted(&samples, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&samples, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&samples, 1.0), 100.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn summary_percentiles_walk_buckets() {
+        let mut h = Histogram::default();
+        // 90 values in [1,2), 10 in [64,128): p50 lands in the low bucket
+        // (upper edge 2), p95/p99 in the high one (edge 128, clamped to max).
+        for _ in 0..90 {
+            h.record(1.5);
+        }
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50(), 2.0);
+        assert_eq!(s.p95(), 100.0); // 128 clamped to max
+        assert_eq!(s.p99(), 100.0);
+        assert_eq!(Histogram::default().summary().p50(), 0.0);
+    }
+
+    #[test]
+    fn summary_percentile_resolves_underflow_to_min() {
+        let mut h = Histogram::default();
+        h.record(-1.0);
+        h.record(-1.0);
+        h.record(3.0);
+        let s = h.summary();
+        assert_eq!(s.p50(), -1.0);
+        assert_eq!(s.p99(), 3.0);
+    }
+
+    #[test]
+    fn summary_json_carries_percentiles() {
+        let mut h = Histogram::default();
+        h.record(1.5);
+        let json = h.summary().to_json().render();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
     }
 
     #[test]

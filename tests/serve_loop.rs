@@ -138,6 +138,10 @@ fn loop_config(workers: usize) -> ServeConfig {
         deadline_s: 0.5,
         refit_threshold: 20,
         workers: Some(workers),
+        // Observability has its own suite (`tests/observability.rs`); this
+        // one pins the plain serving contract.
+        heartbeat_s: 0.0,
+        flight_capacity: 0,
     }
 }
 
