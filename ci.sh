@@ -133,6 +133,46 @@ grep -q "accuracy ledger" "$SERVE_DIR/stats-tel.txt"
 ./target/release/mdbs-qcost stats "$SERVE_DIR/flight-1.jsonl" \
   > "$SERVE_DIR/stats-flight.txt"
 grep -q "flight records by kind:" "$SERVE_DIR/stats-flight.txt"
+
+echo "==> serve --loop --correction (drift trace: corrected p50 beats uncorrected)"
+# The committed drift trace degrades the site 4x mid-run. The corrected
+# replay must stay byte-identical at every --jobs, apply corrections, and
+# land a strictly lower pooled ledger p50 |relative error| than the same
+# replay with the correction layer off.
+for j in 1 2 8; do
+  # The report-json path echoes into stdout, so the byte-compared runs
+  # skip it; a separate jobs-2 run below captures the report (which the
+  # in-repo tests pin as jobs-independent).
+  ./target/release/mdbs-qcost serve --loop --catalog "$SERVE_DIR/catalog.txt" \
+    --trace examples/serve_drift.trace --refit 500 --drift-window 20 \
+    --drift-min 10 --drift-fraction 0.5 --seed 7 --jobs "$j" --correction \
+    > "$SERVE_DIR/corr-out-$j.txt"
+done
+cmp "$SERVE_DIR/corr-out-1.txt" "$SERVE_DIR/corr-out-2.txt"
+cmp "$SERVE_DIR/corr-out-1.txt" "$SERVE_DIR/corr-out-8.txt"
+grep -q "correction:" "$SERVE_DIR/corr-out-1.txt"
+./target/release/mdbs-qcost serve --loop --catalog "$SERVE_DIR/catalog.txt" \
+  --trace examples/serve_drift.trace --refit 500 --drift-window 20 \
+  --drift-min 10 --drift-fraction 0.5 --seed 7 --jobs 2 --correction \
+  --report-json "$SERVE_DIR/corr-report.json" > /dev/null
+./target/release/mdbs-qcost serve --loop --catalog "$SERVE_DIR/catalog.txt" \
+  --trace examples/serve_drift.trace --refit 500 --drift-window 20 \
+  --drift-min 10 --drift-fraction 0.5 --seed 7 --jobs 2 \
+  --report-json "$SERVE_DIR/plain-report.json" > /dev/null
+CORR_P50=$(grep -o '"ledger_p50_abs_rel_err":[0-9.eE+-]*' \
+  "$SERVE_DIR/corr-report.json" | cut -d: -f2)
+PLAIN_P50=$(grep -o '"ledger_p50_abs_rel_err":[0-9.eE+-]*' \
+  "$SERVE_DIR/plain-report.json" | cut -d: -f2)
+CORR_APPLIED=$(grep -o '"corrections_applied":[0-9]*' \
+  "$SERVE_DIR/corr-report.json" | cut -d: -f2)
+test "$CORR_APPLIED" -gt 0
+awk -v on="$CORR_P50" -v off="$PLAIN_P50" 'BEGIN {
+  if (!(on + 0 < off + 0)) {
+    printf "correction gate failed: corrected p50 %s !< uncorrected p50 %s\n", on, off
+    exit 1
+  }
+  printf "correction gate: corrected p50 %s < uncorrected p50 %s\n", on, off
+}'
 rm -rf "$SERVE_DIR"
 
 echo "==> bench --json smoke (serve_loop virtual metrics)"
@@ -149,5 +189,15 @@ cargo bench -q --offline --bench serve_observability -- virtual \
   --json "$OBS_BENCH_JSON" > /dev/null
 ./target/release/bench-json-check "$OBS_BENCH_JSON"
 rm -f "$OBS_BENCH_JSON"
+
+echo "==> bench --json smoke (serve_correction overhead)"
+# The bench itself asserts the correction layer costs zero *virtual*
+# throughput (bit-identical makespan and latency percentiles vs
+# correction-off).
+CORR_BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-corr-bench.$$.json"
+cargo bench -q --offline --bench serve_correction -- virtual \
+  --json "$CORR_BENCH_JSON" > /dev/null
+./target/release/bench-json-check "$CORR_BENCH_JSON"
+rm -f "$CORR_BENCH_JSON"
 
 echo "==> ci.sh: all checks passed"

@@ -1,13 +1,12 @@
-//! Overhead bench for the serving-loop observability layer
-//! ([`mdbs_core::server`] + [`mdbs_obs::recorder`]).
+//! Overhead bench for the feedback-driven correction layer
+//! ([`mdbs_core::correction`] wired into [`mdbs_core::server`]).
 //!
-//! Replays the same mixed request/observation trace twice — recording off
-//! (no telemetry, heartbeats disabled, flight recorder disabled) and
-//! recording on (traced context, 1s virtual heartbeats, a 256-deep flight
-//! ring drained to JSONL) — and reports the wall-clock cost of each.
-//! The recorder rides outside the virtual clock, so the bench also
-//! *asserts* that full recording costs zero virtual throughput: answered
-//! counts, makespan and latency percentiles must be bit-identical.
+//! Replays the same mixed request/observation trace twice — correction off
+//! and correction on — and reports the wall-clock cost of each. The
+//! correction ledger folds and applies outside the virtual clock, so the
+//! bench also *asserts* that correction costs zero virtual throughput:
+//! answered counts, makespan and latency percentiles must be bit-identical
+//! between the two runs.
 
 use mdbs_bench::harness::Harness;
 use mdbs_bench::workloads::Site;
@@ -55,7 +54,8 @@ fn seeded_catalog() -> GlobalCatalog {
 }
 
 /// Requests at 20/virtual-second with an observation after every fourth,
-/// so the ledger, the heartbeat stream and the request ring all fill.
+/// so the correction cells warm up and every answered batch consults a
+/// live ledger.
 fn mixed_trace(requests: usize) -> RequestTrace {
     let mut text = String::new();
     for i in 0..requests {
@@ -77,15 +77,13 @@ fn mixed_trace(requests: usize) -> RequestTrace {
     trace
 }
 
-/// Replays the trace; `recording` switches the whole observability layer
-/// (telemetry sink, heartbeats, flight recorder + JSONL drain) on or off.
-/// Returns the report and the number of flight-dump bytes produced.
+/// Replays the trace with the correction layer on or off.
 fn replay(
     catalog: &GlobalCatalog,
     trace: &RequestTrace,
     workers: usize,
-    recording: bool,
-) -> (mdbs_core::server::ServeReport, usize) {
+    correction: bool,
+) -> mdbs_core::server::ServeReport {
     let registry = ModelRegistry::from_catalog(catalog);
     let fleet = fleet_from_catalog(
         catalog,
@@ -98,65 +96,56 @@ fn replay(
     let config = ServeConfig::builder()
         .refit_threshold(usize::MAX)
         .workers(Some(workers))
-        .heartbeat_s(if recording { 1.0 } else { 0.0 })
-        .flight_capacity(if recording { 256 } else { 0 })
+        .heartbeat_s(0.0)
+        .flight_capacity(0)
+        .correction(correction)
         .build()
         .expect("sane config");
     let mut server = EstimationServer::new(registry, fleet, config);
-    let mut ctx = if recording {
-        PipelineCtx::traced(52)
-    } else {
-        PipelineCtx::seeded(52)
-    };
-    let report = server.run(
+    let mut ctx = PipelineCtx::seeded(52);
+    server.run(
         trace,
         |site: &SiteId, seed: u64| (site.0 == "oracle").then(|| Site::Oracle.dynamic_agent(seed)),
         &mut ctx,
-    );
-    let dumped = if recording {
-        server.recorder().dump_jsonl().len()
-    } else {
-        0
-    };
-    (report, dumped)
+    )
 }
 
 fn main() {
-    let mut h = Harness::new("serve_observability");
+    let mut h = Harness::new("serve_correction");
 
     let catalog = seeded_catalog();
     let trace = mixed_trace(160);
 
-    // Wall-clock cost of the same replay with the recording layer off/on.
-    h.bench("replay/mixed_160_recording_off", 1, 5, || {
+    // Wall-clock cost of the same replay with the correction layer off/on.
+    h.bench("replay/mixed_160_correction_off", 1, 5, || {
         replay(&catalog, &trace, 4, false)
     });
-    h.bench("replay/mixed_160_recording_on", 1, 5, || {
+    h.bench("replay/mixed_160_correction_on", 1, 5, || {
         replay(&catalog, &trace, 4, true)
     });
 
-    // Virtual-time service quality must be recording-invariant.
-    let (base, no_bytes) = replay(&catalog, &trace, 4, false);
-    let (full, bytes) = replay(&catalog, &trace, 4, true);
-    assert_eq!(no_bytes, 0);
-    assert!(bytes > 0, "recording run produced no flight dump");
-    assert!(full.heartbeats >= 2, "recording run must heartbeat");
-    assert_eq!(base.answered, full.answered);
+    // Virtual-time service quality must be correction-invariant: the
+    // ledger folds and applies between batches, never on the clock.
+    let off = replay(&catalog, &trace, 4, false);
+    let on = replay(&catalog, &trace, 4, true);
+    assert_eq!(off.corrections_applied, 0, "correction leaked into off run");
+    assert!(on.corrections_applied > 0, "correction never fired");
+    assert_eq!(off.answered, on.answered);
     assert_eq!(
-        base.virtual_makespan_s.to_bits(),
-        full.virtual_makespan_s.to_bits(),
-        "recording leaked into the virtual clock"
+        off.virtual_makespan_s.to_bits(),
+        on.virtual_makespan_s.to_bits(),
+        "correction leaked into the virtual clock"
     );
-    assert_eq!(base.latency_p50_s.to_bits(), full.latency_p50_s.to_bits());
-    assert_eq!(base.latency_p95_s.to_bits(), full.latency_p95_s.to_bits());
+    assert_eq!(off.latency_p50_s.to_bits(), on.latency_p50_s.to_bits());
+    assert_eq!(off.latency_p95_s.to_bits(), on.latency_p95_s.to_bits());
 
-    // Virtual throughput with full recording (identical to recording-off
+    // Virtual throughput with correction on (identical to correction-off
     // by the asserts above; recorded so regressions show up in the JSON).
-    assert!(full.answered > 0, "replay answered nothing");
-    let ns_per_answer = (full.virtual_makespan_s * 1e9) as u128 / full.answered as u128;
+    assert!(on.answered > 0, "replay answered nothing");
+    let ns_per_answer = (on.virtual_makespan_s * 1e9) as u128 / on.answered as u128;
     h.record(
-        "virtual/ns_per_answered_recording_on",
-        full.answered,
+        "virtual/ns_per_answered_correction_on",
+        on.answered,
         ns_per_answer,
         ns_per_answer,
     );

@@ -105,11 +105,11 @@ fn replay(
         |site| site.0 == "oracle",
     )
     .expect("fleet builds from the catalog");
-    let config = ServeConfig {
-        refit_threshold,
-        workers: Some(workers),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .refit_threshold(refit_threshold)
+        .workers(Some(workers))
+        .build()
+        .expect("sane config");
     let mut server = EstimationServer::new(registry, fleet, config);
     server.run(
         trace,

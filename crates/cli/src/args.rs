@@ -92,6 +92,22 @@ impl Args {
         }
     }
 
+    /// Maps an optional `--key value` onto a builder setter: when the key
+    /// is present its parsed value is fed through `set`, otherwise the
+    /// builder passes through unchanged. Keeps `--flag` → builder wiring a
+    /// one-liner per knob.
+    pub fn apply_opt<B, T: std::str::FromStr>(
+        &self,
+        key: &str,
+        builder: B,
+        set: impl FnOnce(B, T) -> B,
+    ) -> Result<B, ArgsError> {
+        match self.parse_opt::<T>(key)? {
+            Some(v) => Ok(set(builder, v)),
+            None => Ok(builder),
+        }
+    }
+
     /// A boolean flag (present → true).
     pub fn flag(&self, key: &str) -> bool {
         self.options.get(key).is_some_and(|v| v != "false")
@@ -163,6 +179,18 @@ mod tests {
     fn unknown_keys_detected() {
         let a = Args::parse(&argv("derive --site x --oops 1")).unwrap();
         assert_eq!(a.unknown_keys(&["site"]), vec!["oops".to_string()]);
+    }
+
+    #[test]
+    fn apply_opt_feeds_builder_only_when_present() {
+        let a = Args::parse(&argv("serve --queue 7")).unwrap();
+        let set = a.apply_opt("queue", 0usize, |_, v: usize| v).unwrap();
+        assert_eq!(set, 7);
+        let unset = a.apply_opt("batch", 3usize, |_, v: usize| v).unwrap();
+        assert_eq!(unset, 3);
+        assert!(a.apply_opt::<usize, usize>("queue", 0, |_, v| v).is_ok());
+        let bad = Args::parse(&argv("serve --queue abc")).unwrap();
+        assert!(bad.apply_opt::<usize, usize>("queue", 0, |_, v| v).is_err());
     }
 
     #[test]

@@ -5,12 +5,15 @@ use crate::args::{Args, ArgsError};
 use crate::site::{parse_profile, site_agent, SiteName};
 use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::{classify, QueryClass};
+use mdbs_core::correction::EstimateQuery;
 use mdbs_core::derive::{derive_all, derive_cost_model, BatchConfig, DerivationConfig, DeriveJob};
-use mdbs_core::maintenance::MaintenanceConfig;
+use mdbs_core::maintenance::{MaintenanceConfig, MaintenanceConfigBuilder};
 use mdbs_core::model::ModelAccumulator;
 use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::registry::ModelRegistry;
-use mdbs_core::server::{fleet_from_catalog, EstimationServer, RequestTrace, ServeConfig};
+use mdbs_core::server::{
+    fleet_from_catalog, EstimationServer, RequestTrace, ServeConfig, ServeConfigBuilder,
+};
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
 use mdbs_obs::{JsonlFileSink, Telemetry};
 use mdbs_sim::sql::parse_query;
@@ -470,7 +473,8 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     agent.tick();
     let probe = agent.probe();
     tel.field(span, "probe_cost_s", probe);
-    let Some(estimate) = catalog.estimate_local_cost(&site.id().into(), &schema, &query, probe)
+    let site_id: SiteId = site.id().into();
+    let Some(detail) = catalog.estimate(&EstimateQuery::raw(&site_id, &schema, &query, probe))
     else {
         return Err(CliError::Invalid(format!(
             "no cost model for {} at site `{}` in {catalog_path} — derive one first:\n  \
@@ -481,22 +485,16 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
             class_tag(class),
         )));
     };
-    let model = catalog
-        .model(&site.id().into(), class)
-        .expect("estimate succeeded, model exists");
+    let estimate = detail.estimate;
     let mut out = String::new();
     out.push_str(&format!("query class: {}\n", class.label()));
     out.push_str(&format!(
         "probing cost: {probe:.3}s -> contention state {}\n",
-        model.states.paper_label(model.states.state_of(probe))
+        detail.state_label
     ));
     out.push_str(&format!("estimated cost: {estimate:.2}s\n"));
     tel.field(span, "estimated_cost_s", estimate);
-    tel.field(
-        span,
-        "state",
-        model.states.paper_label(model.states.state_of(probe)),
-    );
+    tel.field(span, "state", detail.state_label.clone());
     if args.flag("execute") {
         let exec = agent
             .run(&query)
@@ -549,6 +547,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             "heartbeat",
             "flight-recorder",
             "report-json",
+            "correction",
+            "correction-alpha",
+            "correction-saturation",
+            "ledger-cells",
         ],
     )?;
     if args.flag("loop") {
@@ -569,6 +571,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "heartbeat",
         "flight-recorder",
         "report-json",
+        "correction",
+        "correction-alpha",
+        "correction-saturation",
+        "ledger-cells",
     ] {
         if args.parse_opt::<String>(key)?.is_some() {
             return Err(CliError::Invalid(format!(
@@ -696,13 +702,15 @@ fn serve_query_line(
         .ok_or_else(|| format!("{queries_path}:{lineno}: query cannot be classified"))?;
     agent.tick();
     let probe = agent.probe();
-    match registry.estimate_local_cost(&site.id().into(), &schema, &query, probe) {
-        Some(estimate) => Ok((
+    let site_id: SiteId = site.id().into();
+    match registry.estimate(&EstimateQuery::raw(&site_id, &schema, &query, probe)) {
+        Some(detail) => Ok((
             true,
             format!(
-                "  {lineno:>3} {} {}: probe {probe:.3}s -> estimate {estimate:.2}s\n",
+                "  {lineno:>3} {} {}: probe {probe:.3}s -> estimate {:.2}s\n",
                 site.id(),
-                class.label()
+                class.label(),
+                detail.estimate,
             ),
         )),
         None => Ok((
@@ -731,47 +739,50 @@ fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
     let telemetry_path = args.parse_opt::<String>("telemetry")?;
     let algorithm = parse_algorithm(args.or_default("algorithm", "iupma"))?;
-    let defaults = ServeConfig::default();
-    let config = ServeConfig {
-        queue_capacity: args
-            .parse_opt::<usize>("queue")?
-            .unwrap_or(defaults.queue_capacity),
-        batch_max: args
-            .parse_opt::<usize>("batch")?
-            .unwrap_or(defaults.batch_max),
-        batch_delay_s: args
-            .parse_opt::<f64>("batch-delay")?
-            .unwrap_or(defaults.batch_delay_s),
-        service_cost_s: args
-            .parse_opt::<f64>("service-cost")?
-            .unwrap_or(defaults.service_cost_s),
-        deadline_s: args
-            .parse_opt::<f64>("deadline")?
-            .unwrap_or(defaults.deadline_s),
-        refit_threshold: args
-            .parse_opt::<usize>("refit")?
-            .unwrap_or(defaults.refit_threshold),
-        workers: jobs,
-        heartbeat_s: args
-            .parse_opt::<f64>("heartbeat")?
-            .unwrap_or(defaults.heartbeat_s),
-        flight_capacity: defaults.flight_capacity,
-    };
+    // Every `--flag` maps onto a builder setter; unset flags keep the
+    // builder defaults, and `build()` rejects degenerate combinations with
+    // an actionable message instead of silently clamping.
+    let builder = ServeConfig::builder()
+        .workers(jobs)
+        .correction(args.flag("correction"));
+    let builder = args.apply_opt("queue", builder, ServeConfigBuilder::queue_capacity)?;
+    let builder = args.apply_opt("batch", builder, ServeConfigBuilder::batch_max)?;
+    let builder = args.apply_opt("batch-delay", builder, ServeConfigBuilder::batch_delay_s)?;
+    let builder = args.apply_opt("service-cost", builder, ServeConfigBuilder::service_cost_s)?;
+    let builder = args.apply_opt("deadline", builder, ServeConfigBuilder::deadline_s)?;
+    let builder = args.apply_opt("refit", builder, ServeConfigBuilder::refit_threshold)?;
+    let builder = args.apply_opt("heartbeat", builder, ServeConfigBuilder::heartbeat_s)?;
+    let builder = args.apply_opt(
+        "correction-alpha",
+        builder,
+        ServeConfigBuilder::correction_ewma_alpha,
+    )?;
+    let builder = args.apply_opt(
+        "correction-saturation",
+        builder,
+        ServeConfigBuilder::correction_saturation,
+    )?;
+    let builder = args.apply_opt(
+        "ledger-cells",
+        builder,
+        ServeConfigBuilder::ledger_max_cells,
+    )?;
+    let config = builder
+        .build()
+        .map_err(|e| CliError::Invalid(format!("serve --loop: {e}")))?;
     let flight_path = args.parse_opt::<String>("flight-recorder")?;
     let report_json_path = args.parse_opt::<String>("report-json")?;
-    let maintenance_defaults = MaintenanceConfig::default();
-    let maintenance = MaintenanceConfig {
-        window: args
-            .parse_opt::<usize>("drift-window")?
-            .unwrap_or(maintenance_defaults.window),
-        min_observations: args
-            .parse_opt::<usize>("drift-min")?
-            .unwrap_or(maintenance_defaults.min_observations),
-        min_good_fraction: args
-            .parse_opt::<f64>("drift-fraction")?
-            .unwrap_or(maintenance_defaults.min_good_fraction),
-    }
-    .validated();
+    let mb = MaintenanceConfig::builder();
+    let mb = args.apply_opt("drift-window", mb, MaintenanceConfigBuilder::window)?;
+    let mb = args.apply_opt("drift-min", mb, MaintenanceConfigBuilder::min_observations)?;
+    let mb = args.apply_opt(
+        "drift-fraction",
+        mb,
+        MaintenanceConfigBuilder::min_good_fraction,
+    )?;
+    let maintenance = mb
+        .build()
+        .map_err(|e| CliError::Invalid(format!("serve --loop: {e}")))?;
 
     let text = std::fs::read_to_string(catalog_path)
         .map_err(io_err(format!("cannot read `{catalog_path}`")))?;

@@ -7,9 +7,10 @@
 //! local cost estimates.
 
 use crate::classes::{classify, QueryClass};
+use crate::correction::EstimateQuery;
 use crate::model::{CostModel, ModelAccumulator};
 use crate::probing::ProbeCostEstimator;
-use crate::variables::VariableFamily;
+use crate::registry::EstimateDetail;
 use mdbs_sim::catalog::LocalCatalog;
 use mdbs_sim::query::Query;
 // Point lookups keyed by (site, class); every iteration below sorts its
@@ -117,12 +118,24 @@ impl GlobalCatalog {
         classes
     }
 
-    /// Estimates the cost of a local query at a site: classify it, look up
-    /// the model, extract the Table-3 variables, and evaluate the model in
-    /// the contention state implied by `probe_cost`.
+    /// The unified estimation entry point: classify the query, look up
+    /// the model, extract the Table-3 variables, evaluate in the
+    /// contention state implied by the probing cost, and apply the
+    /// attached correction ledger (if any, and warm). The catalog carries
+    /// no publish history, so [`EstimateDetail::version`] is always 0 —
+    /// use a [`crate::registry::ModelRegistry`] when snapshot provenance
+    /// matters.
     ///
     /// Returns `None` when the query cannot be classified or no model is
     /// stored for its class.
+    pub fn estimate(&self, q: &EstimateQuery<'_>) -> Option<EstimateDetail> {
+        let class = classify(q.schema, q.query)?;
+        let model = self.model(q.site, class)?;
+        crate::correction::price_with_model(model, 0, class, q)
+    }
+
+    /// Estimates the cost of a local query at a site.
+    #[deprecated(note = "use `GlobalCatalog::estimate(&EstimateQuery)`")]
     pub fn estimate_local_cost(
         &self,
         site: &SiteId,
@@ -130,12 +143,8 @@ impl GlobalCatalog {
         query: &Query,
         probe_cost: f64,
     ) -> Option<f64> {
-        let class = classify(local_schema, query)?;
-        let model = self.model(site, class)?;
-        let family: VariableFamily = class.family();
-        let x = family.extract(local_schema, query)?;
-        let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
-        Some(model.estimate(&x_sel, probe_cost))
+        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
+            .map(|d| d.estimate)
     }
 }
 
@@ -198,7 +207,13 @@ mod tests {
             predicates: vec![Predicate::lt(4, t.columns[4].domain_max / 2)],
             order_by: None,
         });
-        let est = cat.estimate_local_cost(&site, &db, &q, 1.0).unwrap();
+        let detail = cat
+            .estimate(&EstimateQuery::raw(&site, &db, &q, 1.0))
+            .unwrap();
+        assert_eq!(detail.version, 0, "catalog estimates carry no history");
+        assert!(!detail.corrected, "no ledger attached");
+        assert_eq!(detail.estimate, detail.raw_estimate);
+        let est = detail.estimate;
         let expected = 1.0 + 0.001 * t.cardinality as f64;
         assert!(
             (est - expected).abs() / expected < 0.05,
@@ -217,6 +232,8 @@ mod tests {
             predicates: vec![],
             order_by: None,
         });
-        assert!(cat.estimate_local_cost(&"s".into(), &db, &q, 1.0).is_none());
+        assert!(cat
+            .estimate(&EstimateQuery::raw(&"s".into(), &db, &q, 1.0))
+            .is_none());
     }
 }

@@ -59,6 +59,7 @@
 
 pub mod catalog;
 pub mod classes;
+pub mod correction;
 pub mod derive;
 pub mod maintenance;
 pub mod mdbs;
@@ -80,17 +81,21 @@ pub mod variables;
 
 pub use catalog::GlobalCatalog;
 pub use classes::QueryClass;
+pub use correction::{Correction, CorrectionConfig, CorrectionLedger, EstimateQuery};
 pub use derive::{
     derive_all, derive_cost_model, BatchConfig, BatchOutcome, DerivationConfig, DeriveJob,
     DerivedModel,
 };
+pub use maintenance::{MaintenanceConfig, MaintenanceConfigBuilder};
 pub use mdbs::{GlobalExecution, Mdbs};
 pub use model::{CostModel, FitEngine, ModelAccumulator, ModelForm};
 pub use observation::Observation;
 pub use pipeline::PipelineCtx;
 pub use qualvar::StateSet;
-pub use registry::{ModelRegistry, RegisteredModel};
-pub use server::{EstimationServer, RequestTrace, ServeConfig, ServeReport, TraceEvent};
+pub use registry::{EstimateDetail, ModelRegistry, RegisteredModel};
+pub use server::{
+    EstimationServer, RequestTrace, ServeConfig, ServeConfigBuilder, ServeReport, TraceEvent,
+};
 pub use states::StateAlgorithm;
 
 /// Errors produced by the cost-model derivation machinery.

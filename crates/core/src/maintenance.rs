@@ -38,7 +38,12 @@ use mdbs_stats::rng::split_stream;
 use std::collections::VecDeque;
 
 /// Configuration of the drift monitor.
+///
+/// Marked `#[non_exhaustive]`: external crates construct it through
+/// [`MaintenanceConfig::builder`], so new knobs can be added without
+/// breaking callers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct MaintenanceConfig {
     /// Size of the sliding window of recent estimates.
     pub window: usize,
@@ -60,6 +65,23 @@ impl Default for MaintenanceConfig {
 }
 
 impl MaintenanceConfig {
+    /// A builder seeded with [`MaintenanceConfig::default`] — the one way
+    /// for external crates to construct a config, since the struct is
+    /// `#[non_exhaustive]`.
+    pub fn builder() -> MaintenanceConfigBuilder {
+        MaintenanceConfigBuilder {
+            cfg: MaintenanceConfig::default(),
+        }
+    }
+
+    /// Returns a config whose fields are mutually consistent.
+    #[deprecated(
+        note = "use `MaintenanceConfig::builder()`, whose `build()` rejects inconsistent knobs"
+    )]
+    pub fn validated(self) -> Self {
+        self.clamped()
+    }
+
     /// Returns a config whose fields are mutually consistent.
     ///
     /// [`DriftMonitor::record`] caps the evidence deque at `window`, so a
@@ -68,14 +90,68 @@ impl MaintenanceConfig {
     /// how bad the estimates. This clamps `min_observations` into
     /// `1..=window` (and `window` itself to at least 1,
     /// `min_good_fraction` into `[0, 1]`) so every configuration the
-    /// monitor actually runs with can reach its gate.
-    pub fn validated(self) -> Self {
+    /// monitor actually runs with can reach its gate. The lenient
+    /// counterpart of [`MaintenanceConfigBuilder::build`], applied on
+    /// monitor construction.
+    fn clamped(self) -> Self {
         let window = self.window.max(1);
         MaintenanceConfig {
             window,
             min_observations: self.min_observations.clamp(1, window),
             min_good_fraction: self.min_good_fraction.clamp(0.0, 1.0),
         }
+    }
+}
+
+/// Builder for [`MaintenanceConfig`]: every setter overrides one default,
+/// and [`MaintenanceConfigBuilder::build`] rejects inconsistent
+/// combinations instead of silently clamping them.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfigBuilder {
+    cfg: MaintenanceConfig,
+}
+
+impl MaintenanceConfigBuilder {
+    /// Sliding-window size (must be ≥ 1).
+    pub fn window(mut self, v: usize) -> Self {
+        self.cfg.window = v;
+        self
+    }
+
+    /// Minimum observations before drift can be declared (must be in
+    /// `1..=window`).
+    pub fn min_observations(mut self, v: usize) -> Self {
+        self.cfg.min_observations = v;
+        self
+    }
+
+    /// Good-estimate fraction below which drift is declared (must be in
+    /// `[0, 1]`).
+    pub fn min_good_fraction(mut self, v: f64) -> Self {
+        self.cfg.min_good_fraction = v;
+        self
+    }
+
+    /// Validates and returns the config. Inconsistent knobs — a drift gate
+    /// the sliding window could never satisfy — are an error here, unlike
+    /// monitor construction, which clamps defensively.
+    pub fn build(self) -> Result<MaintenanceConfig, CoreError> {
+        let c = &self.cfg;
+        if c.window == 0 {
+            return Err(CoreError::Degenerate("window must be >= 1".to_string()));
+        }
+        if c.min_observations == 0 || c.min_observations > c.window {
+            return Err(CoreError::Degenerate(format!(
+                "min_observations must be in 1..=window ({}), got {}",
+                c.window, c.min_observations
+            )));
+        }
+        if !c.min_good_fraction.is_finite() || !(0.0..=1.0).contains(&c.min_good_fraction) {
+            return Err(CoreError::Degenerate(
+                "min_good_fraction must be in [0, 1]".to_string(),
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -87,12 +163,12 @@ pub struct DriftMonitor {
 }
 
 impl DriftMonitor {
-    /// A monitor with the given configuration. The config is passed through
-    /// [`MaintenanceConfig::validated`] first, so a `min_observations` above
-    /// `window` — a gate the sliding window could never satisfy — is clamped
-    /// instead of making drift silently undetectable forever.
+    /// A monitor with the given configuration. The config is clamped to
+    /// mutual consistency first, so a `min_observations` above `window` —
+    /// a gate the sliding window could never satisfy — is clamped instead
+    /// of making drift silently undetectable forever.
     pub fn new(config: MaintenanceConfig) -> Self {
-        let config = config.validated();
+        let config = config.clamped();
         DriftMonitor {
             recent: VecDeque::with_capacity(config.window),
             config,
@@ -633,7 +709,7 @@ mod tests {
             min_observations: 20,
             min_good_fraction: 1.5,
         }
-        .validated();
+        .clamped();
         assert_eq!(v.window, 10);
         assert_eq!(v.min_observations, 10);
         assert_eq!(v.min_good_fraction, 1.0);
@@ -643,14 +719,57 @@ mod tests {
             min_observations: 0,
             min_good_fraction: -0.5,
         }
-        .validated();
+        .clamped();
         assert_eq!(v.window, 1);
         assert_eq!(v.min_observations, 1);
         assert_eq!(v.min_good_fraction, 0.0);
 
-        // A sane config passes through untouched.
+        // A sane config passes through untouched, and the deprecated
+        // shim delegates to the same clamping.
         let sane = MaintenanceConfig::default();
-        assert_eq!(sane.clone().validated(), sane);
+        assert_eq!(sane.clone().clamped(), sane);
+        #[allow(deprecated)]
+        let shimmed = MaintenanceConfig::default().validated();
+        assert_eq!(shimmed, sane);
+    }
+
+    #[test]
+    fn maintenance_builder_accepts_sane_and_rejects_inconsistent() {
+        let built = MaintenanceConfig::builder()
+            .window(20)
+            .min_observations(8)
+            .min_good_fraction(0.65)
+            .build()
+            .expect("sane knobs build");
+        assert_eq!(built.window, 20);
+        assert_eq!(built.min_observations, 8);
+        assert_eq!(built.min_good_fraction, 0.65);
+        assert_eq!(
+            MaintenanceConfig::builder()
+                .build()
+                .expect("defaults build"),
+            MaintenanceConfig::default()
+        );
+        for (name, b) in [
+            ("window", MaintenanceConfig::builder().window(0)),
+            (
+                "min_obs_zero",
+                MaintenanceConfig::builder().min_observations(0),
+            ),
+            (
+                "min_obs_above_window",
+                MaintenanceConfig::builder().window(10).min_observations(20),
+            ),
+            (
+                "fraction",
+                MaintenanceConfig::builder().min_good_fraction(1.5),
+            ),
+        ] {
+            assert!(
+                matches!(b.build(), Err(CoreError::Degenerate(_))),
+                "{name} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -122,12 +122,24 @@ impl CostModel {
     /// Estimates the cost of a query given its selected-variable values
     /// (aligned with `var_indexes`) and the probing cost gauged in the
     /// target environment.
+    ///
+    /// Thin wrapper: resolves the contention state from `probe_cost` via
+    /// [`StateSet::state_of`](crate::qualvar::StateSet::state_of) and
+    /// delegates to [`CostModel::estimate_in_state`], the single source of
+    /// truth for pricing. Results are bitwise identical to calling
+    /// `estimate_in_state` with the resolved state.
     pub fn estimate(&self, x_selected: &[f64], probe_cost: f64) -> f64 {
         let s = self.states.state_of(probe_cost);
         self.estimate_in_state(x_selected, s)
     }
 
     /// Estimates the cost within an explicit contention state.
+    ///
+    /// This is the **single source of truth** for model pricing: both
+    /// [`CostModel::estimate`] and [`CostModel::estimate_observation`] are
+    /// thin wrappers that resolve the state / project the variables and then
+    /// delegate here, so all three entry points are bitwise consistent. Any
+    /// change to the evaluation arithmetic must be made here and only here.
     pub fn estimate_in_state(&self, x_selected: &[f64], state: usize) -> f64 {
         let b = &self.coefficients[state.min(self.coefficients.len() - 1)];
         let mut y = b[0];
@@ -139,6 +151,11 @@ impl CostModel {
 
     /// Estimates the cost of a full-width observation (all candidate
     /// variables); projection onto the selected subset happens internally.
+    ///
+    /// Thin wrapper over [`CostModel::estimate`] (and therefore over
+    /// [`CostModel::estimate_in_state`], the single source of truth):
+    /// projects `obs` onto `var_indexes` and delegates, so its result is
+    /// bitwise identical to projecting by hand and calling `estimate`.
     pub fn estimate_observation(&self, obs: &Observation) -> f64 {
         let x = obs.project(&self.var_indexes);
         self.estimate(&x, obs.probe_cost)
@@ -696,6 +713,31 @@ mod tests {
         assert!(text.contains("S2"));
         assert!(text.contains("N_O"));
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn estimate_entry_points_are_bitwise_consistent() {
+        // All three estimation entry points must agree bitwise: `estimate`
+        // and `estimate_observation` are documented as thin wrappers over
+        // `estimate_in_state`, the single source of truth.
+        let obs = two_state_observations();
+        let model = fit_cost_model(
+            ModelForm::General,
+            two_states(),
+            vec![0],
+            vec!["N_O".into()],
+            &obs,
+        )
+        .unwrap();
+        for o in &obs {
+            let x = o.project(&model.var_indexes);
+            let s = model.states.state_of(o.probe_cost);
+            let via_state = model.estimate_in_state(&x, s);
+            let via_probe = model.estimate(&x, o.probe_cost);
+            let via_obs = model.estimate_observation(o);
+            assert_eq!(via_probe.to_bits(), via_state.to_bits());
+            assert_eq!(via_obs.to_bits(), via_state.to_bits());
+        }
     }
 
     #[test]

@@ -146,12 +146,15 @@ impl GlobalOptimizer {
             predicates: shipped.predicates.clone(),
             order_by: None,
         });
-        let ship_prepare_cost = self.catalog.estimate_local_cost(
-            &shipped.site,
-            shipped_schema,
-            &filter_query,
-            shipped_probe,
-        )?;
+        let ship_prepare_cost = self
+            .catalog
+            .estimate(&crate::correction::EstimateQuery::raw(
+                &shipped.site,
+                shipped_schema,
+                &filter_query,
+                shipped_probe,
+            ))?
+            .estimate;
         // Component 2: the network transfer of the intermediate.
         let Query::Unary(ref u) = filter_query else {
             unreachable!("constructed as unary above");

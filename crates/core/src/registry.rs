@@ -18,8 +18,8 @@
 
 use crate::catalog::{GlobalCatalog, SiteId};
 use crate::classes::{classify, QueryClass};
+use crate::correction::EstimateQuery;
 use crate::model::CostModel;
-use crate::variables::VariableFamily;
 use mdbs_obs::Telemetry;
 use mdbs_sim::catalog::LocalCatalog;
 use mdbs_sim::query::Query;
@@ -49,14 +49,26 @@ pub struct RegisteredModel {
 }
 
 /// A served estimate with its full provenance: the snapshot version it
-/// was computed against and the contention state the probing cost mapped
-/// to — everything a flight record or accuracy ledger needs to explain
-/// the number. Computed against one `Arc` snapshot, so the fields are
-/// always mutually coherent even while maintenance republishes.
+/// was computed against, the contention state the probing cost mapped
+/// to, and what the online correction layer did to the raw model output —
+/// everything a flight record or accuracy ledger needs to explain the
+/// number. Computed against one `Arc` snapshot, so the fields are always
+/// mutually coherent even while maintenance republishes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EstimateDetail {
-    /// The estimated query cost.
+    /// The estimated query cost to serve (corrected when a warm
+    /// correction cell applied; otherwise the raw model output).
     pub estimate: f64,
+    /// The raw model output before any correction — what the correction
+    /// ledger learns from.
+    pub raw_estimate: f64,
+    /// Multiplicative correction factor applied (1.0 when none).
+    pub correction: f64,
+    /// Whether a correction cell actually adjusted this estimate.
+    pub corrected: bool,
+    /// The correction cell's residual scale — the `±` confidence the
+    /// serving loop annotates answers with (0.0 when uncorrected).
+    pub confidence: f64,
     /// Version of the snapshot the estimate came from.
     pub version: u64,
     /// Index of the contention state `probe_cost` mapped to.
@@ -157,11 +169,25 @@ impl ModelRegistry {
         self.len() == 0
     }
 
-    /// Estimates a local query's cost at a site from the registered model,
-    /// exactly as [`GlobalCatalog::estimate_local_cost`] would: classify,
-    /// look up, extract the Table-3 variables, evaluate in the contention
-    /// state implied by `probe_cost`. `None` when the query cannot be
-    /// classified or no model is registered for its class.
+    /// The unified estimation entry point: classify the query, look up
+    /// the snapshot, extract the Table-3 variables, evaluate the model in
+    /// the contention state implied by the probing cost, and apply the
+    /// attached correction ledger (if any, and warm). The whole estimate
+    /// is computed against one `Arc` snapshot, so every
+    /// [`EstimateDetail`] field is mutually coherent even while
+    /// maintenance republishes underneath — a reader can assert the
+    /// versions it observes never regress.
+    ///
+    /// `None` when the query cannot be classified or no model is
+    /// registered for its class.
+    pub fn estimate(&self, q: &EstimateQuery<'_>) -> Option<EstimateDetail> {
+        let class = classify(q.schema, q.query)?;
+        let snapshot = self.get(q.site, class)?;
+        crate::correction::price_with_model(&snapshot.model, snapshot.version, class, q)
+    }
+
+    /// Estimates a local query's cost at a site from the registered model.
+    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
     pub fn estimate_local_cost(
         &self,
         site: &SiteId,
@@ -169,16 +195,13 @@ impl ModelRegistry {
         query: &Query,
         probe_cost: f64,
     ) -> Option<f64> {
-        self.estimate_with_version(site, local_schema, query, probe_cost)
-            .map(|(estimate, _)| estimate)
+        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
+            .map(|d| d.estimate)
     }
 
-    /// Like [`ModelRegistry::estimate_local_cost`], but also reports the
-    /// version of the snapshot the estimate came from. The whole estimate is
-    /// computed against one `Arc` snapshot, so the pair is always coherent —
-    /// a serving loop can tag each answer with the model version it used and
-    /// a reader can assert that the versions it observes never regress while
-    /// maintenance republishes underneath it.
+    /// Estimates a local query's cost plus the snapshot version it came
+    /// from.
+    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
     pub fn estimate_with_version(
         &self,
         site: &SiteId,
@@ -186,14 +209,12 @@ impl ModelRegistry {
         query: &Query,
         probe_cost: f64,
     ) -> Option<(f64, u64)> {
-        self.estimate_detailed(site, local_schema, query, probe_cost)
+        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
             .map(|d| (d.estimate, d.version))
     }
 
-    /// Like [`ModelRegistry::estimate_with_version`], but also reports the
-    /// contention state `probe_cost` mapped to, as an index and as the
-    /// paper's `S_i` label — the provenance the serving loop threads into
-    /// flight records and the per-state accuracy ledger.
+    /// Estimates a local query's cost with full provenance.
+    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
     pub fn estimate_detailed(
         &self,
         site: &SiteId,
@@ -201,19 +222,7 @@ impl ModelRegistry {
         query: &Query,
         probe_cost: f64,
     ) -> Option<EstimateDetail> {
-        let class = classify(local_schema, query)?;
-        let snapshot = self.get(site, class)?;
-        let family: VariableFamily = class.family();
-        let x = family.extract(local_schema, query)?;
-        let model = &snapshot.model;
-        let x_sel: Vec<f64> = model.var_indexes.iter().map(|&i| x[i]).collect();
-        let state = model.states.state_of(probe_cost);
-        Some(EstimateDetail {
-            estimate: model.estimate(&x_sel, probe_cost),
-            version: snapshot.version,
-            state,
-            state_label: model.states.paper_label(state),
-        })
+        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
     }
 
     /// Loads every model of a [`GlobalCatalog`] into the registry,

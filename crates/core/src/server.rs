@@ -58,6 +58,7 @@
 
 use crate::catalog::SiteId;
 use crate::classes::{classify, QueryClass};
+use crate::correction::{CellUpdate, CorrectionConfig, CorrectionLedger, EstimateQuery};
 use crate::maintenance::{rederive_drifted, ModelMaintainer};
 use crate::observation::Observation;
 use crate::pipeline::PipelineCtx;
@@ -76,7 +77,12 @@ use mdbs_stats::rng::split_stream;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Knobs of the serving loop. All times are virtual seconds.
+///
+/// Marked `#[non_exhaustive]`: external crates construct it through
+/// [`ServeConfig::builder`], so new knobs (like the `correction_*` family)
+/// can be added without breaking callers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Admission-queue capacity; arrivals beyond it are shed (queue-full).
     pub queue_capacity: usize,
@@ -100,10 +106,25 @@ pub struct ServeConfig {
     /// Flight-recorder ring capacity (retained request lifecycles); `0`
     /// disables flight recording entirely.
     pub flight_capacity: usize,
+    /// Enables the online correction layer ([`crate::correction`]): served
+    /// estimates are adjusted by the learned per-(site, state) bias, and
+    /// saturated bias escalates maintenance. Off by default.
+    pub correction: bool,
+    /// EWMA smoothing factor of the correction bias/scale statistics, in
+    /// `(0, 1]`.
+    pub correction_ewma_alpha: f64,
+    /// `|bias|` at which a correction cell saturates and escalates to an
+    /// incremental refit (then suspension).
+    pub correction_saturation: f64,
+    /// Upper bound on correction *and* accuracy-ledger cells; the
+    /// least-recently-touched cell is evicted beyond it
+    /// (`serve.ledger.evictions` / `serve.correction.evictions`).
+    pub ledger_max_cells: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let correction = CorrectionConfig::default();
         ServeConfig {
             queue_capacity: 64,
             batch_max: 8,
@@ -114,15 +135,36 @@ impl Default for ServeConfig {
             workers: None,
             heartbeat_s: 0.0,
             flight_capacity: 256,
+            correction: false,
+            correction_ewma_alpha: correction.ewma_alpha,
+            correction_saturation: correction.saturation,
+            ledger_max_cells: correction.max_cells,
         }
     }
 }
 
 impl ServeConfig {
-    /// Clamps degenerate values (zero capacity/batch/threshold, negative
-    /// times) to the smallest sane ones, mirroring
-    /// [`crate::maintenance::MaintenanceConfig::validated`].
+    /// A builder seeded with [`ServeConfig::default`] — the one way for
+    /// external crates to construct a config, since the struct is
+    /// `#[non_exhaustive]`.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// Clamps degenerate values to the smallest sane ones.
+    #[deprecated(note = "use `ServeConfig::builder()`, whose `build()` rejects degenerate knobs")]
     pub fn validated(self) -> Self {
+        self.clamped()
+    }
+
+    /// Clamps degenerate values (zero capacity/batch/threshold, negative
+    /// times, out-of-range correction knobs) to the smallest sane ones.
+    /// The lenient counterpart of [`ServeConfigBuilder::build`], applied on
+    /// server construction so a hand-assembled config can never wedge the
+    /// loop.
+    fn clamped(self) -> Self {
         ServeConfig {
             queue_capacity: self.queue_capacity.max(1),
             batch_max: self.batch_max.max(1),
@@ -137,7 +179,160 @@ impl ServeConfig {
                 0.0
             },
             flight_capacity: self.flight_capacity,
+            correction: self.correction,
+            correction_ewma_alpha: if self.correction_ewma_alpha.is_finite() {
+                self.correction_ewma_alpha.clamp(1e-6, 1.0)
+            } else {
+                CorrectionConfig::default().ewma_alpha
+            },
+            correction_saturation: if self.correction_saturation.is_finite() {
+                self.correction_saturation.max(1e-6)
+            } else {
+                CorrectionConfig::default().saturation
+            },
+            ledger_max_cells: self.ledger_max_cells.max(1),
         }
+    }
+
+    /// The correction-layer slice of the config.
+    pub(crate) fn correction_config(&self) -> CorrectionConfig {
+        CorrectionConfig {
+            ewma_alpha: self.correction_ewma_alpha,
+            saturation: self.correction_saturation,
+            max_cells: self.ledger_max_cells,
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]: every setter overrides one default, and
+/// [`ServeConfigBuilder::build`] rejects degenerate combinations instead of
+/// silently clamping them.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Admission-queue capacity (must be ≥ 1).
+    pub fn queue_capacity(mut self, v: usize) -> Self {
+        self.cfg.queue_capacity = v;
+        self
+    }
+
+    /// Largest micro-batch dispatched at once (must be ≥ 1).
+    pub fn batch_max(mut self, v: usize) -> Self {
+        self.cfg.batch_max = v;
+        self
+    }
+
+    /// Batch linger time in virtual seconds (must be finite and ≥ 0).
+    pub fn batch_delay_s(mut self, v: f64) -> Self {
+        self.cfg.batch_delay_s = v;
+        self
+    }
+
+    /// Virtual service cost per request (must be finite and ≥ 0).
+    pub fn service_cost_s(mut self, v: f64) -> Self {
+        self.cfg.service_cost_s = v;
+        self
+    }
+
+    /// Queueing deadline in virtual seconds (must be finite and ≥ 0).
+    pub fn deadline_s(mut self, v: f64) -> Self {
+        self.cfg.deadline_s = v;
+        self
+    }
+
+    /// Pending observations per model before an incremental refit (≥ 1).
+    pub fn refit_threshold(mut self, v: usize) -> Self {
+        self.cfg.refit_threshold = v;
+        self
+    }
+
+    /// Worker threads per dispatched batch (`None` → available
+    /// parallelism).
+    pub fn workers(mut self, v: Option<usize>) -> Self {
+        self.cfg.workers = v;
+        self
+    }
+
+    /// Virtual-time heartbeat interval; `0` disables heartbeats (must be
+    /// finite and ≥ 0).
+    pub fn heartbeat_s(mut self, v: f64) -> Self {
+        self.cfg.heartbeat_s = v;
+        self
+    }
+
+    /// Flight-recorder ring capacity; `0` disables flight recording.
+    pub fn flight_capacity(mut self, v: usize) -> Self {
+        self.cfg.flight_capacity = v;
+        self
+    }
+
+    /// Enables/disables the online correction layer.
+    pub fn correction(mut self, on: bool) -> Self {
+        self.cfg.correction = on;
+        self
+    }
+
+    /// Correction EWMA smoothing factor (must be in `(0, 1]`).
+    pub fn correction_ewma_alpha(mut self, v: f64) -> Self {
+        self.cfg.correction_ewma_alpha = v;
+        self
+    }
+
+    /// Correction saturation threshold on `|bias|` (must be finite, > 0).
+    pub fn correction_saturation(mut self, v: f64) -> Self {
+        self.cfg.correction_saturation = v;
+        self
+    }
+
+    /// Bound on correction/accuracy-ledger cells (must be ≥ 1).
+    pub fn ledger_max_cells(mut self, v: usize) -> Self {
+        self.cfg.ledger_max_cells = v;
+        self
+    }
+
+    /// Validates and returns the config. Degenerate knobs are an error
+    /// here (the builder is the caller's chance to hear about a typo'd
+    /// flag), unlike server construction, which clamps defensively.
+    pub fn build(self) -> Result<ServeConfig, crate::CoreError> {
+        let c = &self.cfg;
+        let degenerate = |what: &str| Err(crate::CoreError::Degenerate(what.to_string()));
+        if c.queue_capacity == 0 {
+            return degenerate("queue_capacity must be >= 1");
+        }
+        if c.batch_max == 0 {
+            return degenerate("batch_max must be >= 1");
+        }
+        if !c.batch_delay_s.is_finite() || c.batch_delay_s < 0.0 {
+            return degenerate("batch_delay_s must be finite and >= 0");
+        }
+        if !c.service_cost_s.is_finite() || c.service_cost_s < 0.0 {
+            return degenerate("service_cost_s must be finite and >= 0");
+        }
+        if !c.deadline_s.is_finite() || c.deadline_s < 0.0 {
+            return degenerate("deadline_s must be finite and >= 0");
+        }
+        if c.refit_threshold == 0 {
+            return degenerate("refit_threshold must be >= 1");
+        }
+        if !c.heartbeat_s.is_finite() || c.heartbeat_s < 0.0 {
+            return degenerate("heartbeat_s must be finite and >= 0");
+        }
+        if !c.correction_ewma_alpha.is_finite()
+            || c.correction_ewma_alpha <= 0.0
+            || c.correction_ewma_alpha > 1.0
+        {
+            return degenerate("correction_ewma_alpha must be in (0, 1]");
+        }
+        if !c.correction_saturation.is_finite() || c.correction_saturation <= 0.0 {
+            return degenerate("correction_saturation must be finite and > 0");
+        }
+        if c.ledger_max_cells == 0 {
+            return degenerate("ledger_max_cells must be >= 1");
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -350,6 +545,20 @@ pub struct ServeReport {
     /// Virtual-time heartbeat snapshots emitted
     /// (`ServeConfig::heartbeat_s`).
     pub heartbeats: usize,
+    /// Estimates (served answers and observation-time estimates) the
+    /// correction layer actually adjusted (0 with correction off).
+    pub corrections_applied: usize,
+    /// Escalations the correction layer triggered: saturation refits plus
+    /// cell suspensions (0 with correction off).
+    pub correction_escalations: usize,
+    /// Pooled median |relative error| across every accuracy-ledger sample
+    /// (0 when no observation carried an estimate) — the quality number
+    /// the correction layer exists to push down.
+    pub ledger_p50_abs_rel_err: f64,
+    /// Pooled 95th-percentile |relative error| across every ledger sample.
+    pub ledger_p95_abs_rel_err: f64,
+    /// Accuracy-ledger cells evicted by the `ledger_max_cells` bound.
+    pub ledger_evictions: u64,
     /// Per-(site, state) accuracy of served estimates against observed
     /// costs, in key order (empty when no observation carried an
     /// estimate).
@@ -416,6 +625,26 @@ impl ServeReport {
                 Json::from(self.throughput_per_virtual_s()),
             ),
             ("heartbeats".to_string(), Json::from(self.heartbeats)),
+            (
+                "corrections_applied".to_string(),
+                Json::from(self.corrections_applied),
+            ),
+            (
+                "correction_escalations".to_string(),
+                Json::from(self.correction_escalations),
+            ),
+            (
+                "ledger_p50_abs_rel_err".to_string(),
+                Json::from(self.ledger_p50_abs_rel_err),
+            ),
+            (
+                "ledger_p95_abs_rel_err".to_string(),
+                Json::from(self.ledger_p95_abs_rel_err),
+            ),
+            (
+                "ledger_evictions".to_string(),
+                Json::from(self.ledger_evictions),
+            ),
             (
                 "ledger".to_string(),
                 Json::Arr(self.ledger.iter().map(LedgerSummary::to_json).collect()),
@@ -490,7 +719,7 @@ impl EstimationServer {
         fleet: Vec<(SiteId, ModelMaintainer)>,
         config: ServeConfig,
     ) -> Self {
-        let config = config.validated();
+        let config = config.clamped();
         let recorder = FlightRecorder::new(config.flight_capacity);
         EstimationServer {
             registry,
@@ -567,10 +796,26 @@ impl EstimationServer {
             latency_p95_s: 0.0,
             latency_p99_s: 0.0,
             heartbeats: 0,
+            corrections_applied: 0,
+            correction_escalations: 0,
+            ledger_p50_abs_rel_err: 0.0,
+            ledger_p95_abs_rel_err: 0.0,
+            ledger_evictions: 0,
             ledger: Vec::new(),
         };
         let (mut pool_jobs, mut pool_steals, mut pool_workers) = (0usize, 0u64, 0usize);
-        let mut ledger = AccuracyLedger::new();
+        let mut ledger = AccuracyLedger::bounded(config.ledger_max_cells);
+        // The correction layer's state. Mutated only here in the serial
+        // event loop; pool workers read it through a shared reference, so
+        // every corrected estimate is worker-count-independent.
+        let mut correction_ledger = CorrectionLedger::new(config.correction_config());
+        // Per-fleet-member saturation-refit budget: the first saturation
+        // of a model's correction escalates to an incremental refit; once
+        // spent, further saturation suspends the cell instead, so raw
+        // estimate quality reaches the drift monitor and the heavy rung
+        // can fire. Restored by a rederivation.
+        const SATURATION_REFIT_BUDGET: usize = 1;
+        let mut saturation_budget: Vec<usize> = vec![SATURATION_REFIT_BUDGET; fleet.len()];
         // Virtual-time heartbeat schedule: the next tick, or never.
         let mut next_hb = if config.heartbeat_s > 0.0 {
             config.heartbeat_s
@@ -619,6 +864,7 @@ impl EstimationServer {
                         &mut report,
                         registry.version(),
                         &ledger,
+                        config.correction.then_some(&correction_ledger),
                         pool_jobs,
                         &mut ctx.telemetry,
                         recorder,
@@ -688,9 +934,11 @@ impl EstimationServer {
                     .observe("serve.batch_size", batch.len() as f64);
                 let workers = pool::effective_workers(config.workers, batch.len());
                 let make_agent = &make_agent;
+                let corrector = config.correction.then_some(&correction_ledger);
                 let (results, pool_report) =
                     pool::run_jobs(batch, workers, move |_, (q, factor)| {
-                        let outcome = serve_one(registry, make_agent, &q, factor, root_seed);
+                        let outcome =
+                            serve_one(registry, make_agent, &q, factor, root_seed, corrector);
                         (q, outcome)
                     });
                 pool_jobs += pool_report.jobs_completed;
@@ -725,8 +973,21 @@ impl EstimationServer {
                             ctx.telemetry.inc("serve.answered", 1);
                             latencies.push(latency);
                             ctx.telemetry.observe("serve.latency_virtual_s", latency);
+                            // Corrected answers carry the `±` residual
+                            // confidence; uncorrected ones render exactly
+                            // as before the correction layer existed.
+                            let provenance = if detail.corrected {
+                                format!(
+                                    "[v{} {} ±{:.0}%]",
+                                    detail.version,
+                                    detail.state_label,
+                                    detail.confidence * 100.0
+                                )
+                            } else {
+                                format!("[v{} {}]", detail.version, detail.state_label)
+                            };
                             lines.push(format!(
-                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: probe {:.3}s -> estimate {:.2}s [v{} {}]",
+                                "  {:>3} @{:.3}->@{:.3} ({:.3}s) {} {}: probe {:.3}s -> estimate {:.2}s {}",
                                 q.lineno,
                                 q.arrived_s,
                                 completion,
@@ -735,8 +996,7 @@ impl EstimationServer {
                                 class.label(),
                                 probe,
                                 detail.estimate,
-                                detail.version,
-                                detail.state_label
+                                provenance
                             ));
                             record.extend([
                                 ("outcome".to_string(), Json::from("answered")),
@@ -746,6 +1006,21 @@ impl EstimationServer {
                                 ("model_version".to_string(), Json::from(detail.version)),
                                 ("state".to_string(), Json::from(detail.state_label.as_str())),
                             ]);
+                            if detail.corrected {
+                                report.corrections_applied += 1;
+                                ctx.telemetry.inc("serve.correction.applied", 1);
+                                record.extend([
+                                    (
+                                        "raw_estimate_s".to_string(),
+                                        Json::from(detail.raw_estimate),
+                                    ),
+                                    (
+                                        "correction_factor".to_string(),
+                                        Json::from(detail.correction),
+                                    ),
+                                    ("confidence".to_string(), Json::from(detail.confidence)),
+                                ]);
+                            }
                         }
                         Ok(ServedAnswer::NoModel { class }) => {
                             report.no_model += 1;
@@ -788,6 +1063,7 @@ impl EstimationServer {
                     &mut report,
                     registry.version(),
                     &ledger,
+                    config.correction.then_some(&correction_ledger),
                     pool_jobs,
                     &mut ctx.telemetry,
                     recorder,
@@ -880,6 +1156,7 @@ impl EstimationServer {
                         factor,
                         root_seed,
                         ev.lineno,
+                        config.correction.then_some(&correction_ledger),
                     );
                     let sample = match sample {
                         Ok(s) => s,
@@ -892,7 +1169,12 @@ impl EstimationServer {
                     };
                     // Every observed cost with a previously-served estimate
                     // feeds the accuracy ledger, keyed by the contention
-                    // state the estimate was made in.
+                    // state the estimate was made in. The accuracy ledger
+                    // judges the *served* (corrected) estimate; the
+                    // correction ledger learns from the *raw* model output,
+                    // so a working correction never erases its own
+                    // evidence.
+                    let mut update: Option<CellUpdate> = None;
                     if let Some(detail) = &sample.estimate {
                         ledger.record(
                             &site.0,
@@ -900,6 +1182,18 @@ impl EstimationServer {
                             detail.estimate,
                             sample.observed,
                         );
+                        if detail.corrected {
+                            report.corrections_applied += 1;
+                            ctx.telemetry.inc("serve.correction.applied", 1);
+                        }
+                        if config.correction {
+                            update = Some(correction_ledger.observe(
+                                &site.0,
+                                &detail.state_label,
+                                detail.raw_estimate,
+                                sample.observed,
+                            ));
+                        }
                     }
                     let idx = fleet
                         .iter()
@@ -975,8 +1269,14 @@ impl EstimationServer {
                         match rebuilt {
                             Ok(n) => {
                                 report.rederivations += n;
-                                for j in drifted_idx {
+                                for &j in &drifted_idx {
                                     pending[j].clear();
+                                    // The fresh model starts the ladder
+                                    // over: cold correction cells, budget
+                                    // restored.
+                                    let rebuilt_site = fleet[j].0.clone();
+                                    correction_ledger.reset_site(&rebuilt_site.0);
+                                    saturation_budget[j] = SATURATION_REFIT_BUDGET;
                                 }
                                 lines.push(format!(
                                     "  maintenance @{:.3}: rederived {} drifted model(s) -> registry v{}",
@@ -1012,20 +1312,81 @@ impl EstimationServer {
                                 );
                             }
                         }
-                    } else if pending[i].len() >= config.refit_threshold {
-                        // Cheap path: fold the fresh evidence into the
-                        // model's sufficient statistics and republish.
-                        // Either way the pending batch is consumed — the
-                        // accumulator absorbs it even when the re-solve is
-                        // deferred for lack of per-state evidence.
-                        let batch = std::mem::take(&mut pending[i]);
-                        let (site_id, maintainer) = &mut fleet[i];
-                        let site_id = site_id.clone();
-                        match maintainer.refit_incremental(&site_id, &batch, Some(registry), ctx) {
-                            Ok(published) => {
-                                report.incremental_refits += 1;
-                                let version = published.unwrap_or_else(|| registry.version());
+                    } else {
+                        // Escalation ladder, middle rung: a saturated
+                        // correction means the model itself is biased
+                        // beyond what the cheap rung should paper over.
+                        // The first saturation per model spends its refit
+                        // budget; once exhausted, the cell is suspended so
+                        // raw estimate quality reaches the drift monitor
+                        // and the heavy rung (rederivation) can trip.
+                        let mut escalated_refit = false;
+                        if let Some(u) = update.filter(|u| u.saturated) {
+                            if saturation_budget[i] > 0 {
+                                saturation_budget[i] -= 1;
+                                escalated_refit = true;
+                                report.correction_escalations += 1;
+                                ctx.telemetry.inc("serve.correction.escalations", 1);
                                 lines.push(format!(
+                                    "  maintenance @{:.3}: correction saturated ({} {} bias {:+.2}) -> incremental refit",
+                                    ev.at_s, site, detail.state_label, u.bias
+                                ));
+                                recorder.record_event(
+                                    "escalate",
+                                    vec![
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("site".to_string(), Json::from(site.0.as_str())),
+                                        (
+                                            "state".to_string(),
+                                            Json::from(detail.state_label.as_str()),
+                                        ),
+                                        ("level".to_string(), Json::from("refit")),
+                                        ("bias".to_string(), Json::from(u.bias)),
+                                        ("samples".to_string(), Json::from(u.samples)),
+                                    ],
+                                );
+                            } else if correction_ledger.suspend(&site.0, &detail.state_label) {
+                                report.correction_escalations += 1;
+                                ctx.telemetry.inc("serve.correction.escalations", 1);
+                                lines.push(format!(
+                                    "  maintenance @{:.3}: correction saturated again ({} {} bias {:+.2}) -> cell suspended, raw estimates feed the drift monitor",
+                                    ev.at_s, site, detail.state_label, u.bias
+                                ));
+                                recorder.record_event(
+                                    "escalate",
+                                    vec![
+                                        ("at_s".to_string(), Json::from(ev.at_s)),
+                                        ("site".to_string(), Json::from(site.0.as_str())),
+                                        (
+                                            "state".to_string(),
+                                            Json::from(detail.state_label.as_str()),
+                                        ),
+                                        ("level".to_string(), Json::from("suspend")),
+                                        ("bias".to_string(), Json::from(u.bias)),
+                                        ("samples".to_string(), Json::from(u.samples)),
+                                    ],
+                                );
+                            }
+                        }
+                        if escalated_refit || pending[i].len() >= config.refit_threshold {
+                            // Cheap path: fold the fresh evidence into the
+                            // model's sufficient statistics and republish.
+                            // Either way the pending batch is consumed — the
+                            // accumulator absorbs it even when the re-solve is
+                            // deferred for lack of per-state evidence.
+                            let batch = std::mem::take(&mut pending[i]);
+                            let (site_id, maintainer) = &mut fleet[i];
+                            let site_id = site_id.clone();
+                            match maintainer.refit_incremental(
+                                &site_id,
+                                &batch,
+                                Some(registry),
+                                ctx,
+                            ) {
+                                Ok(published) => {
+                                    report.incremental_refits += 1;
+                                    let version = published.unwrap_or_else(|| registry.version());
+                                    lines.push(format!(
                                     "  maintenance @{:.3}: incremental refit {} {} ({} obs) -> registry v{}",
                                     ev.at_s,
                                     site_id,
@@ -1033,31 +1394,38 @@ impl EstimationServer {
                                     batch.len(),
                                     version
                                 ));
-                                recorder.record_event(
-                                    "refit",
-                                    vec![
-                                        ("at_s".to_string(), Json::from(ev.at_s)),
-                                        ("site".to_string(), Json::from(site_id.0.as_str())),
-                                        ("class".to_string(), Json::from(sample.class.label())),
-                                        ("absorbed".to_string(), Json::from(batch.len())),
-                                        ("registry_version".to_string(), Json::from(version)),
-                                    ],
-                                );
-                            }
-                            Err(e) => {
-                                ctx.telemetry.inc("maintenance.refit_deferred", 1);
-                                lines.push(format!(
+                                    recorder.record_event(
+                                        "refit",
+                                        vec![
+                                            ("at_s".to_string(), Json::from(ev.at_s)),
+                                            ("site".to_string(), Json::from(site_id.0.as_str())),
+                                            ("class".to_string(), Json::from(sample.class.label())),
+                                            ("absorbed".to_string(), Json::from(batch.len())),
+                                            ("registry_version".to_string(), Json::from(version)),
+                                        ],
+                                    );
+                                    // The republished model invalidates the
+                                    // learned bias: its cells start cold.
+                                    correction_ledger.reset_site(&site_id.0);
+                                }
+                                Err(e) => {
+                                    ctx.telemetry.inc("maintenance.refit_deferred", 1);
+                                    lines.push(format!(
                                     "  maintenance @{:.3}: refit deferred ({e}); serving continues",
                                     ev.at_s
                                 ));
-                                recorder.record_event(
-                                    "refit_deferred",
-                                    vec![
-                                        ("at_s".to_string(), Json::from(ev.at_s)),
-                                        ("site".to_string(), Json::from(site_id.0.as_str())),
-                                        ("error".to_string(), Json::from(e.to_string().as_str())),
-                                    ],
-                                );
+                                    recorder.record_event(
+                                        "refit_deferred",
+                                        vec![
+                                            ("at_s".to_string(), Json::from(ev.at_s)),
+                                            ("site".to_string(), Json::from(site_id.0.as_str())),
+                                            (
+                                                "error".to_string(),
+                                                Json::from(e.to_string().as_str()),
+                                            ),
+                                        ],
+                                    );
+                                }
                             }
                         }
                     }
@@ -1075,6 +1443,7 @@ impl EstimationServer {
                 &mut report,
                 registry.version(),
                 &ledger,
+                config.correction.then_some(&correction_ledger),
                 pool_jobs,
                 &mut ctx.telemetry,
                 recorder,
@@ -1087,6 +1456,23 @@ impl EstimationServer {
         report.latency_p99_s = percentile_sorted(&latencies, 0.99);
         ledger.fold_metrics(&mut ctx.telemetry);
         report.ledger = ledger.summaries();
+        let (pooled_p50, pooled_p95) = ledger.pooled_abs_rel_percentiles();
+        report.ledger_p50_abs_rel_err = pooled_p50;
+        report.ledger_p95_abs_rel_err = pooled_p95;
+        report.ledger_evictions = ledger.evictions();
+        if config.correction {
+            correction_ledger.fold_metrics(&mut ctx.telemetry);
+            ctx.telemetry.field(
+                span,
+                "corrections_applied",
+                report.corrections_applied as u64,
+            );
+            ctx.telemetry.field(
+                span,
+                "correction_escalations",
+                report.correction_escalations as u64,
+            );
+        }
         ctx.telemetry
             .field(span, "requests", report.requests as u64);
         ctx.telemetry
@@ -1146,6 +1532,16 @@ impl EstimationServer {
             report.batches,
             report.heartbeats
         ));
+        if config.correction {
+            rendered.push_str(&format!(
+                "correction: {} applied, {} escalation(s), {} live cell(s), pooled |rel err| p50 {:.3} p95 {:.3}\n",
+                report.corrections_applied,
+                report.correction_escalations,
+                correction_ledger.len(),
+                report.ledger_p50_abs_rel_err,
+                report.ledger_p95_abs_rel_err
+            ));
+        }
         rendered.push_str(&ledger.render());
         for line in &lines {
             rendered.push_str(line);
@@ -1166,13 +1562,14 @@ fn emit_heartbeat(
     report: &mut ServeReport,
     registry_version: u64,
     ledger: &AccuracyLedger,
+    correction: Option<&CorrectionLedger>,
     pool_jobs: usize,
     telemetry: &mut Telemetry,
     recorder: &mut FlightRecorder,
 ) {
     report.heartbeats += 1;
     telemetry.inc("serve.heartbeats", 1);
-    let snapshot: Vec<(String, Json)> = vec![
+    let mut snapshot: Vec<(String, Json)> = vec![
         ("at_s".to_string(), Json::from(at_s)),
         ("queue_depth".to_string(), Json::from(queue_depth)),
         ("requests".to_string(), Json::from(report.requests)),
@@ -1198,8 +1595,27 @@ fn emit_heartbeat(
         ("registry_version".to_string(), Json::from(registry_version)),
         ("ledger_cells".to_string(), Json::from(ledger.len())),
         ("ledger_samples".to_string(), Json::from(ledger.samples())),
+        (
+            "ledger_evictions".to_string(),
+            Json::from(ledger.evictions()),
+        ),
         ("pool_jobs".to_string(), Json::from(pool_jobs)),
     ];
+    // Correction state rides along only when the layer is on, so
+    // correction-off heartbeats keep their historical shape.
+    if let Some(correction) = correction {
+        snapshot.extend([
+            ("correction_cells".to_string(), Json::from(correction.len())),
+            (
+                "correction_applied".to_string(),
+                Json::from(report.corrections_applied),
+            ),
+            (
+                "correction_max_bias".to_string(),
+                Json::from(correction.max_abs_bias()),
+            ),
+        ]);
+    }
     let span = telemetry.begin_span("serve.heartbeat");
     for (key, value) in &snapshot {
         telemetry.field(span, key, value.clone());
@@ -1247,6 +1663,7 @@ fn serve_one<F>(
     q: &QueuedRequest,
     degrade_factor: f64,
     root_seed: u64,
+    correction: Option<&CorrectionLedger>,
 ) -> Result<ServedAnswer, String>
 where
     F: Fn(&SiteId, u64) -> Option<MdbsAgent>,
@@ -1260,7 +1677,13 @@ where
         classify(&schema, &query).ok_or_else(|| "query cannot be classified".to_string())?;
     agent.tick();
     let probe = agent.probe();
-    match registry.estimate_detailed(&q.site, &schema, &query, probe) {
+    match registry.estimate(&EstimateQuery {
+        site: &q.site,
+        schema: &schema,
+        query: &query,
+        probe_cost: probe,
+        correction,
+    }) {
         Some(detail) => Ok(ServedAnswer::Estimate {
             class,
             probe,
@@ -1271,6 +1694,7 @@ where
 }
 
 /// Executes one observation event: estimate, run, package the feedback.
+#[allow(clippy::too_many_arguments)]
 fn observe_one<F>(
     registry: &ModelRegistry,
     make_agent: &F,
@@ -1279,6 +1703,7 @@ fn observe_one<F>(
     degrade_factor: f64,
     root_seed: u64,
     lineno: usize,
+    correction: Option<&CorrectionLedger>,
 ) -> Result<ObservedSample, String>
 where
     F: Fn(&SiteId, u64) -> Option<MdbsAgent>,
@@ -1296,7 +1721,13 @@ where
         .ok_or_else(|| "explanatory variables cannot be extracted".to_string())?;
     agent.tick();
     let probe = agent.probe();
-    let estimate = registry.estimate_detailed(site, &schema, &query, probe);
+    let estimate = registry.estimate(&EstimateQuery {
+        site,
+        schema: &schema,
+        query: &query,
+        probe_cost: probe,
+        correction,
+    });
     let observed = agent.run(&query).map_err(|e| e.to_string())?.cost_s;
     Ok(ObservedSample {
         class,
@@ -1387,8 +1818,12 @@ mod tests {
             workers: Some(3),
             heartbeat_s: -1.0,
             flight_capacity: 0,
+            correction: true,
+            correction_ewma_alpha: 7.0,
+            correction_saturation: -0.5,
+            ledger_max_cells: 0,
         }
-        .validated();
+        .clamped();
         assert_eq!(v.queue_capacity, 1);
         assert_eq!(v.batch_max, 1);
         assert_eq!(v.batch_delay_s, 0.0);
@@ -1398,17 +1833,75 @@ mod tests {
         assert_eq!(v.workers, Some(3));
         assert_eq!(v.heartbeat_s, 0.0);
         assert_eq!(v.flight_capacity, 0, "capacity 0 = disabled, not clamped");
+        assert!(v.correction, "the toggle is never clamped away");
+        assert_eq!(v.correction_ewma_alpha, 1.0);
+        assert_eq!(v.correction_saturation, 1e-6);
+        assert_eq!(v.ledger_max_cells, 1);
         assert_eq!(
             ServeConfig {
                 heartbeat_s: f64::NAN,
                 ..ServeConfig::default()
             }
-            .validated()
+            .clamped()
             .heartbeat_s,
             0.0
         );
         let sane = ServeConfig::default();
-        assert_eq!(sane.clone().validated(), sane);
+        assert_eq!(sane.clone().clamped(), sane);
+        // The deprecated shim delegates to the same clamping.
+        #[allow(deprecated)]
+        let shimmed = ServeConfig::default().validated();
+        assert_eq!(shimmed, sane);
+    }
+
+    #[test]
+    fn serve_config_builder_accepts_sane_and_rejects_degenerate() {
+        let built = ServeConfig::builder()
+            .queue_capacity(4)
+            .batch_max(2)
+            .batch_delay_s(0.05)
+            .service_cost_s(0.2)
+            .deadline_s(0.5)
+            .refit_threshold(20)
+            .workers(Some(2))
+            .heartbeat_s(10.0)
+            .flight_capacity(64)
+            .correction(true)
+            .correction_ewma_alpha(0.5)
+            .correction_saturation(0.4)
+            .ledger_max_cells(128)
+            .build()
+            .expect("sane knobs build");
+        assert_eq!(built.queue_capacity, 4);
+        assert!(built.correction);
+        assert_eq!(built.correction_ewma_alpha, 0.5);
+        assert_eq!(built.ledger_max_cells, 128);
+        // Defaults alone always build, with correction off.
+        let d = ServeConfig::builder().build().expect("defaults build");
+        assert_eq!(d, ServeConfig::default());
+        assert!(!d.correction, "correction is opt-in");
+        // Degenerate knobs are errors, not silent clamps.
+        for (name, b) in [
+            ("queue", ServeConfig::builder().queue_capacity(0)),
+            ("batch", ServeConfig::builder().batch_max(0)),
+            ("delay", ServeConfig::builder().batch_delay_s(-1.0)),
+            ("service", ServeConfig::builder().service_cost_s(f64::NAN)),
+            ("deadline", ServeConfig::builder().deadline_s(-0.1)),
+            ("refit", ServeConfig::builder().refit_threshold(0)),
+            ("heartbeat", ServeConfig::builder().heartbeat_s(-1.0)),
+            ("alpha0", ServeConfig::builder().correction_ewma_alpha(0.0)),
+            ("alpha2", ServeConfig::builder().correction_ewma_alpha(2.0)),
+            (
+                "saturation",
+                ServeConfig::builder().correction_saturation(0.0),
+            ),
+            ("cells", ServeConfig::builder().ledger_max_cells(0)),
+        ] {
+            assert!(
+                matches!(b.build(), Err(crate::CoreError::Degenerate(_))),
+                "{name} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -1444,6 +1937,11 @@ mod tests {
             latency_p95_s: 0.0,
             latency_p99_s: 0.0,
             heartbeats: 0,
+            corrections_applied: 0,
+            correction_escalations: 0,
+            ledger_p50_abs_rel_err: 0.0,
+            ledger_p95_abs_rel_err: 0.0,
+            ledger_evictions: 0,
             ledger: Vec::new(),
         };
         assert_eq!(report.shed_fraction(), 0.0);

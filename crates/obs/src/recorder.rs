@@ -169,6 +169,8 @@ struct LedgerEntry {
     over: u64,
     under: u64,
     abs_rel: Vec<f64>,
+    /// Monotone recency stamp for LRU eviction under a cell bound.
+    touch: u64,
 }
 
 /// One (site, state) row of the accuracy ledger, with derived statistics.
@@ -222,16 +224,44 @@ impl LedgerSummary {
 /// Folds each observed execution cost against the estimate the registry
 /// served for the same site, keyed by the contention state the probing
 /// cost mapped to. Iteration order is the `BTreeMap` key order, so every
-/// rendering is deterministic.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// rendering is deterministic. Construct with [`AccuracyLedger::bounded`]
+/// to cap the number of live cells: a trace naming unbounded distinct
+/// sites then evicts the least-recently-recorded cell instead of growing
+/// without limit, and counts each eviction
+/// ([`AccuracyLedger::evictions`], exported as `serve.ledger.evictions`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyLedger {
     entries: BTreeMap<(String, String), LedgerEntry>,
+    max_cells: usize,
+    touch_counter: u64,
+    evictions: u64,
+}
+
+impl Default for AccuracyLedger {
+    fn default() -> AccuracyLedger {
+        AccuracyLedger {
+            entries: BTreeMap::new(),
+            max_cells: usize::MAX,
+            touch_counter: 0,
+            evictions: 0,
+        }
+    }
 }
 
 impl AccuracyLedger {
-    /// An empty ledger.
+    /// An empty, unbounded ledger.
     pub fn new() -> AccuracyLedger {
         AccuracyLedger::default()
+    }
+
+    /// An empty ledger holding at most `max_cells` (site, state) rows
+    /// (clamped to ≥ 1); the least-recently-recorded row is evicted when
+    /// a new key would exceed the bound.
+    pub fn bounded(max_cells: usize) -> AccuracyLedger {
+        AccuracyLedger {
+            max_cells: max_cells.max(1),
+            ..AccuracyLedger::default()
+        }
     }
 
     /// Folds one (estimate, observed) pair into the `(site, state)` row.
@@ -240,10 +270,20 @@ impl AccuracyLedger {
     pub fn record(&mut self, site: &str, state: &str, estimate: f64, observed: f64) {
         let denom = observed.abs().max(1e-12);
         let rel = (estimate - observed) / denom;
-        let entry = self
-            .entries
-            .entry((site.to_string(), state.to_string()))
-            .or_default();
+        let key = (site.to_string(), state.to_string());
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.max_cells {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touch)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty at cap");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+        self.touch_counter += 1;
+        let touch = self.touch_counter;
+        let entry = self.entries.entry(key).or_default();
         entry.count += 1;
         entry.sum_signed_rel += rel;
         if rel > 0.0 {
@@ -252,6 +292,28 @@ impl AccuracyLedger {
             entry.under += 1;
         }
         entry.abs_rel.push(rel.abs());
+        entry.touch = touch;
+    }
+
+    /// Rows evicted by the cell bound so far (always 0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Nearest-rank (p50, p95) of the absolute relative error pooled
+    /// across every live row — the single-number quality summary the
+    /// correction layer is judged on. `(0.0, 0.0)` when empty.
+    pub fn pooled_abs_rel_percentiles(&self) -> (f64, f64) {
+        let mut pooled: Vec<f64> = self
+            .entries
+            .values()
+            .flat_map(|e| e.abs_rel.iter().copied())
+            .collect();
+        pooled.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        (
+            percentile_sorted(&pooled, 0.50),
+            percentile_sorted(&pooled, 0.95),
+        )
     }
 
     /// Whether no pair has been folded in yet.
@@ -333,8 +395,9 @@ impl AccuracyLedger {
     }
 
     /// Folds the ledger into telemetry: per-row absolute-relative-error
-    /// histograms (`serve.ledger.<site>.<state>.abs_rel_err`) and signed
-    /// mean-error gauges (`...mean_rel_err`). All values are seed-pure.
+    /// histograms (`serve.ledger.<site>.<state>.abs_rel_err`), signed
+    /// mean-error gauges (`...mean_rel_err`) and the
+    /// `serve.ledger.evictions` counter. All values are seed-pure.
     pub fn fold_metrics(&self, telemetry: &mut Telemetry) {
         for ((site, state), entry) in &self.entries {
             let base = format!("serve.ledger.{site}.{state}");
@@ -346,6 +409,7 @@ impl AccuracyLedger {
                 entry.sum_signed_rel / entry.count as f64,
             );
         }
+        telemetry.inc("serve.ledger.evictions", self.evictions);
     }
 }
 
@@ -479,6 +543,44 @@ mod tests {
             Json::Arr(rows) => assert_eq!(rows.len(), 3),
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bounded_ledger_evicts_least_recently_recorded() {
+        let mut ledger = AccuracyLedger::bounded(2);
+        ledger.record("a", "S1", 110.0, 100.0);
+        ledger.record("b", "S1", 110.0, 100.0);
+        // Touch `a` so `b` becomes the LRU victim.
+        ledger.record("a", "S1", 110.0, 100.0);
+        ledger.record("c", "S1", 110.0, 100.0);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.evictions(), 1);
+        let keys: Vec<String> = ledger.summaries().iter().map(|r| r.site.clone()).collect();
+        // BTreeMap order of the survivors.
+        assert_eq!(keys, vec!["a".to_string(), "c".to_string()]);
+        // Re-recording an existing key never evicts.
+        ledger.record("c", "S1", 110.0, 100.0);
+        assert_eq!(ledger.evictions(), 1);
+        // The unbounded ledger never evicts.
+        let mut unbounded = AccuracyLedger::new();
+        for i in 0..64 {
+            unbounded.record(&format!("site{i}"), "S1", 110.0, 100.0);
+        }
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(unbounded.len(), 64);
+    }
+
+    #[test]
+    fn pooled_percentiles_span_all_cells() {
+        let mut ledger = AccuracyLedger::new();
+        assert_eq!(ledger.pooled_abs_rel_percentiles(), (0.0, 0.0));
+        // |rel| samples 0.1 and 0.5 in different cells: pooled sorted
+        // [0.1, 0.5], nearest-rank p50 = 0.1, p95 = 0.5.
+        ledger.record("a", "S1", 110.0, 100.0);
+        ledger.record("b", "S2", 150.0, 100.0);
+        let (p50, p95) = ledger.pooled_abs_rel_percentiles();
+        assert!((p50 - 0.1).abs() < 1e-12, "p50 {p50}");
+        assert!((p95 - 0.5).abs() < 1e-12, "p95 {p95}");
     }
 
     #[test]

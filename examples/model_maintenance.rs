@@ -83,13 +83,13 @@ fn report(quick: bool) -> Result<String, Box<dyn std::error::Error>> {
     let traffic = if quick { (30, 40, 30) } else { (60, 80, 60) };
     let mut maintainer = ModelMaintainer::new(
         derived,
-        MaintenanceConfig {
-            window: 40,
-            min_observations: 25,
+        MaintenanceConfig::builder()
+            .window(40)
+            .min_observations(25)
             // Healthy traffic sits at ~0.7-0.85 good on this site; the
             // storage degradation below drops it to ~0.5.
-            min_good_fraction: 0.55,
-        },
+            .min_good_fraction(0.55)
+            .build()?,
         cfg,
         StateAlgorithm::Iupma,
     );

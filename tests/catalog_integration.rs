@@ -3,6 +3,7 @@
 
 use mdbs_core::catalog::{GlobalCatalog, SiteId};
 use mdbs_core::classes::{classify, QueryClass};
+use mdbs_core::correction::EstimateQuery;
 use mdbs_core::derive::{derive_cost_model, DerivationConfig};
 use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::probing::ProbeCostEstimator;
@@ -57,8 +58,9 @@ fn catalog_estimates_match_observations_reasonably() {
         agent.tick();
         let probe = agent.probe();
         let est = catalog
-            .estimate_local_cost(&site, &schema, &query, probe)
-            .expect("model available for the class");
+            .estimate(&EstimateQuery::raw(&site, &schema, &query, probe))
+            .expect("model available for the class")
+            .estimate;
         let obs = agent.run(&query).expect("query runs").cost_s;
         let ratio = (est / obs).max(obs / est.max(1e-9));
         if est > 0.0 && ratio <= 2.0 {
@@ -81,13 +83,13 @@ fn catalog_dispatches_by_class() {
     let indexed = generator.generate(QueryClass::UnaryNonClusteredIndex, &schema);
     let join = generator.generate(QueryClass::JoinNoIndex, &schema);
     assert!(catalog
-        .estimate_local_cost(&site, &schema, &unary, 1.0)
+        .estimate(&EstimateQuery::raw(&site, &schema, &unary, 1.0))
         .is_some());
     assert!(catalog
-        .estimate_local_cost(&site, &schema, &indexed, 1.0)
+        .estimate(&EstimateQuery::raw(&site, &schema, &indexed, 1.0))
         .is_some());
     assert!(catalog
-        .estimate_local_cost(&site, &schema, &join, 1.0)
+        .estimate(&EstimateQuery::raw(&site, &schema, &join, 1.0))
         .is_none());
     // And the classification the catalog relied on is consistent.
     assert_eq!(classify(&schema, &unary), Some(QueryClass::UnaryNoIndex));
@@ -109,8 +111,8 @@ fn catalog_survives_export_import_with_identical_estimates() {
         let q = generator.generate(QueryClass::UnaryNoIndex, &schema);
         agent.tick();
         let probe = agent.probe();
-        let a = catalog.estimate_local_cost(&site, &schema, &q, probe);
-        let b = restored.estimate_local_cost(&site, &schema, &q, probe);
+        let a = catalog.estimate(&EstimateQuery::raw(&site, &schema, &q, probe));
+        let b = restored.estimate(&EstimateQuery::raw(&site, &schema, &q, probe));
         assert_eq!(a, b);
     }
     // And a second export is byte-identical (canonical form).

@@ -39,14 +39,15 @@ fn maintainer(agent: &mut MdbsAgent) -> ModelMaintainer {
     .expect("initial derivation succeeds");
     ModelMaintainer::new(
         derived,
-        MaintenanceConfig {
-            window: 40,
-            min_observations: 25,
+        MaintenanceConfig::builder()
+            .window(40)
+            .min_observations(25)
             // Baseline traffic sits near 0.75-0.85 good (the sorted
             // queries in the workload are the hardest to price); durable
             // changes in the scenarios below push it to ~0.5.
-            min_good_fraction: 0.55,
-        },
+            .min_good_fraction(0.55)
+            .build()
+            .expect("sane config"),
         cfg,
         StateAlgorithm::Iupma,
     )

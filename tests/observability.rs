@@ -95,17 +95,18 @@ fn scripted_trace() -> String {
 }
 
 fn obs_config(workers: usize) -> ServeConfig {
-    ServeConfig {
-        queue_capacity: 4,
-        batch_max: 2,
-        batch_delay_s: 0.05,
-        service_cost_s: 0.2,
-        deadline_s: 0.5,
-        refit_threshold: 20,
-        workers: Some(workers),
-        heartbeat_s: 10.0,
-        flight_capacity: 64,
-    }
+    ServeConfig::builder()
+        .queue_capacity(4)
+        .batch_max(2)
+        .batch_delay_s(0.05)
+        .service_cost_s(0.2)
+        .deadline_s(0.5)
+        .refit_threshold(20)
+        .workers(Some(workers))
+        .heartbeat_s(10.0)
+        .flight_capacity(64)
+        .build()
+        .expect("sane config")
 }
 
 struct LoopRun {

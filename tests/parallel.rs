@@ -136,9 +136,11 @@ fn registry_readers_see_whole_snapshots_during_version_swaps() {
                     // Full estimation path across the swap.
                     let query = generator.generate(QueryClass::UnaryNoIndex, schema);
                     let est = registry
-                        .estimate_local_cost(&site, schema, &query, 1.0)
+                        .estimate(&mdbs_core::correction::EstimateQuery::raw(
+                            &site, schema, &query, 1.0,
+                        ))
                         .expect("estimate never absent during swaps");
-                    assert!(est.is_finite());
+                    assert!(est.estimate.is_finite());
                 }
             });
         }

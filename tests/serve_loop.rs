@@ -130,27 +130,29 @@ fn scripted_trace() -> String {
 }
 
 fn loop_config(workers: usize) -> ServeConfig {
-    ServeConfig {
-        queue_capacity: 4,
-        batch_max: 2,
-        batch_delay_s: 0.05,
-        service_cost_s: 0.2,
-        deadline_s: 0.5,
-        refit_threshold: 20,
-        workers: Some(workers),
+    ServeConfig::builder()
+        .queue_capacity(4)
+        .batch_max(2)
+        .batch_delay_s(0.05)
+        .service_cost_s(0.2)
+        .deadline_s(0.5)
+        .refit_threshold(20)
+        .workers(Some(workers))
         // Observability has its own suite (`tests/observability.rs`); this
         // one pins the plain serving contract.
-        heartbeat_s: 0.0,
-        flight_capacity: 0,
-    }
+        .heartbeat_s(0.0)
+        .flight_capacity(0)
+        .build()
+        .expect("sane config")
 }
 
 fn maintenance_config() -> MaintenanceConfig {
-    MaintenanceConfig {
-        window: 20,
-        min_observations: 8,
-        min_good_fraction: 0.55,
-    }
+    MaintenanceConfig::builder()
+        .window(20)
+        .min_observations(8)
+        .min_good_fraction(0.55)
+        .build()
+        .expect("sane config")
 }
 
 fn run_loop(
@@ -353,9 +355,12 @@ fn estimation_versions_are_monotone_under_incremental_refit_republish() {
             scope.spawn(move || {
                 let mut last_version = 0u64;
                 for _ in 0..400 {
-                    let (estimate, version) = registry
-                        .estimate_with_version(site, schema, query, 1.0)
+                    let detail = registry
+                        .estimate(&mdbs_core::correction::EstimateQuery::raw(
+                            site, schema, query, 1.0,
+                        ))
                         .expect("model never absent while republishing");
+                    let (estimate, version) = (detail.estimate, detail.version);
                     assert!(estimate.is_finite(), "torn read produced {estimate}");
                     assert!(
                         version >= last_version,

@@ -70,8 +70,11 @@ fn sql_estimate_then_execute_roundtrip() {
         agent.tick();
         let probe = agent.probe();
         let est = catalog
-            .estimate_local_cost(&site, &schema, &query, probe)
-            .expect("model stored for the class");
+            .estimate(&mdbs_core::correction::EstimateQuery::raw(
+                &site, &schema, &query, probe,
+            ))
+            .expect("model stored for the class")
+            .estimate;
         let obs = agent.run(&query).expect("query executes").cost_s;
         let ratio = (est / obs).max(obs / est.max(1e-9));
         if est > 0.0 && ratio <= 2.0 {
