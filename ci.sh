@@ -14,19 +14,37 @@ cargo test -q --offline --workspace
 
 echo "==> mdbs-lint (determinism/hermeticity policy, twice, byte-compared)"
 # Exit 0 with nothing printed means a clean tree; any finding fails the
-# gate. Running twice and byte-comparing the output asserts the lint's
-# own determinism promise.
+# gate. Running twice and byte-comparing both the text and the --json
+# output asserts the lint's own determinism promise (the workspace passes
+# — serial-only-escape, unregistered-metric, expired-deprecation — run
+# inside the same invocation, so they are covered by the same cmp).
 LINT_DIR="${TMPDIR:-/tmp}/mdbs-ci-lint.$$"
 mkdir -p "$LINT_DIR"
-./target/release/mdbs-lint . > "$LINT_DIR/first.txt" || {
+./target/release/mdbs-lint . --json "$LINT_DIR/first.json" > "$LINT_DIR/first.txt" || {
   echo "mdbs-lint found policy violations:" >&2
   cat "$LINT_DIR/first.txt" >&2
   rm -rf "$LINT_DIR"
   exit 1
 }
-./target/release/mdbs-lint . > "$LINT_DIR/second.txt"
+./target/release/mdbs-lint . --json "$LINT_DIR/second.json" > "$LINT_DIR/second.txt"
 cmp "$LINT_DIR/first.txt" "$LINT_DIR/second.txt"
+cmp "$LINT_DIR/first.json" "$LINT_DIR/second.json"
+./target/release/lint-json-check "$LINT_DIR/first.json"
 rm -rf "$LINT_DIR"
+
+echo "==> telemetry registry covers the serving-loop interface names"
+# The committed registry must pin every serve.correction.* / serve.ledger.*
+# name the correction and observability layers emit — the names the stats
+# subcommand and the determinism gates key on.
+for name in \
+  serve.correction.applied serve.correction.cells serve.correction.escalations \
+  serve.correction.evictions serve.correction.samples \
+  serve.ledger.evictions "serve.ledger.\*"; do
+  grep -q "^$name " crates/lint/telemetry.registry || {
+    echo "telemetry.registry is missing \`$name\`" >&2
+    exit 1
+  }
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

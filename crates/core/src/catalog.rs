@@ -11,8 +11,6 @@ use crate::correction::EstimateQuery;
 use crate::model::{CostModel, ModelAccumulator};
 use crate::probing::ProbeCostEstimator;
 use crate::registry::EstimateDetail;
-use mdbs_sim::catalog::LocalCatalog;
-use mdbs_sim::query::Query;
 // Point lookups keyed by (site, class); every iteration below sorts its
 // keys before use (see `sites` / `classes_for` / `export`).
 #[allow(clippy::disallowed_types)]
@@ -133,19 +131,6 @@ impl GlobalCatalog {
         let model = self.model(q.site, class)?;
         crate::correction::price_with_model(model, 0, class, q)
     }
-
-    /// Estimates the cost of a local query at a site.
-    #[deprecated(note = "use `GlobalCatalog::estimate(&EstimateQuery)`")]
-    pub fn estimate_local_cost(
-        &self,
-        site: &SiteId,
-        local_schema: &LocalCatalog,
-        query: &Query,
-        probe_cost: f64,
-    ) -> Option<f64> {
-        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
-            .map(|d| d.estimate)
-    }
 }
 
 #[cfg(test)]
@@ -155,7 +140,7 @@ mod tests {
     use crate::observation::Observation;
     use crate::qualvar::StateSet;
     use mdbs_sim::datagen::standard_database;
-    use mdbs_sim::query::{Predicate, UnaryQuery};
+    use mdbs_sim::query::{Predicate, Query, UnaryQuery};
 
     /// A tiny hand-made unary model: cost = 1 + 0.001·N_O (one state).
     fn toy_model() -> CostModel {
@@ -195,7 +180,7 @@ mod tests {
     }
 
     #[test]
-    fn estimate_local_cost_end_to_end() {
+    fn estimate_end_to_end() {
         let db = standard_database(42);
         let mut cat = GlobalCatalog::new();
         let site: SiteId = "s1".into();

@@ -62,7 +62,9 @@
 //! the raw model output, the applied factor, the confidence, the snapshot
 //! version and the detected contention state. The historical
 //! `estimate_local_cost` / `estimate_with_version` / `estimate_detailed`
-//! trio survives one release as `#[deprecated]` delegating shims.
+//! trio survived one release as `#[deprecated]` delegating shims and is
+//! gone (the `expired-deprecation` lint rule now enforces that grace
+//! policy mechanically).
 
 use crate::catalog::SiteId;
 use crate::registry::EstimateDetail;
@@ -200,6 +202,7 @@ impl CorrectionLedger {
     /// creating (and LRU-evicting) as needed. The relative error is
     /// `(raw − observed) / observed` with the denominator floored away
     /// from zero, exactly like the accuracy ledger's.
+    // ctx: serial-only
     pub fn observe(&mut self, site: &str, state: &str, raw: f64, observed: f64) -> CellUpdate {
         let denom = observed.abs().max(1e-12);
         let rel = (raw - observed) / denom;
@@ -267,6 +270,7 @@ impl CorrectionLedger {
     /// Suspends a cell: it keeps folding evidence but stops correcting, so
     /// raw estimate quality reaches the drift monitor. Returns `true` when
     /// the cell existed and was not already suspended.
+    // ctx: serial-only
     pub fn suspend(&mut self, site: &str, state: &str) -> bool {
         match self.cells.get_mut(&(site.to_string(), state.to_string())) {
             Some(cell) if !cell.suspended => {
@@ -280,6 +284,7 @@ impl CorrectionLedger {
     /// Drops every cell of a site — called when the site's model is
     /// republished (refit or rederivation): the learned bias described the
     /// old snapshot.
+    // ctx: serial-only
     pub fn reset_site(&mut self, site: &str) {
         self.cells.retain(|(s, _), _| s != site);
     }
@@ -325,9 +330,9 @@ impl CorrectionLedger {
 
 /// The one input struct of the unified estimation entry point
 /// ([`crate::registry::ModelRegistry::estimate`] /
-/// [`crate::catalog::GlobalCatalog::estimate`]): everything the old
-/// `estimate_local_cost` / `estimate_with_version` / `estimate_detailed`
-/// trio threaded through diverging signatures, plus the optional
+/// [`crate::catalog::GlobalCatalog::estimate`]): everything the
+/// historical estimation trio threaded through diverging signatures,
+/// plus the optional
 /// correction ledger whose learned bias is divided out of the raw model
 /// output.
 #[derive(Debug, Clone, Copy)]

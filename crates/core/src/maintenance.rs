@@ -75,14 +75,6 @@ impl MaintenanceConfig {
     }
 
     /// Returns a config whose fields are mutually consistent.
-    #[deprecated(
-        note = "use `MaintenanceConfig::builder()`, whose `build()` rejects inconsistent knobs"
-    )]
-    pub fn validated(self) -> Self {
-        self.clamped()
-    }
-
-    /// Returns a config whose fields are mutually consistent.
     ///
     /// [`DriftMonitor::record`] caps the evidence deque at `window`, so a
     /// `min_observations` above `window` is a gate that can never be
@@ -343,6 +335,7 @@ impl ModelMaintainer {
     /// series (`maintenance.good_fraction` histogram, one sample per call)
     /// and the `maintenance.drift_flags` counter for calls that report the
     /// model as drifted.
+    // ctx: serial-only
     pub fn observe(&mut self, observed: f64, estimated: f64, ctx: &mut PipelineCtx) -> bool {
         self.observe_inner(observed, estimated, &mut ctx.telemetry)
     }
@@ -366,6 +359,7 @@ impl ModelMaintainer {
     /// When `ctx.telemetry` is enabled, wraps the attempts in a
     /// `maintenance.rederive` span (attempt count, winning R², window
     /// quality at trigger time) and counts `maintenance.rederivations`.
+    // ctx: serial-only
     pub fn rederive(
         &mut self,
         agent: &mut MdbsAgent,
@@ -422,6 +416,7 @@ impl ModelMaintainer {
     /// registry) so callers can stamp maintenance records with the exact
     /// snapshot the refit produced. Counted as
     /// `maintenance.incremental_refits`.
+    // ctx: serial-only
     pub fn refit_incremental(
         &mut self,
         site: &SiteId,
@@ -502,6 +497,7 @@ fn rederive_best(
 /// Returns the number of models rebuilt. Jobs fail independently; the
 /// first error is returned after every successful rebuild has been
 /// applied, so a degenerate site cannot wedge the rest of the fleet.
+// ctx: serial-only
 pub fn rederive_drifted<F>(
     fleet: &mut [(SiteId, ModelMaintainer)],
     workers: Option<usize>,
@@ -724,13 +720,9 @@ mod tests {
         assert_eq!(v.min_observations, 1);
         assert_eq!(v.min_good_fraction, 0.0);
 
-        // A sane config passes through untouched, and the deprecated
-        // shim delegates to the same clamping.
+        // A sane config passes through untouched.
         let sane = MaintenanceConfig::default();
         assert_eq!(sane.clone().clamped(), sane);
-        #[allow(deprecated)]
-        let shimmed = MaintenanceConfig::default().validated();
-        assert_eq!(shimmed, sane);
     }
 
     #[test]

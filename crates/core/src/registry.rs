@@ -21,8 +21,6 @@ use crate::classes::{classify, QueryClass};
 use crate::correction::EstimateQuery;
 use crate::model::CostModel;
 use mdbs_obs::Telemetry;
-use mdbs_sim::catalog::LocalCatalog;
-use mdbs_sim::query::Query;
 // Hash sharding is deliberate here: lookups are point reads keyed by
 // (site, class) and iteration only happens in `to_catalog`, which is
 // order-insensitive (see the waiver there).
@@ -118,6 +116,7 @@ impl ModelRegistry {
     /// the new snapshot's version. The swap is atomic from a reader's point
     /// of view: concurrent [`ModelRegistry::get`] calls observe either the
     /// previous snapshot or this one, whole.
+    // ctx: serial-only
     pub fn publish(&self, site: SiteId, class: QueryClass, model: CostModel) -> u64 {
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Arc::new(RegisteredModel {
@@ -184,45 +183,6 @@ impl ModelRegistry {
         let class = classify(q.schema, q.query)?;
         let snapshot = self.get(q.site, class)?;
         crate::correction::price_with_model(&snapshot.model, snapshot.version, class, q)
-    }
-
-    /// Estimates a local query's cost at a site from the registered model.
-    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
-    pub fn estimate_local_cost(
-        &self,
-        site: &SiteId,
-        local_schema: &LocalCatalog,
-        query: &Query,
-        probe_cost: f64,
-    ) -> Option<f64> {
-        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
-            .map(|d| d.estimate)
-    }
-
-    /// Estimates a local query's cost plus the snapshot version it came
-    /// from.
-    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
-    pub fn estimate_with_version(
-        &self,
-        site: &SiteId,
-        local_schema: &LocalCatalog,
-        query: &Query,
-        probe_cost: f64,
-    ) -> Option<(f64, u64)> {
-        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
-            .map(|d| (d.estimate, d.version))
-    }
-
-    /// Estimates a local query's cost with full provenance.
-    #[deprecated(note = "use `ModelRegistry::estimate(&EstimateQuery)`")]
-    pub fn estimate_detailed(
-        &self,
-        site: &SiteId,
-        local_schema: &LocalCatalog,
-        query: &Query,
-        probe_cost: f64,
-    ) -> Option<EstimateDetail> {
-        self.estimate(&EstimateQuery::raw(site, local_schema, query, probe_cost))
     }
 
     /// Loads every model of a [`GlobalCatalog`] into the registry,

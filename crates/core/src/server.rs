@@ -153,12 +153,6 @@ impl ServeConfig {
         }
     }
 
-    /// Clamps degenerate values to the smallest sane ones.
-    #[deprecated(note = "use `ServeConfig::builder()`, whose `build()` rejects degenerate knobs")]
-    pub fn validated(self) -> Self {
-        self.clamped()
-    }
-
     /// Clamps degenerate values (zero capacity/batch/threshold, negative
     /// times, out-of-range correction knobs) to the smallest sane ones.
     /// The lenient counterpart of [`ServeConfigBuilder::build`], applied on
@@ -1848,10 +1842,6 @@ mod tests {
         );
         let sane = ServeConfig::default();
         assert_eq!(sane.clone().clamped(), sane);
-        // The deprecated shim delegates to the same clamping.
-        #[allow(deprecated)]
-        let shimmed = ServeConfig::default().validated();
-        assert_eq!(shimmed, sane);
     }
 
     #[test]

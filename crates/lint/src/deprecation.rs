@@ -1,0 +1,190 @@
+//! The `expired-deprecation` pass.
+//!
+//! The tree's deprecation policy is "one release of grace": a shim kept
+//! for compatibility must carry `#[deprecated(since = "X.Y.Z", note =
+//! "…")]`, and once the workspace version moves past `since` the shim must
+//! go. This pass enforces both halves: a `#[deprecated]` attribute without
+//! a parseable `since` version is a finding (nothing tracks its age), and
+//! one whose `since` is older than the current workspace version is a
+//! finding (the grace release has shipped). An item deprecated *in* the
+//! current version is still within its grace period.
+
+use crate::rules::{push_unless_waived, EXPIRED_DEPRECATION};
+use crate::{AnalyzedFile, Finding};
+
+/// Parses `x.y.z` into a comparable triple.
+fn semver(s: &str) -> Option<(u64, u64, u64)> {
+    let mut parts = s.split('.');
+    let maj = parts.next()?.parse().ok()?;
+    let min = parts.next()?.parse().ok()?;
+    let pat = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((maj, min, pat))
+}
+
+/// Extracts the `[workspace.package] version` from the root manifest.
+pub fn workspace_version(root_manifest: &str) -> Option<String> {
+    let mut in_section = false;
+    for line in root_manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.package]";
+            continue;
+        }
+        if in_section {
+            if let Some(rest) = line.strip_prefix("version") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs the deprecation-expiry pass against `current_version` (the
+/// workspace version, `x.y.z`).
+pub fn check_deprecations(files: &[AnalyzedFile], current_version: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(current) = semver(current_version) else {
+        return findings; // unparseable workspace version: nothing to compare
+    };
+    for f in files {
+        let toks = &f.scanned.tokens;
+        let n = toks.len();
+        for i in 0..n.saturating_sub(2) {
+            if !(toks[i].text == "#" && toks[i + 1].text == "[" && toks[i + 2].text == "deprecated")
+            {
+                continue;
+            }
+            let line = toks[i + 2].line;
+            // Attribute argument range: the balanced `[ … ]`.
+            let attr_end = {
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                loop {
+                    if j >= n {
+                        break n;
+                    }
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break j;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            };
+            let since_value = (i + 3..attr_end)
+                .find(|&j| {
+                    toks[j].text == "since" && toks.get(j + 1).map(|t| t.text.as_str()) == Some("=")
+                })
+                .and_then(|j| {
+                    f.scanned
+                        .strings
+                        .iter()
+                        .find(|s| s.token_index == j + 2)
+                        .map(|s| s.value.clone())
+                });
+            match since_value.as_deref().map(semver) {
+                None => push_unless_waived(
+                    &f.scanned,
+                    &mut findings,
+                    &f.path,
+                    line,
+                    EXPIRED_DEPRECATION,
+                    "`#[deprecated]` without a `since = \"X.Y.Z\"` note: nothing tracks when \
+                     the one-release grace period ends"
+                        .into(),
+                ),
+                Some(None) => push_unless_waived(
+                    &f.scanned,
+                    &mut findings,
+                    &f.path,
+                    line,
+                    EXPIRED_DEPRECATION,
+                    format!(
+                        "unparseable `since = \"{}\"` (expected `X.Y.Z`)",
+                        since_value.unwrap_or_default()
+                    ),
+                ),
+                Some(Some(since)) if since < current => push_unless_waived(
+                    &f.scanned,
+                    &mut findings,
+                    &f.path,
+                    line,
+                    EXPIRED_DEPRECATION,
+                    format!(
+                        "deprecated since {} and the workspace is now {current_version}: the \
+                         one-release grace period is over, remove the item",
+                        since_value.unwrap_or_default()
+                    ),
+                ),
+                Some(Some(_)) => {} // still within the grace release
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    fn run(src: &str, version: &str) -> Vec<Finding> {
+        let files = vec![analyze_source("crates/core/src/x.rs", src)];
+        check_deprecations(&files, version)
+    }
+
+    #[test]
+    fn expired_since_is_a_finding_current_is_not() {
+        let src = r#"
+#[deprecated(since = "0.0.1", note = "use estimate()")]
+pub fn old() {}
+#[deprecated(since = "0.1.0", note = "use estimate()")]
+pub fn grace() {}
+"#;
+        let f = run(src, "0.1.0");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("grace period is over"));
+    }
+
+    #[test]
+    fn missing_or_malformed_since_is_a_finding() {
+        let f = run("#[deprecated]\npub fn old() {}", "0.1.0");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("without a `since"));
+        let f = run(
+            "#[deprecated(since = \"next\", note = \"x\")]\npub fn old() {}",
+            "0.1.0",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unparseable"));
+    }
+
+    #[test]
+    fn waivers_apply() {
+        let src = r#"
+// lint:allow(expired-deprecation): kept for the downstream fork one more release
+#[deprecated(since = "0.0.1", note = "x")]
+pub fn old() {}
+"#;
+        assert!(run(src, "0.1.0").is_empty());
+    }
+
+    #[test]
+    fn workspace_version_parses_from_root_manifest() {
+        let toml = "[workspace]\nmembers = []\n\n[workspace.package]\nversion = \"0.1.0\"\nedition = \"2021\"\n";
+        assert_eq!(workspace_version(toml).as_deref(), Some("0.1.0"));
+        assert_eq!(workspace_version("[package]\nversion = \"9.9.9\"\n"), None);
+    }
+}

@@ -35,14 +35,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod context;
+pub mod deprecation;
+pub mod graph;
 pub mod rules;
 pub mod scanner;
+pub mod telemetry_registry;
 
 pub use rules::{
-    check_manifest_text, check_rust_source, ALL_RULES, BAD_WAIVER, HERMETIC_MANIFESTS,
-    NO_AMBIENT_ENTROPY, NO_RAW_THREADS, NO_UNORDERED_ITERATION, NO_UNSAFE, NO_WALL_CLOCK,
+    check_manifest_text, check_rust_source, ALL_RULES, BAD_WAIVER, EXPIRED_DEPRECATION,
+    HERMETIC_MANIFESTS, NO_AMBIENT_ENTROPY, NO_RAW_THREADS, NO_UNORDERED_ITERATION, NO_UNSAFE,
+    NO_WALL_CLOCK, SERIAL_ONLY_ESCAPE, UNREGISTERED_METRIC,
 };
 
+use mdbs_obs::json::Json;
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
@@ -79,6 +85,56 @@ pub fn render(findings: &[Finding]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Renders findings as a machine-readable JSON report (the `--json PATH`
+/// output), in the same schema style as the bench harness reports: a
+/// `title`, a count, and one object per (already sorted) finding. The
+/// rendering is compact and insertion-ordered, so two runs over the same
+/// tree produce byte-identical files.
+pub fn render_json(findings: &[Finding]) -> String {
+    let items: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(f.file.clone())),
+                ("line".into(), Json::Int(f.line as i64)),
+                ("rule".into(), Json::Str(f.rule.to_string())),
+                ("message".into(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("title".into(), Json::Str("mdbs-lint".into())),
+        ("finding_count".into(), Json::Int(findings.len() as i64)),
+        ("findings".into(), Json::Arr(items)),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
+/// One source file prepared for the workspace passes: its scanned token
+/// stream plus the extracted call-graph structure.
+#[derive(Debug)]
+pub struct AnalyzedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The scanner's view: tokens, strings, waivers, ctx annotations.
+    pub scanned: scanner::ScannedFile,
+    /// The structural view: fn defs, call sites, worker regions.
+    pub graph: graph::FileGraph,
+}
+
+/// Scans and extracts one source file for the workspace passes.
+pub fn analyze_source(path: &str, source: &str) -> AnalyzedFile {
+    let scanned = scanner::scan(source);
+    let graph = graph::extract(&scanned);
+    AnalyzedFile {
+        path: path.to_string(),
+        scanned,
+        graph,
+    }
 }
 
 /// Directory names the walker never descends into: build artifacts,
@@ -180,17 +236,48 @@ pub fn check_manifests(root: &Path) -> io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
+/// True when `rel` is production source the workspace passes analyze:
+/// `crates/<crate>/src/**.rs` (integration tests, fixtures and examples
+/// are out of scope — tests may exercise serving invariants deliberately).
+pub fn is_workspace_pass_source(rel: &str) -> bool {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    match rest.split_once('/') {
+        Some((_crate_dir, tail)) => tail.starts_with("src/"),
+        None => false,
+    }
+}
+
 /// Runs every rule over the whole workspace at `root`: all `.rs` files
 /// (skipping `target/`, dot-directories and `fixtures/`) plus all
-/// manifests. Findings come back sorted and deduplicated, so rendering
-/// them is byte-stable across runs and machines.
+/// manifests, then the three workspace passes (context analysis, the
+/// telemetry-name registry, deprecation expiry) over `crates/*/src`.
+/// Findings come back sorted and deduplicated, so rendering them is
+/// byte-stable across runs and machines.
 pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = check_manifests(root)?;
     let mut sources = Vec::new();
     walk(root, &|name| name.ends_with(".rs"), &mut sources)?;
+    let mut analyzed = Vec::new();
     for path in sources {
         let text = fs::read_to_string(&path)?;
-        findings.extend(check_rust_source(&rel_path(root, &path), &text));
+        let rel = rel_path(root, &path);
+        findings.extend(check_rust_source(&rel, &text));
+        if is_workspace_pass_source(&rel) {
+            analyzed.push(analyze_source(&rel, &text));
+        }
+    }
+    findings.extend(context::check_context(&analyzed));
+    let registry_text = fs::read_to_string(root.join(telemetry_registry::REGISTRY_PATH)).ok();
+    findings.extend(telemetry_registry::check_telemetry(
+        &analyzed,
+        registry_text.as_deref(),
+    ));
+    if let Ok(manifest) = fs::read_to_string(root.join("Cargo.toml")) {
+        if let Some(version) = deprecation::workspace_version(&manifest) {
+            findings.extend(deprecation::check_deprecations(&analyzed, &version));
+        }
     }
     findings.sort();
     findings.dedup();

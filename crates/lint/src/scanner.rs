@@ -47,6 +47,35 @@ pub struct MalformedWaiver {
     pub problem: String,
 }
 
+/// A string literal observed while scanning. Strings stay invisible to the
+/// token stream (the per-file rules must not see their contents), but the
+/// workspace passes need them: the telemetry pass reads metric names out of
+/// constructor calls, the deprecation pass reads `since = "X.Y.Z"` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// 1-based line the literal starts on.
+    pub line: usize,
+    /// The literal's body, verbatim source text between the delimiters
+    /// (escape sequences are *not* processed — registry names and version
+    /// strings never contain them).
+    pub value: String,
+    /// Index into [`ScannedFile::tokens`] of the first token *after* this
+    /// literal. A call pattern `name (` at token `i`/`i+1` has this string
+    /// as its first argument iff `token_index == i + 2`.
+    pub token_index: usize,
+}
+
+/// A context annotation comment: `// ctx: <value>`, e.g.
+/// `// ctx: serial-only` directly above (or trailing) a fn definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtxAnnotation {
+    /// 1-based line the annotation comment is on.
+    pub line: usize,
+    /// The annotation value, trimmed (`serial-only` is the only one the
+    /// context pass understands; anything else is a hygiene finding).
+    pub value: String,
+}
+
 /// The result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct ScannedFile {
@@ -56,6 +85,11 @@ pub struct ScannedFile {
     pub waivers: Vec<Waiver>,
     /// `lint:allow` comments that fail to parse or lack a justification.
     pub malformed_waivers: Vec<MalformedWaiver>,
+    /// String literals in source order, with the token position they
+    /// occupy. Invisible to `tokens`; used by the workspace passes only.
+    pub strings: Vec<StringLit>,
+    /// `// ctx: <value>` annotations in source order.
+    pub ctx_annotations: Vec<CtxAnnotation>,
 }
 
 impl ScannedFile {
@@ -122,6 +156,7 @@ pub fn scan(source: &str) -> ScannedFile {
                 }
                 let text: String = chars[start..j].iter().collect();
                 parse_waiver_comment(&text, line, &mut out);
+                parse_ctx_comment(&text, line, &mut out);
                 i = j;
             }
             '/' if i + 1 < n && chars[i + 1] == '*' => {
@@ -144,8 +179,21 @@ pub fn scan(source: &str) -> ScannedFile {
                 }
             }
             '"' => {
+                let start_line = line;
+                let start = i + 1;
                 i += 1;
                 consume_cooked(&mut i, &mut line, '"', &chars);
+                // `i` is one past the closing quote (or == n if unterminated).
+                let end = if i > start && chars[i - 1] == '"' {
+                    i - 1
+                } else {
+                    i
+                };
+                out.strings.push(StringLit {
+                    line: start_line,
+                    value: chars[start..end].iter().collect(),
+                    token_index: out.tokens.len(),
+                });
             }
             '\'' => {
                 // Char literal or lifetime. `'\x'`/`'\\'` is a char;
@@ -188,7 +236,10 @@ pub fn scan(source: &str) -> ScannedFile {
                     }
                     if j < n && chars[j] == '"' && (hashes > 0 || chars[i] == '"') {
                         // Consume until `"` followed by `hashes` hashes.
+                        let start_line = line;
                         j += 1;
+                        let body_start = j;
+                        let mut body_end = n;
                         loop {
                             if j >= n {
                                 break;
@@ -204,12 +255,18 @@ pub fn scan(source: &str) -> ScannedFile {
                                     k += 1;
                                 }
                                 if k == hashes {
+                                    body_end = j;
                                     j += 1 + hashes;
                                     break;
                                 }
                             }
                             j += 1;
                         }
+                        out.strings.push(StringLit {
+                            line: start_line,
+                            value: chars[body_start..body_end].iter().collect(),
+                            token_index: out.tokens.len(),
+                        });
                         i = j;
                         continue; // prefix consumed as part of the literal
                     }
@@ -290,6 +347,25 @@ fn parse_waiver_comment(comment: &str, line: usize, out: &mut ScannedFile) {
         line,
         rule,
         justification,
+    });
+}
+
+/// The context-annotation grammar inside a line comment: `ctx: <value>`.
+///
+/// Like waivers, an annotation must be the *whole* comment (the text after
+/// `//`, trimmed, must begin with `ctx:`), and doc comments never carry
+/// one — prose may discuss the syntax freely.
+fn parse_ctx_comment(comment: &str, line: usize, out: &mut ScannedFile) {
+    if comment.starts_with('/') || comment.starts_with('!') {
+        return; // doc comment
+    }
+    let trimmed = comment.trim_start();
+    let Some(rest) = trimmed.strip_prefix("ctx:") else {
+        return;
+    };
+    out.ctx_annotations.push(CtxAnnotation {
+        line,
+        value: rest.trim().to_string(),
     });
 }
 
@@ -401,5 +477,72 @@ mod tests {
         let s = scan(r#"let x = "lint:allow(no-wall-clock): nope";"#);
         assert!(s.waivers.is_empty());
         assert!(s.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_token_positions() {
+        let s = scan(r#"tel.inc("serve.requests", 1);"#);
+        // Tokens: tel . inc ( , 1 ) ;  — the string sits between `(` and `,`.
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "serve.requests");
+        assert_eq!(s.strings[0].line, 1);
+        let open = s.tokens.iter().position(|t| t.text == "(").unwrap();
+        assert_eq!(s.strings[0].token_index, open + 1);
+    }
+
+    #[test]
+    fn raw_string_with_hash_guards_containing_fn_and_parens_stays_opaque() {
+        // The call-graph pass must not see `fn evil(` inside the literal as
+        // a definition or call site — and the literal value is captured.
+        let src = r###"let t = r##"fn evil() { pool::run_jobs(x) }"##; next()"###;
+        let s = scan(src);
+        assert!(!s.tokens.iter().any(|t| t.text == "evil"));
+        assert!(!s.tokens.iter().any(|t| t.text == "run_jobs"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "fn evil() { pool::run_jobs(x) }");
+        assert!(s.tokens.iter().any(|t| t.text == "next"));
+    }
+
+    #[test]
+    fn nested_block_comment_terminating_at_eof_is_consumed() {
+        // Unterminated nested comment swallows the rest of the file
+        // without panicking or leaking tokens.
+        let s = scan("a /* outer /* inner */ still-open fn ghost(");
+        assert_eq!(
+            s.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a"]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime_inside_generic_call_sites() {
+        // `split::<'a, Vec<char>>('x', 'y')` — lifetimes tokenize away,
+        // char args vanish, the call pattern `split (`…`)` survives for the
+        // call-graph pass (after the turbofish punctuation).
+        let s = scan("split::<'a, Vec<char>>('x', 'y'); done");
+        let texts: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "split", ":", ":", "<", ",", "Vec", "<", "char", ">", ">", "(", ",", ")", ";",
+                "done"
+            ]
+        );
+        assert!(s.strings.is_empty());
+    }
+
+    #[test]
+    fn ctx_annotations_parse_and_doc_comments_do_not() {
+        let s = scan("// ctx: serial-only\nfn fold() {}\n/// ctx: serial-only\nfn doc() {}");
+        assert_eq!(s.ctx_annotations.len(), 1);
+        assert_eq!(s.ctx_annotations[0].line, 1);
+        assert_eq!(s.ctx_annotations[0].value, "serial-only");
+    }
+
+    #[test]
+    fn ctx_text_inside_a_string_is_not_an_annotation() {
+        let s = scan(r#"let x = "ctx: serial-only";"#);
+        assert!(s.ctx_annotations.is_empty());
+        assert_eq!(s.strings.len(), 1);
     }
 }

@@ -1,0 +1,461 @@
+//! The `unregistered-metric` telemetry-name registry pass.
+//!
+//! The `serve.*` / `fit.*` / `maintenance.*` / `pool.sched.*` name space is
+//! an interface: ci.sh determinism gates grep it, the `stats` subcommand
+//! parses it, and the flight-recorder event kinds key the accuracy ledger.
+//! This pass pins it. Every string literal passed to a telemetry
+//! constructor across `crates/{core,obs,cli,sim}/src` must appear in the
+//! committed [`REGISTRY_PATH`] file, and every exact entry in that file
+//! must still be emitted somewhere — so the registry can neither rot ahead
+//! of the code nor trail behind it.
+//!
+//! Registry grammar (one entry per line, `#` comments):
+//!
+//! ```text
+//! <name> <kind> <owning-module> <determinism>
+//! serve.requests        counter core/server deterministic
+//! pool.sched.steals     counter core/pool   sched
+//! serve.ledger.*        gauge   obs/recorder deterministic
+//! ```
+//!
+//! * `kind` ∈ `counter | gauge | histogram | span | event`, matching the
+//!   constructor that emits the name (`inc`, `gauge`/`set_gauge`/
+//!   `add_gauge`, `observe`, `begin_span`, `record_event`/`record_request`).
+//! * A name ending in `.*` is a **prefix entry** for dynamically-built
+//!   names; it is exempt from the still-emitted check.
+//! * `determinism` is `sched` exactly for names under the sanctioned
+//!   scheduling-dependent prefixes (`pool.sched.`, mirrored from
+//!   `mdbs_obs::telemetry::SCHEDULING_METRIC_PREFIXES`), `deterministic`
+//!   for everything else; a mismatched flag is itself a finding.
+//!
+//! A constructor whose name argument is built with `format!` cannot be
+//! checked statically and is a finding, waivable when the produced names
+//! fall under a registered prefix entry. A name smuggled through a plain
+//! variable escapes extraction (documented limit) — but its registry entry
+//! then trips the still-emitted check, so the evasion is loud.
+
+use crate::rules::{push_unless_waived, UNREGISTERED_METRIC};
+use crate::{AnalyzedFile, Finding};
+use std::collections::BTreeMap;
+
+/// Workspace-relative path of the committed registry file.
+pub const REGISTRY_PATH: &str = "crates/lint/telemetry.registry";
+
+/// Crate source trees whose telemetry emissions are checked.
+const SCANNED_PREFIXES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/obs/src/",
+    "crates/cli/src/",
+    "crates/sim/src/",
+];
+
+/// Mirror of `mdbs_obs::telemetry::SCHEDULING_METRIC_PREFIXES`: names under
+/// these prefixes legitimately vary with the worker schedule and must carry
+/// the `sched` flag.
+const SCHED_PREFIXES: [&str; 1] = ["pool.sched."];
+
+/// Telemetry constructors: method name → emitted kind. All but
+/// `begin_span` take the name as the first of two-plus arguments; a
+/// 1-arg `gauge(name)` / `counter(name)` is a *read* and is skipped.
+const CONSTRUCTORS: [(&str, &str); 6] = [
+    ("inc", "counter"),
+    ("gauge", "gauge"),
+    ("set_gauge", "gauge"),
+    ("add_gauge", "gauge"),
+    ("observe", "histogram"),
+    ("record_event", "event"),
+];
+
+/// One parsed registry entry.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// 1-based line in the registry file.
+    pub line: usize,
+    /// The registered name, without a `.*` suffix for prefix entries.
+    pub name: String,
+    /// counter | gauge | histogram | span | event.
+    pub kind: String,
+    /// True when the entry is a `.*` prefix entry.
+    pub is_prefix: bool,
+    /// The `deterministic` / `sched` flag.
+    pub determinism: String,
+}
+
+/// One telemetry emission site found in the sources.
+#[derive(Debug, Clone)]
+struct Emission {
+    file: usize,
+    line: usize,
+    name: String,
+    kind: &'static str,
+}
+
+/// Parses the registry file; malformed lines become findings.
+pub fn parse_registry(text: &str) -> (Vec<RegistryEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    let mut bad = |line: usize, message: String| {
+        findings.push(Finding {
+            file: REGISTRY_PATH.to_string(),
+            line,
+            rule: UNREGISTERED_METRIC,
+            message,
+        });
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 4 {
+            bad(
+                line,
+                format!(
+                    "malformed registry line: expected `<name> <kind> <module> <determinism>`, got {} field(s)",
+                    fields.len()
+                ),
+            );
+            continue;
+        }
+        let (name, kind, module, determinism) = (fields[0], fields[1], fields[2], fields[3]);
+        if !matches!(kind, "counter" | "gauge" | "histogram" | "span" | "event") {
+            bad(line, format!("unknown telemetry kind `{kind}`"));
+            continue;
+        }
+        if !matches!(determinism, "deterministic" | "sched") {
+            bad(
+                line,
+                format!("determinism flag must be `deterministic` or `sched`, got `{determinism}`"),
+            );
+            continue;
+        }
+        if module.is_empty() || !module.contains('/') {
+            bad(
+                line,
+                format!("owning module `{module}` should look like `crate/module`"),
+            );
+            continue;
+        }
+        let (name, is_prefix) = match name.strip_suffix(".*") {
+            Some(p) => (p.to_string(), true),
+            None => (name.to_string(), false),
+        };
+        let is_sched = SCHED_PREFIXES
+            .iter()
+            .any(|p| name.starts_with(p) || (is_prefix && p.starts_with(&format!("{name}."))));
+        if is_sched != (determinism == "sched") {
+            bad(
+                line,
+                format!(
+                    "`{name}{}` is flagged `{determinism}` but names under {:?} {} scheduling-dependent",
+                    if is_prefix { ".*" } else { "" },
+                    SCHED_PREFIXES,
+                    if is_sched { "are" } else { "are the only ones" }
+                ),
+            );
+            continue;
+        }
+        entries.push(RegistryEntry {
+            line,
+            name,
+            kind: kind.to_string(),
+            is_prefix,
+            determinism: determinism.to_string(),
+        });
+    }
+    (entries, findings)
+}
+
+/// Extracts every literal-named telemetry emission (and flags
+/// `format!`-built names) from one analyzed file.
+fn extract_emissions(
+    files: &[AnalyzedFile],
+    fi: usize,
+    emissions: &mut Vec<Emission>,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &files[fi];
+    let strings: BTreeMap<usize, &str> = f
+        .scanned
+        .strings
+        .iter()
+        .map(|s| (s.token_index, s.value.as_str()))
+        .collect();
+    let tok = |i: usize| f.scanned.tokens.get(i).map(|t| t.text.as_str());
+    for call in &f.graph.calls {
+        if f.graph.in_test_code(call.token_index) {
+            continue;
+        }
+        let open = call.token_index + 1; // the `(`
+        if call.name == "record_request" {
+            // Stamps the implicit event kind `request`; no string arg.
+            emissions.push(Emission {
+                file: fi,
+                line: call.line,
+                name: "request".into(),
+                kind: "event",
+            });
+            continue;
+        }
+        let kind = if call.name == "begin_span" {
+            Some("span")
+        } else {
+            CONSTRUCTORS
+                .iter()
+                .find(|(n, _)| *n == call.name)
+                .map(|&(_, k)| k)
+        };
+        let Some(kind) = kind else { continue };
+        match strings.get(&(open + 1)) {
+            Some(name) => {
+                // Emission constructors take `(name, value…)`; a bare
+                // `(name)` is a read — except `begin_span`, whose single
+                // argument *is* the emission.
+                let emits = if call.name == "begin_span" {
+                    tok(open + 1) == Some(")")
+                } else {
+                    tok(open + 1) == Some(",")
+                };
+                if emits {
+                    emissions.push(Emission {
+                        file: fi,
+                        line: call.line,
+                        name: name.to_string(),
+                        kind,
+                    });
+                }
+            }
+            None => {
+                // `format!`-built name: statically uncheckable.
+                let dynamic = tok(open + 1) == Some("format")
+                    || (tok(open + 1) == Some("&") && tok(open + 2) == Some("format"));
+                if dynamic {
+                    push_unless_waived(
+                        &f.scanned,
+                        findings,
+                        &f.path,
+                        call.line,
+                        UNREGISTERED_METRIC,
+                        format!(
+                            "`{}` name is built with `format!` and cannot be checked against \
+                             the registry; waive only when the produced names fall under a \
+                             registered `.*` prefix entry",
+                            call.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs the registry pass: `registry_text` is the content of
+/// [`REGISTRY_PATH`], or `None` when the file is missing.
+pub fn check_telemetry(files: &[AnalyzedFile], registry_text: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(text) = registry_text else {
+        findings.push(Finding {
+            file: REGISTRY_PATH.to_string(),
+            line: 1,
+            rule: UNREGISTERED_METRIC,
+            message: "telemetry registry file is missing".into(),
+        });
+        return findings;
+    };
+    let (entries, mut parse_findings) = parse_registry(text);
+    findings.append(&mut parse_findings);
+
+    // Duplicate (name, kind) registrations.
+    let mut seen: BTreeMap<(String, String, bool), usize> = BTreeMap::new();
+    for e in &entries {
+        let key = (e.name.clone(), e.kind.clone(), e.is_prefix);
+        if let Some(first) = seen.get(&key) {
+            findings.push(Finding {
+                file: REGISTRY_PATH.to_string(),
+                line: e.line,
+                rule: UNREGISTERED_METRIC,
+                message: format!(
+                    "duplicate registration of {} `{}` (first registered on line {first})",
+                    e.kind, e.name
+                ),
+            });
+        } else {
+            seen.insert(key, e.line);
+        }
+    }
+
+    let mut emissions = Vec::new();
+    for fi in 0..files.len() {
+        if SCANNED_PREFIXES
+            .iter()
+            .any(|p| files[fi].path.starts_with(p))
+        {
+            extract_emissions(files, fi, &mut emissions, &mut findings);
+        }
+    }
+
+    // Every emission must be registered with the matching kind.
+    let mut matched = vec![false; entries.len()];
+    for em in &emissions {
+        let exact = entries
+            .iter()
+            .position(|e| !e.is_prefix && e.name == em.name && e.kind == em.kind);
+        let hit = exact.or_else(|| {
+            entries.iter().position(|e| {
+                e.is_prefix && e.kind == em.kind && em.name.starts_with(&format!("{}.", e.name))
+            })
+        });
+        match hit {
+            Some(i) => matched[i] = true,
+            None => {
+                let other_kind = entries
+                    .iter()
+                    .find(|e| !e.is_prefix && e.name == em.name)
+                    .map(|e| e.kind.clone());
+                let message = match other_kind {
+                    Some(k) => format!(
+                        "telemetry {} `{}` is registered as a {k} — kind mismatch with {}",
+                        em.kind, em.name, REGISTRY_PATH
+                    ),
+                    None => format!(
+                        "telemetry {} `{}` is not registered in {}",
+                        em.kind, em.name, REGISTRY_PATH
+                    ),
+                };
+                push_unless_waived(
+                    &files[em.file].scanned,
+                    &mut findings,
+                    &files[em.file].path,
+                    em.line,
+                    UNREGISTERED_METRIC,
+                    message,
+                );
+            }
+        }
+    }
+
+    // Every exact entry must still be emitted somewhere.
+    for (i, e) in entries.iter().enumerate() {
+        if !e.is_prefix && !matched[i] {
+            findings.push(Finding {
+                file: REGISTRY_PATH.to_string(),
+                line: e.line,
+                rule: UNREGISTERED_METRIC,
+                message: format!(
+                    "registered {} `{}` is no longer emitted anywhere in {:?}",
+                    e.kind, e.name, SCANNED_PREFIXES
+                ),
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    fn run(src: &str, registry: Option<&str>) -> Vec<Finding> {
+        let files = vec![analyze_source("crates/core/src/x.rs", src)];
+        check_telemetry(&files, registry)
+    }
+
+    const SRC: &str = r#"
+fn f(tel: &mut Telemetry) {
+    tel.inc("serve.requests", 1);
+    tel.observe("serve.latency_virtual_s", 0.5);
+    let span = tel.begin_span("serve.loop");
+    let _read = tel.gauge("serve.requests");
+}
+"#;
+
+    #[test]
+    fn registered_emissions_are_clean() {
+        let reg = "serve.requests counter core/server deterministic\n\
+                   serve.latency_virtual_s histogram core/server deterministic\n\
+                   serve.loop span core/server deterministic\n";
+        assert!(run(SRC, Some(reg)).is_empty());
+    }
+
+    #[test]
+    fn unregistered_and_stale_names_are_findings() {
+        let reg = "serve.requests counter core/server deterministic\n\
+                   serve.loop span core/server deterministic\n\
+                   serve.ghost counter core/server deterministic\n";
+        let f = run(SRC, Some(reg));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("serve.latency_virtual_s")
+                && x.message.contains("not registered")));
+        assert!(f
+            .iter()
+            .any(|x| x.file == REGISTRY_PATH && x.message.contains("no longer emitted")));
+    }
+
+    #[test]
+    fn kind_mismatch_duplicate_and_sched_flag_are_findings() {
+        let reg = "serve.requests gauge core/server deterministic\n\
+                   serve.latency_virtual_s histogram core/server deterministic\n\
+                   serve.latency_virtual_s histogram core/server deterministic\n\
+                   serve.loop span core/server sched\n";
+        let f = run(SRC, Some(reg));
+        assert!(
+            f.iter().any(|x| x.message.contains("kind mismatch")),
+            "{f:?}"
+        );
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("duplicate registration")));
+        assert!(f.iter().any(|x| x.message.contains("flagged `sched`")));
+    }
+
+    #[test]
+    fn format_built_names_need_a_waiver() {
+        let src = r#"
+fn f(tel: &mut Telemetry, base: &str) {
+    tel.observe(&format!("{base}.abs_rel_err"), 1.0);
+}
+"#;
+        let f = run(src, Some(""));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("format!"));
+        let waived = r#"
+fn f(tel: &mut Telemetry, base: &str) {
+    // lint:allow(unregistered-metric): names fall under serve.ledger.*
+    tel.observe(&format!("{base}.abs_rel_err"), 1.0);
+}
+"#;
+        assert!(run(waived, Some("")).is_empty());
+    }
+
+    #[test]
+    fn prefix_entries_cover_dotted_names_and_skip_still_emitted() {
+        let src = r#"
+fn f(tel: &mut Telemetry) {
+    tel.set_gauge("serve.ledger.s1.idle.mean_rel_err", 0.1);
+}
+"#;
+        let reg = "serve.ledger.* gauge obs/recorder deterministic\n";
+        assert!(run(src, Some(reg)).is_empty());
+    }
+
+    #[test]
+    fn missing_registry_file_is_a_finding() {
+        let f = run(SRC, None);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn test_code_and_non_scanned_crates_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(tel: &mut Telemetry) { tel.inc(\"junk\", 1); }\n}\n";
+        assert!(run(src, Some("")).is_empty());
+        let files = vec![analyze_source("crates/bench/src/h.rs", SRC)];
+        assert!(check_telemetry(&files, Some("")).is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: one deprecation past its one-release grace period, one
+//! missing its `since` tag, one still within grace.
+
+#[deprecated(since = "0.0.1", note = "use `new_api` instead")]
+pub fn expired() {}
+
+#[deprecated]
+pub fn missing_since() {}
+
+#[deprecated(since = "0.1.0", note = "use `new_api` instead")]
+pub fn within_grace() {}
+
+pub fn new_api() {}

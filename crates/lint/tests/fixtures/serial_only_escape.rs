@@ -1,0 +1,27 @@
+//! Fixture: a `// ctx: serial-only` fn reached from a `pool::run_jobs`
+//! worker closure, both directly and through an intermediate helper.
+
+pub struct Ledger;
+
+impl Ledger {
+    // ctx: serial-only
+    pub fn fold(&mut self, x: u64) {
+        let _ = x;
+    }
+}
+
+fn helper(l: &mut Ledger) {
+    l.fold(7);
+}
+
+pub fn direct_escape(l: &mut Ledger) {
+    pool::run_jobs(vec![1u64], 2, |_, j| l.fold(j));
+}
+
+pub fn transitive_escape(l: &mut Ledger) {
+    pool::run_jobs(vec![1u64], 2, |_, _j| helper(l));
+}
+
+pub fn serial_caller_is_fine(l: &mut Ledger) {
+    l.fold(1);
+}

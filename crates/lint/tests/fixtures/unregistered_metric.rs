@@ -1,0 +1,8 @@
+//! Fixture: telemetry emissions checked against a registry — one name
+//! missing entirely, one registered under the wrong kind, one fine.
+
+pub fn emit(telemetry: &mut Telemetry) {
+    telemetry.inc("fixture.registered", 1);
+    telemetry.inc("fixture.unregistered", 1);
+    telemetry.gauge("fixture.kind_mismatch", 1.0);
+}

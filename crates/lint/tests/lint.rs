@@ -13,7 +13,9 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use mdbs_lint::{check_manifest_text, check_rust_source, render, Finding};
+use mdbs_lint::{
+    analyze_source, check_manifest_text, check_rust_source, render, render_json, Finding,
+};
 
 fn lines_for(findings: &[Finding], rule: &str) -> Vec<usize> {
     findings
@@ -116,6 +118,138 @@ fn bad_manifest_fixture_flags_every_leak() {
         &allowed,
     );
     assert_only(&f, mdbs_lint::HERMETIC_MANIFESTS, &[6, 7, 9]);
+}
+
+#[test]
+fn serial_only_escape_fixture_flags_direct_and_transitive_escapes() {
+    let files = vec![analyze_source(
+        "crates/core/src/serial_only_escape.rs",
+        include_str!("fixtures/serial_only_escape.rs"),
+    )];
+    let mut f = mdbs_lint::context::check_context(&files);
+    f.sort();
+    assert_only(&f, mdbs_lint::SERIAL_ONLY_ESCAPE, &[14, 18]);
+    assert!(
+        f[0].message.contains("via worker-context fn(s) helper"),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[1].message
+            .contains("directly inside a `run_jobs` closure"),
+        "{}",
+        f[1].message
+    );
+}
+
+#[test]
+fn unregistered_metric_fixture_flags_missing_and_mismatched_names() {
+    let files = vec![analyze_source(
+        "crates/core/src/unregistered_metric.rs",
+        include_str!("fixtures/unregistered_metric.rs"),
+    )];
+    let reg = "fixture.registered counter core/unregistered_metric deterministic\n\
+               fixture.kind_mismatch counter core/unregistered_metric deterministic\n";
+    let mut f = mdbs_lint::telemetry_registry::check_telemetry(&files, Some(reg));
+    f.sort();
+    assert!(f.iter().all(|x| x.rule == mdbs_lint::UNREGISTERED_METRIC));
+    let in_fixture: Vec<usize> = f
+        .iter()
+        .filter(|x| x.file.ends_with("unregistered_metric.rs"))
+        .map(|x| x.line)
+        .collect();
+    assert_eq!(in_fixture, vec![6, 7], "{}", render(&f));
+    assert!(
+        f.iter().any(|x| {
+            x.file == mdbs_lint::telemetry_registry::REGISTRY_PATH
+                && x.line == 2
+                && x.message.contains("no longer emitted")
+        }),
+        "the unmatched counter entry must trip the still-emitted check:\n{}",
+        render(&f)
+    );
+}
+
+#[test]
+fn expired_deprecation_fixture_flags_expired_and_tagless_items() {
+    let files = vec![analyze_source(
+        "crates/core/src/expired_deprecation.rs",
+        include_str!("fixtures/expired_deprecation.rs"),
+    )];
+    let mut f = mdbs_lint::deprecation::check_deprecations(&files, "0.1.0");
+    f.sort();
+    assert_only(&f, mdbs_lint::EXPIRED_DEPRECATION, &[4, 7]);
+    assert!(f[0].message.contains("grace period is over"));
+    assert!(f[1].message.contains("without a `since"));
+}
+
+/// Deleting one entry from the committed registry must fail the gate: the
+/// name it covered becomes an unregistered emission (or, for a prefix
+/// entry, un-waivers its `format!` sites via review — either way, loud).
+#[test]
+fn deleting_a_registry_line_breaks_the_telemetry_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let registry_path = root.join(mdbs_lint::telemetry_registry::REGISTRY_PATH);
+    let full = std::fs::read_to_string(&registry_path).expect("registry is committed");
+    let victim = "serve.requests ";
+    assert!(full.lines().any(|l| l.starts_with(victim)));
+    let truncated: String = full
+        .lines()
+        .filter(|l| !l.starts_with(victim))
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if mdbs_lint::is_workspace_pass_source(&rel) {
+                    let src = std::fs::read_to_string(&path).expect("readable source");
+                    files.push(analyze_source(&rel, &src));
+                }
+            }
+        }
+    }
+
+    let clean = mdbs_lint::telemetry_registry::check_telemetry(&files, Some(&full));
+    assert!(clean.is_empty(), "{}", render(&clean));
+    let broken = mdbs_lint::telemetry_registry::check_telemetry(&files, Some(&truncated));
+    assert!(
+        broken
+            .iter()
+            .any(|f| f.message.contains("serve.requests") && f.message.contains("not registered")),
+        "dropping the entry must surface its emission:\n{}",
+        render(&broken)
+    );
+}
+
+#[test]
+fn json_rendering_is_schema_shaped_and_stable() {
+    let findings = vec![Finding {
+        file: "crates/core/src/x.rs".into(),
+        line: 7,
+        rule: mdbs_lint::NO_WALL_CLOCK,
+        message: "wall-clock read".into(),
+    }];
+    let json = render_json(&findings);
+    assert_eq!(
+        json,
+        "{\"title\":\"mdbs-lint\",\"finding_count\":1,\"findings\":[{\"file\":\"crates/core/src/x.rs\",\"line\":7,\"rule\":\"no-wall-clock\",\"message\":\"wall-clock read\"}]}\n"
+    );
+    assert_eq!(render_json(&findings), json, "byte-stable across calls");
+    assert_eq!(
+        render_json(&[]),
+        "{\"title\":\"mdbs-lint\",\"finding_count\":0,\"findings\":[]}\n"
+    );
 }
 
 /// The meta-test: the real tree must lint clean. Any new `Instant`, raw

@@ -104,6 +104,7 @@ impl FlightRecorder {
 
     /// Records one request lifecycle (`kind = "request"`). The ring keeps
     /// only the most recent `capacity` of these, evicting oldest-first.
+    // ctx: serial-only
     pub fn record_request(&mut self, fields: Vec<(String, Json)>) {
         if self.capacity == 0 {
             return;
@@ -117,6 +118,7 @@ impl FlightRecorder {
 
     /// Records a maintenance / heartbeat / anomaly event; these are never
     /// evicted (each one explains a model or serving-state change).
+    // ctx: serial-only
     pub fn record_event(&mut self, kind: &str, fields: Vec<(String, Json)>) {
         if self.capacity == 0 {
             return;
@@ -267,6 +269,7 @@ impl AccuracyLedger {
     /// Folds one (estimate, observed) pair into the `(site, state)` row.
     /// The relative error is `(estimate − observed) / observed` (the
     /// denominator is floored away from zero to stay finite).
+    // ctx: serial-only
     pub fn record(&mut self, site: &str, state: &str, estimate: f64, observed: f64) {
         let denom = observed.abs().max(1e-12);
         let rel = (estimate - observed) / denom;
@@ -402,8 +405,10 @@ impl AccuracyLedger {
         for ((site, state), entry) in &self.entries {
             let base = format!("serve.ledger.{site}.{state}");
             for &abs in &entry.abs_rel {
+                // lint:allow(unregistered-metric): per-(site,state) names fall under the registered serve.ledger.* histogram prefix
                 telemetry.observe(&format!("{base}.abs_rel_err"), abs);
             }
+            // lint:allow(unregistered-metric): per-(site,state) names fall under the registered serve.ledger.* gauge prefix
             telemetry.gauge(
                 &format!("{base}.mean_rel_err"),
                 entry.sum_signed_rel / entry.count as f64,
