@@ -95,6 +95,32 @@ cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-2.txt"
 cmp "$PAR_DIR/catalog-1.txt" "$PAR_DIR/catalog-8.txt"
 rm -rf "$PAR_DIR"
 
+echo "==> derive -> archive -> restore -> byte-identical catalogs (--jobs 1/2)"
+# The versioned snapshot store round trip: the text catalog archived to
+# the binary form and restored back must reproduce the original bytes
+# exactly (Gram accumulator blocks included), independent of --jobs.
+ARC_DIR="${TMPDIR:-/tmp}/mdbs-ci-archive.$$"
+mkdir -p "$ARC_DIR"
+for j in 1 2; do
+  ./target/release/mdbs-qcost derive --site all --class g1 --seed 11 \
+    --jobs "$j" --out "$ARC_DIR/catalog-$j.txt" > /dev/null
+  ./target/release/mdbs-qcost archive --catalog "$ARC_DIR/catalog-$j.txt" \
+    --dest "file:$ARC_DIR/catalog-$j.mdbc" > /dev/null
+  ./target/release/mdbs-qcost restore --archive "file:$ARC_DIR/catalog-$j.mdbc" \
+    --out "$ARC_DIR/restored-$j.txt" > /dev/null
+  cmp "$ARC_DIR/catalog-$j.txt" "$ARC_DIR/restored-$j.txt"
+done
+# The binary archives themselves are byte-identical across worker counts.
+cmp "$ARC_DIR/catalog-1.mdbc" "$ARC_DIR/catalog-2.mdbc"
+rm -rf "$ARC_DIR"
+
+echo "==> catalog snapshot store gate (round trips, delta replay, corruption)"
+# Redundant with the workspace test run by design: restore(base + deltas)
+# byte-identical to the full snapshot is the contract that lets the
+# maintenance loop append deltas instead of rewriting, so it keeps its
+# own named gate.
+cargo test -q --offline -p mdbs-bench --test catalog_store
+
 echo "==> serve --loop --jobs 1/2/8 -> byte-identical report + stripped telemetry"
 SERVE_DIR="${TMPDIR:-/tmp}/mdbs-ci-serve.$$"
 mkdir -p "$SERVE_DIR"
@@ -217,5 +243,15 @@ cargo bench -q --offline --bench serve_correction -- virtual \
   --json "$CORR_BENCH_JSON" > /dev/null
 ./target/release/bench-json-check "$CORR_BENCH_JSON"
 rm -f "$CORR_BENCH_JSON"
+
+echo "==> bench --json smoke (catalog_store size/speed/append criteria)"
+# The bench self-asserts the binary format's acceptance criteria: >= 3x
+# smaller and >= 5x faster to load than the text catalog at 2 vendors x
+# 3 classes with accumulators, and delta append cost independent of
+# total catalog size.
+CAT_BENCH_JSON="${TMPDIR:-/tmp}/mdbs-ci-catalog-bench.$$.json"
+cargo bench -q --offline --bench catalog_store -- --json "$CAT_BENCH_JSON" > /dev/null
+./target/release/bench-json-check "$CAT_BENCH_JSON"
+rm -f "$CAT_BENCH_JSON"
 
 echo "==> ci.sh: all checks passed"

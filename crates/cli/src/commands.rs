@@ -3,7 +3,7 @@
 
 use crate::args::{Args, ArgsError};
 use crate::site::{parse_profile, site_agent, SiteName};
-use mdbs_core::catalog::{GlobalCatalog, SiteId};
+use mdbs_core::catalog::SiteId;
 use mdbs_core::classes::{classify, QueryClass};
 use mdbs_core::correction::EstimateQuery;
 use mdbs_core::derive::{derive_all, derive_cost_model, BatchConfig, DerivationConfig, DeriveJob};
@@ -12,9 +12,12 @@ use mdbs_core::model::ModelAccumulator;
 use mdbs_core::pipeline::PipelineCtx;
 use mdbs_core::registry::ModelRegistry;
 use mdbs_core::server::{
-    fleet_from_catalog, EstimationServer, RequestTrace, ServeConfig, ServeConfigBuilder,
+    fleet_from_snapshot, EstimationServer, RequestTrace, ServeConfig, ServeConfigBuilder,
 };
 use mdbs_core::states::{StateAlgorithm, StatesConfig};
+use mdbs_core::store::{
+    CatalogFormat, CatalogSnapshot, CatalogStore, FileCatalogStore, StoreError,
+};
 use mdbs_obs::{JsonlFileSink, Telemetry};
 use mdbs_sim::sql::parse_query;
 use mdbs_sim::trace::ExecutionTrace;
@@ -90,6 +93,17 @@ impl From<mdbs_core::CoreError> for CliError {
     }
 }
 
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            // Keep the exit-code taxonomy: unreadable/unwritable files are
+            // IO (3), corrupt catalog content is a core failure (4).
+            StoreError::Io { context, source } => CliError::Io { context, source },
+            StoreError::Corrupt(e) => CliError::Core(e),
+        }
+    }
+}
+
 /// Wraps an IO error with a `context` describing the failed operation.
 fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> CliError {
     move |source| CliError::Io {
@@ -117,6 +131,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&args),
         "run" => cmd_run(&args),
         "catalog" => cmd_catalog(&args),
+        "archive" => cmd_archive(&args),
+        "restore" => cmd_restore(&args),
         "stats" => cmd_stats(&args),
         other => Err(CliError::Invalid(format!(
             "unknown subcommand `{other}`\n\n{}",
@@ -152,6 +168,10 @@ USAGE:
   mdbs-qcost run      --site oracle|db2 --sql \"...\" [--procs N] [--seed N]
                       [--telemetry events.jsonl]
   mdbs-qcost catalog  --file catalog.txt
+  mdbs-qcost archive  --catalog catalog.txt --dest file:catalog.mdbc
+                      [--format binary|text]
+  mdbs-qcost restore  --archive file:catalog.mdbc --out catalog.txt
+                      [--format text|binary]
   mdbs-qcost stats    events.jsonl
   mdbs-qcost help
 
@@ -193,6 +213,15 @@ machine-readable report (all counters, latency percentiles and the
 per-site/per-state accuracy ledger). `stats FILE` renders a telemetry or
 flight-recorder JSONL back into tables (heartbeat time series, accuracy
 ledger), strictly re-parsing every line.
+
+`archive` snapshots a catalog into a destination file (`file:PATH` or a
+bare path; other URL schemes are rejected), by default in the compact
+binary snapshot-store format (`MDBC` magic): floats round-trip bit for
+bit, loads parse nothing, and maintenance can append per-model delta
+frames without rewriting the file. `restore` materializes an archive —
+replaying any appended delta chain — back into a catalog file, by default
+in the text interchange format; `--format` overrides either direction.
+Every catalog-reading command accepts both formats transparently.
 
 `--telemetry PATH` writes structured spans and metrics as JSONL to PATH
 and appends a human-readable summary to the report. All telemetry except
@@ -246,12 +275,55 @@ fn parse_algorithm(s: &str) -> Result<StateAlgorithm, CliError> {
     }
 }
 
-fn load_catalog(path: &str) -> Result<GlobalCatalog, CliError> {
-    match std::fs::read_to_string(path) {
-        Ok(text) => Ok(GlobalCatalog::import(&text)?),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(GlobalCatalog::new()),
-        Err(e) => Err(io_err(format!("cannot read `{path}`"))(e)),
+/// Loads a catalog snapshot through the store (text or binary, sniffed
+/// from content); a missing file is an empty unversioned snapshot — the
+/// "first run" convention of `derive`.
+fn load_snapshot_or_empty(path: &str, tel: &mut Telemetry) -> Result<CatalogSnapshot, CliError> {
+    FileCatalogStore::sniffing(path)
+        .load_or_empty(tel)
+        .map_err(CliError::from)
+}
+
+/// Loads a catalog snapshot through the store; a missing file is an IO
+/// error (exit 3) — the convention of every command that *requires* a
+/// catalog (`serve`, `estimate`, `catalog`, `archive`).
+fn load_snapshot(path: &str, tel: &mut Telemetry) -> Result<CatalogSnapshot, CliError> {
+    FileCatalogStore::sniffing(path)
+        .load(tel)
+        .map_err(CliError::from)
+}
+
+/// Resolves an archive destination operand to a filesystem path. The
+/// operand is either a bare path or a `file:` URL; any other scheme is
+/// rejected up front so a typoed remote destination fails with exit 2
+/// instead of creating a file literally named `s3:bucket/x`.
+fn parse_destination(operand: &str) -> Result<String, CliError> {
+    if let Some(path) = operand.strip_prefix("file:") {
+        if path.is_empty() {
+            return Err(CliError::Invalid(format!(
+                "destination `{operand}` names no path after `file:`"
+            )));
+        }
+        return Ok(path.to_string());
     }
+    // A scheme prefix other than `file:` (e.g. `s3:`, `http:`) is an
+    // unsupported destination, not a funny filename. Windows-style drive
+    // letters are not a concern on the supported platforms, and relative
+    // paths never contain `:` before the first separator.
+    if let Some((scheme, _)) = operand.split_once(':') {
+        if !scheme.is_empty()
+            && !scheme.contains('/')
+            && scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+        {
+            return Err(CliError::Invalid(format!(
+                "unsupported destination scheme `{scheme}:` (only `file:` destinations \
+                 and bare paths are supported)"
+            )));
+        }
+    }
+    Ok(operand.to_string())
 }
 
 fn cmd_derive(args: &Args) -> Result<String, CliError> {
@@ -302,20 +374,26 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
         };
         let derived = derive_cost_model(&mut agent, class, algorithm, &cfg, &mut ctx)?;
 
-        let mut catalog = load_catalog(&out_path)?;
-        catalog.insert_model(site.id().into(), class, derived.model.clone());
+        let store = FileCatalogStore::sniffing(&out_path);
+        let mut snapshot = load_snapshot_or_empty(&out_path, &mut ctx.telemetry)?;
+        snapshot
+            .catalog
+            .insert_model(site.id().into(), class, derived.model.clone());
         // Persist the fit's sufficient statistics too, so a later
         // `serve --loop` resumes incremental refits from the full sample.
-        catalog.insert_accumulator(
+        snapshot.catalog.insert_accumulator(
             site.id().into(),
             class,
             ModelAccumulator::from_observations(&derived.model, &derived.observations),
         );
         if let Some(est) = &derived.probe_estimator {
-            catalog.insert_probe_estimator(site.id().into(), est.clone());
+            snapshot
+                .catalog
+                .insert_probe_estimator(site.id().into(), est.clone());
         }
-        std::fs::write(&out_path, catalog.export())
-            .map_err(io_err(format!("cannot write `{out_path}`")))?;
+        // One model published on top of whatever the catalog held.
+        snapshot.version += 1;
+        store.store(&snapshot, &mut ctx.telemetry)?;
 
         let mut out = String::new();
         out.push_str(&format!(
@@ -376,7 +454,9 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
     );
 
     let registry = ModelRegistry::new();
-    let mut catalog = load_catalog(&out_path)?;
+    let store = FileCatalogStore::sniffing(&out_path);
+    let mut snapshot = load_snapshot_or_empty(&out_path, &mut ctx.telemetry)?;
+    let catalog = &mut snapshot.catalog;
     let mut lines = String::new();
     let mut ok = 0usize;
     for outcome in &outcomes {
@@ -418,8 +498,10 @@ fn cmd_derive(args: &Args) -> Result<String, CliError> {
             "all {total} derivation job(s) failed:\n{lines}"
         )));
     }
-    std::fs::write(&out_path, catalog.export())
-        .map_err(io_err(format!("cannot write `{out_path}`")))?;
+    // Each derived model is one publish on top of the loaded snapshot,
+    // mirroring the registry's publish counter.
+    snapshot.version += ok as u64;
+    store.store(&snapshot, &mut ctx.telemetry)?;
 
     let mut out = format!(
         "derived {ok} of {total} model(s) across {} site(s)\n",
@@ -453,7 +535,6 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     let profile = parse_profile(args.or_default("profile", "uniform:20:125"))?;
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
     let telemetry_path = args.parse_opt::<String>("telemetry")?;
-    let catalog = load_catalog(catalog_path)?;
 
     let mut agent = site_agent(site, &profile, seed);
     let mut tel = if telemetry_path.is_some() {
@@ -463,6 +544,7 @@ fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     } else {
         Telemetry::disabled()
     };
+    let catalog = load_snapshot_or_empty(catalog_path, &mut tel)?.catalog;
     let schema = agent.catalog().clone();
     let query = parse_query(&schema, sql).map_err(|e| CliError::Invalid(e.to_string()))?;
     let class = classify(&schema, &query)
@@ -589,13 +671,6 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let seed = args.parse_opt::<u64>("seed")?.unwrap_or(1);
     let telemetry_path = args.parse_opt::<String>("telemetry")?;
 
-    let text = std::fs::read_to_string(catalog_path)
-        .map_err(io_err(format!("cannot read `{catalog_path}`")))?;
-    let catalog = GlobalCatalog::import(&text)?;
-    let registry = ModelRegistry::from_catalog(&catalog);
-    let queries = std::fs::read_to_string(queries_path)
-        .map_err(io_err(format!("cannot read `{queries_path}`")))?;
-
     // The span covers the whole serve — parse, dispatch and aggregation —
     // not just the post-pool bookkeeping.
     let mut tel = if telemetry_path.is_some() {
@@ -603,6 +678,11 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     } else {
         Telemetry::disabled()
     };
+    let snapshot = load_snapshot(catalog_path, &mut tel)?;
+    let registry = ModelRegistry::from_snapshot(&snapshot);
+    let queries = std::fs::read_to_string(queries_path)
+        .map_err(io_err(format!("cannot read `{queries_path}`")))?;
+
     let span = tel.begin_span("serve");
 
     // A malformed line is that line's problem, not the batch's: it becomes
@@ -784,14 +864,19 @@ fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
         .build()
         .map_err(|e| CliError::Invalid(format!("serve --loop: {e}")))?;
 
-    let text = std::fs::read_to_string(catalog_path)
-        .map_err(io_err(format!("cannot read `{catalog_path}`")))?;
-    let catalog = GlobalCatalog::import(&text)?;
-    let registry = ModelRegistry::from_catalog(&catalog);
+    let mut ctx = if telemetry_path.is_some() {
+        PipelineCtx::traced(seed)
+    } else {
+        PipelineCtx::seeded(seed)
+    };
+    let snapshot = load_snapshot(catalog_path, &mut ctx.telemetry)?;
+    // The registry resumes version numbering from the snapshot, so models
+    // republished by the loop version monotonically past the archive.
+    let registry = ModelRegistry::from_snapshot(&snapshot);
     // Maintainers only for sites the CLI can build agents for; rederivation
     // needs to re-run the sampling pipeline against the live site.
-    let fleet = fleet_from_catalog(
-        &catalog,
+    let fleet = fleet_from_snapshot(
+        &snapshot,
         maintenance,
         DerivationConfig::quick(),
         algorithm,
@@ -810,12 +895,6 @@ fn cmd_serve_loop(args: &Args) -> Result<String, CliError> {
             "serve --loop: no well-formed trace line in {trace_path}:\n{details}"
         )));
     }
-
-    let mut ctx = if telemetry_path.is_some() {
-        PipelineCtx::traced(seed)
-    } else {
-        PipelineCtx::seeded(seed)
-    };
     let mut server = EstimationServer::new(registry, fleet, config);
     let report = server.run(
         &trace,
@@ -910,9 +989,17 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
 fn cmd_catalog(args: &Args) -> Result<String, CliError> {
     check_keys(args, &["file"])?;
     let path = args.required("file")?;
-    let text = std::fs::read_to_string(path).map_err(io_err(format!("cannot read `{path}`")))?;
-    let catalog = GlobalCatalog::import(&text)?;
-    let mut out = format!("catalog {path}: {} model(s)\n", catalog.len());
+    let store = FileCatalogStore::sniffing(path);
+    let snapshot = store
+        .load(&mut Telemetry::disabled())
+        .map_err(CliError::from)?;
+    let catalog = &snapshot.catalog;
+    let mut out = format!(
+        "catalog {path}: {} model(s), {} format, snapshot version {}\n",
+        catalog.len(),
+        store.format().as_str(),
+        snapshot.version
+    );
     for site in catalog.sites() {
         for class in catalog.classes_for(&site) {
             let m = catalog.model(&site, class).expect("listed");
@@ -930,6 +1017,47 @@ fn cmd_catalog(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `archive`: snapshot a catalog into a destination file, defaulting to
+/// the compact binary format (load is parse-free, floats round-trip bit
+/// for bit). The reverse escape hatch `--format text` re-encodes a binary
+/// archive back into the human-readable interchange form.
+fn cmd_archive(args: &Args) -> Result<String, CliError> {
+    check_keys(args, &["catalog", "dest", "format"])?;
+    let catalog_path = args.required("catalog")?;
+    let dest = parse_destination(args.required("dest")?)?;
+    let format = CatalogFormat::parse(args.or_default("format", "binary"))
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut tel = Telemetry::disabled();
+    let snapshot = load_snapshot(catalog_path, &mut tel)?;
+    FileCatalogStore::new(&dest, format).store(&snapshot, &mut tel)?;
+    let bytes = std::fs::metadata(&dest).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "archived {catalog_path} -> {dest}\n  {} model(s), snapshot version {}, {} format, {bytes} bytes\n",
+        snapshot.catalog.len(),
+        snapshot.version,
+        format.as_str(),
+    ))
+}
+
+/// `restore`: materialize an archive (replaying any appended delta chain)
+/// back into a catalog file, defaulting to the text interchange format.
+fn cmd_restore(args: &Args) -> Result<String, CliError> {
+    check_keys(args, &["archive", "out", "format"])?;
+    let archive = parse_destination(args.required("archive")?)?;
+    let out_path = args.required("out")?;
+    let format = CatalogFormat::parse(args.or_default("format", "text"))
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut tel = Telemetry::disabled();
+    let snapshot = load_snapshot(&archive, &mut tel)?;
+    FileCatalogStore::new(out_path, format).store(&snapshot, &mut tel)?;
+    Ok(format!(
+        "restored {archive} -> {out_path}\n  {} model(s), snapshot version {}, {} format\n",
+        snapshot.catalog.len(),
+        snapshot.version,
+        format.as_str(),
+    ))
 }
 
 /// Renders a telemetry or flight-recorder JSONL file back into tables:
@@ -1132,6 +1260,7 @@ fn check_keys(args: &Args, known: &[&str]) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdbs_core::catalog::GlobalCatalog;
 
     fn argv(s: &str) -> Vec<String> {
         // Split on spaces except inside single quotes (for --sql).
@@ -1588,5 +1717,105 @@ mod tests {
         let catalog = GlobalCatalog::import(&text).unwrap();
         assert_eq!(catalog.len(), 2);
         assert_eq!(catalog.sites().len(), 2);
+    }
+
+    /// text → binary archive → restored text must reproduce the original
+    /// catalog bytes exactly, and every catalog-reading command accepts
+    /// the binary archive transparently.
+    #[test]
+    fn archive_restore_round_trips_catalog_bytes() {
+        let path = tmp("archive-catalog.txt");
+        let arch = tmp("archive-catalog.mdbc");
+        let back = tmp("archive-catalog-restored.txt");
+        for p in [&path, &arch, &back] {
+            let _ = std::fs::remove_file(p);
+        }
+        dispatch(&argv(&format!(
+            "derive --site oracle --class g1 --samples 150 --max-states 3 --out {path}"
+        )))
+        .unwrap();
+
+        let out = dispatch(&argv(&format!(
+            "archive --catalog {path} --dest file:{arch}"
+        )))
+        .unwrap();
+        assert!(out.contains("binary format"), "{out}");
+        let out = dispatch(&argv(&format!(
+            "restore --archive file:{arch} --out {back}"
+        )))
+        .unwrap();
+        assert!(out.contains("text format"), "{out}");
+
+        let original = std::fs::read(&path).unwrap();
+        let restored = std::fs::read(&back).unwrap();
+        assert_eq!(original, restored, "restore must be byte-identical");
+        let archived = std::fs::read(&arch).unwrap();
+        assert!(archived.starts_with(b"MDBC"), "archive is not binary");
+        assert!(
+            archived.len() * 2 <= original.len(),
+            "binary archive not compact: {} vs {} bytes",
+            archived.len(),
+            original.len()
+        );
+
+        // The binary archive is a first-class catalog everywhere else.
+        let out = dispatch(&argv(&format!("catalog --file {arch}"))).unwrap();
+        assert!(out.contains("binary format"), "{out}");
+        assert!(out.contains("G1"), "{out}");
+        let out = dispatch(&argv(&format!(
+            "estimate --catalog {arch} --site oracle \
+             --sql 'select a1, a5 from R8 where a5 > 100 and a6 < 500'"
+        )))
+        .unwrap();
+        assert!(out.contains("estimated cost"), "{out}");
+    }
+
+    #[test]
+    fn archive_rejects_remote_destination_schemes() {
+        let path = tmp("archive-scheme-catalog.txt");
+        std::fs::write(&path, GlobalCatalog::new().export()).unwrap();
+        let e = dispatch(&argv(&format!(
+            "archive --catalog {path} --dest s3:bucket/catalog.mdbc"
+        )))
+        .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("unsupported destination scheme `s3:`"),
+            "{e}"
+        );
+        assert_eq!(e.exit_code(), 2);
+
+        let e = dispatch(&argv(&format!(
+            "archive --catalog {path} --dest file: --format text"
+        )))
+        .unwrap_err();
+        assert!(e.to_string().contains("names no path"), "{e}");
+
+        let e = dispatch(&argv(&format!(
+            "archive --catalog {path} --dest {path}.out --format sideways"
+        )))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown catalog format"), "{e}");
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn restore_maps_archive_failures_onto_exit_codes() {
+        // Missing archive: IO failure, exit 3.
+        let e = dispatch(&argv(
+            "restore --archive /nonexistent/a.mdbc --out /tmp/x.txt",
+        ))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }), "{e:?}");
+        assert_eq!(e.exit_code(), 3);
+
+        // Truncated binary archive: corrupt catalog, exit 4.
+        let arch = tmp("truncated.mdbc");
+        std::fs::write(&arch, b"MDBC\x01\x00\x00\x00S").unwrap();
+        let out = tmp("truncated-restore.txt");
+        let e = dispatch(&argv(&format!("restore --archive {arch} --out {out}"))).unwrap_err();
+        assert!(matches!(e, CliError::Core(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.to_string().contains("catalog binary error"), "{e}");
     }
 }

@@ -76,6 +76,7 @@ pub mod sampling;
 pub mod selection;
 pub mod server;
 pub mod states;
+pub mod store;
 pub mod validate;
 pub mod variables;
 
@@ -97,6 +98,10 @@ pub use server::{
     EstimationServer, RequestTrace, ServeConfig, ServeConfigBuilder, ServeReport, TraceEvent,
 };
 pub use states::StateAlgorithm;
+pub use store::{
+    CatalogDelta, CatalogFormat, CatalogSnapshot, CatalogStore, DeltaEntry, FileCatalogStore,
+    StoreError,
+};
 
 /// Errors produced by the cost-model derivation machinery.
 ///

@@ -27,6 +27,29 @@ fn parse_err(msg: impl Into<String>) -> CoreError {
     CoreError::Degenerate(format!("catalog parse error: {}", msg.into()))
 }
 
+/// A parse error pinned to a 1-based line number of the input text, so a
+/// corrupt multi-thousand-line catalog points at the offending line
+/// instead of making the operator bisect it by hand.
+fn parse_err_at(line: usize, msg: impl Into<String>) -> CoreError {
+    CoreError::Degenerate(format!(
+        "catalog parse error at line {line}: {}",
+        msg.into()
+    ))
+}
+
+/// Rewrites a line-less `catalog parse error:` (from a shared helper like
+/// [`ModelForm::parse`]) into its line-pinned form; errors that already
+/// carry a line, or are not parse errors at all, pass through untouched.
+fn pin_line<T>(line: usize, r: Result<T, CoreError>) -> Result<T, CoreError> {
+    r.map_err(|e| match e {
+        CoreError::Degenerate(msg) => match msg.strip_prefix("catalog parse error: ") {
+            Some(rest) => parse_err_at(line, rest),
+            None => CoreError::Degenerate(msg),
+        },
+        other => other,
+    })
+}
+
 fn fmt_f64(v: f64) -> String {
     if v == f64::INFINITY {
         "inf".to_string()
@@ -121,15 +144,33 @@ impl CostModel {
 
     /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
     pub fn from_catalog_entry(text: &str) -> Result<CostModel, CoreError> {
-        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-        let header = lines.next().ok_or_else(|| parse_err("empty entry"))?;
+        CostModel::from_catalog_entry_at(text, 1)
+    }
+
+    /// Like [`Self::from_catalog_entry`], but `first_line` names the
+    /// 1-based line number `text` starts at within the enclosing file, so
+    /// errors point at the absolute offending line.
+    pub fn from_catalog_entry_at(text: &str, first_line: usize) -> Result<CostModel, CoreError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (first_line + i, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+        let (hline, header) = lines
+            .next()
+            .ok_or_else(|| parse_err_at(first_line, "empty entry"))?;
         let mut h = header.split_whitespace();
         if h.next() != Some("costmodel") {
-            return Err(parse_err("missing `costmodel` header"));
+            return Err(parse_err_at(hline, "missing `costmodel` header"));
         }
-        let version = h.next().ok_or_else(|| parse_err("missing version"))?;
+        let version = h
+            .next()
+            .ok_or_else(|| parse_err_at(hline, "missing version"))?;
         if version != FORMAT_VERSION {
-            return Err(parse_err(format!("unsupported version `{version}`")));
+            return Err(parse_err_at(
+                hline,
+                format!("unsupported version `{version}`"),
+            ));
         }
         let mut form: Option<ModelForm> = None;
         let mut states: Option<StateSet> = None;
@@ -137,26 +178,33 @@ impl CostModel {
         let mut var_names = Vec::new();
         let mut fit: Option<FitStats> = None;
         let mut coefficients: Vec<(usize, Vec<f64>)> = Vec::new();
-        for line in lines {
+        let mut last_line = hline;
+        for (ln, line) in lines {
+            last_line = ln;
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("form") => {
-                    form = Some(ModelForm::parse(
-                        parts.next().ok_or_else(|| parse_err("form tag missing"))?,
+                    form = Some(pin_line(
+                        ln,
+                        ModelForm::parse(
+                            parts
+                                .next()
+                                .ok_or_else(|| parse_err_at(ln, "form tag missing"))?,
+                        ),
                     )?);
                 }
                 Some("states") => {
                     let edges: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
-                    states = Some(StateSet::from_edges(edges?)?);
+                    states = Some(StateSet::from_edges(pin_line(ln, edges)?)?);
                 }
                 Some("vars") => {
                     for v in parts {
                         let (idx, name) = v
                             .split_once(':')
-                            .ok_or_else(|| parse_err(format!("bad var spec `{v}`")))?;
+                            .ok_or_else(|| parse_err_at(ln, format!("bad var spec `{v}`")))?;
                         var_indexes.push(
                             idx.parse::<usize>()
-                                .map_err(|_| parse_err(format!("bad var index `{idx}`")))?,
+                                .map_err(|_| parse_err_at(ln, format!("bad var index `{idx}`")))?,
                         );
                         var_names.push(name.to_string());
                     }
@@ -164,51 +212,57 @@ impl CostModel {
                 Some("fit") => {
                     let vals: Vec<&str> = parts.collect();
                     if vals.len() != 7 {
-                        return Err(parse_err("fit line needs 7 fields"));
+                        return Err(parse_err_at(ln, "fit line needs 7 fields"));
                     }
                     fit = Some(FitStats {
-                        r_squared: parse_f64(vals[0])?,
-                        adj_r_squared: parse_f64(vals[1])?,
-                        see: parse_f64(vals[2])?,
-                        f_statistic: parse_f64(vals[3])?,
-                        f_p_value: parse_f64(vals[4])?,
+                        r_squared: pin_line(ln, parse_f64(vals[0]))?,
+                        adj_r_squared: pin_line(ln, parse_f64(vals[1]))?,
+                        see: pin_line(ln, parse_f64(vals[2]))?,
+                        f_statistic: pin_line(ln, parse_f64(vals[3]))?,
+                        f_p_value: pin_line(ln, parse_f64(vals[4]))?,
                         n: vals[5]
                             .parse()
-                            .map_err(|_| parse_err("bad n in fit line"))?,
+                            .map_err(|_| parse_err_at(ln, "bad n in fit line"))?,
                         k: vals[6]
                             .parse()
-                            .map_err(|_| parse_err("bad k in fit line"))?,
+                            .map_err(|_| parse_err_at(ln, "bad k in fit line"))?,
                     });
                 }
                 Some("coef") => {
                     let s: usize = parts
                         .next()
-                        .ok_or_else(|| parse_err("coef state missing"))?
+                        .ok_or_else(|| parse_err_at(ln, "coef state missing"))?
                         .parse()
-                        .map_err(|_| parse_err("bad coef state index"))?;
+                        .map_err(|_| parse_err_at(ln, "bad coef state index"))?;
                     let cs: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
-                    coefficients.push((s, cs?));
+                    coefficients.push((s, pin_line(ln, cs)?));
                 }
                 Some("end") => break,
-                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                Some(other) => return Err(parse_err_at(ln, format!("unknown line `{other}`"))),
                 None => continue,
             }
         }
-        let form = form.ok_or_else(|| parse_err("missing form"))?;
-        let states = states.ok_or_else(|| parse_err("missing states"))?;
-        let fit = fit.ok_or_else(|| parse_err("missing fit"))?;
+        let form = form.ok_or_else(|| parse_err_at(last_line, "missing form"))?;
+        let states = states.ok_or_else(|| parse_err_at(last_line, "missing states"))?;
+        let fit = fit.ok_or_else(|| parse_err_at(last_line, "missing fit"))?;
         coefficients.sort_by_key(|(s, _)| *s);
         if coefficients.len() != states.len() {
-            return Err(parse_err(format!(
-                "{} coefficient rows for {} states",
-                coefficients.len(),
-                states.len()
-            )));
+            return Err(parse_err_at(
+                last_line,
+                format!(
+                    "{} coefficient rows for {} states",
+                    coefficients.len(),
+                    states.len()
+                ),
+            ));
         }
         let p = var_indexes.len();
         let coefficients: Vec<Vec<f64>> = coefficients.into_iter().map(|(_, c)| c).collect();
         if coefficients.iter().any(|c| c.len() != p + 1) {
-            return Err(parse_err("coefficient row width does not match vars"));
+            return Err(parse_err_at(
+                last_line,
+                "coefficient row width does not match vars",
+            ));
         }
         Ok(CostModel {
             form,
@@ -259,7 +313,17 @@ impl ModelAccumulator {
 
     /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
     pub fn from_catalog_entry(text: &str) -> Result<ModelAccumulator, CoreError> {
+        ModelAccumulator::from_catalog_entry_at(text, 1)
+    }
+
+    /// Like [`Self::from_catalog_entry`], but `first_line` names the
+    /// 1-based line number `text` starts at within the enclosing file.
+    pub fn from_catalog_entry_at(
+        text: &str,
+        first_line: usize,
+    ) -> Result<ModelAccumulator, CoreError> {
         struct PartialBlock {
+            line: usize,
             state: usize,
             n: usize,
             yty: f64,
@@ -267,40 +331,53 @@ impl ModelAccumulator {
             xtx: Option<Vec<f64>>,
             xty: Option<Vec<f64>>,
         }
-        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-        let header = lines.next().ok_or_else(|| parse_err("empty entry"))?;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (first_line + i, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+        let (hline, header) = lines
+            .next()
+            .ok_or_else(|| parse_err_at(first_line, "empty entry"))?;
         let mut h = header.split_whitespace();
         if h.next() != Some("gramacc") {
-            return Err(parse_err("missing `gramacc` header"));
+            return Err(parse_err_at(hline, "missing `gramacc` header"));
         }
         if h.next() != Some(FORMAT_VERSION) {
-            return Err(parse_err("unsupported gramacc version"));
+            return Err(parse_err_at(hline, "unsupported gramacc version"));
         }
         let mut form: Option<ModelForm> = None;
         let mut states: Option<StateSet> = None;
         let mut var_indexes = Vec::new();
         let mut var_names = Vec::new();
         let mut blocks: Vec<PartialBlock> = Vec::new();
-        for line in lines {
+        let mut last_line = hline;
+        for (ln, line) in lines {
+            last_line = ln;
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("form") => {
-                    form = Some(ModelForm::parse(
-                        parts.next().ok_or_else(|| parse_err("form tag missing"))?,
+                    form = Some(pin_line(
+                        ln,
+                        ModelForm::parse(
+                            parts
+                                .next()
+                                .ok_or_else(|| parse_err_at(ln, "form tag missing"))?,
+                        ),
                     )?);
                 }
                 Some("states") => {
                     let edges: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
-                    states = Some(StateSet::from_edges(edges?)?);
+                    states = Some(StateSet::from_edges(pin_line(ln, edges)?)?);
                 }
                 Some("vars") => {
                     for v in parts {
                         let (idx, name) = v
                             .split_once(':')
-                            .ok_or_else(|| parse_err(format!("bad var spec `{v}`")))?;
+                            .ok_or_else(|| parse_err_at(ln, format!("bad var spec `{v}`")))?;
                         var_indexes.push(
                             idx.parse::<usize>()
-                                .map_err(|_| parse_err(format!("bad var index `{idx}`")))?,
+                                .map_err(|_| parse_err_at(ln, format!("bad var index `{idx}`")))?,
                         );
                         var_names.push(name.to_string());
                     }
@@ -308,15 +385,18 @@ impl ModelAccumulator {
                 Some("block") => {
                     let vals: Vec<&str> = parts.collect();
                     if vals.len() != 4 {
-                        return Err(parse_err("block line needs 4 fields"));
+                        return Err(parse_err_at(ln, "block line needs 4 fields"));
                     }
                     blocks.push(PartialBlock {
+                        line: ln,
                         state: vals[0]
                             .parse()
-                            .map_err(|_| parse_err("bad block state index"))?,
-                        n: vals[1].parse().map_err(|_| parse_err("bad block n"))?,
-                        yty: parse_f64(vals[2])?,
-                        sum_y: parse_f64(vals[3])?,
+                            .map_err(|_| parse_err_at(ln, "bad block state index"))?,
+                        n: vals[1]
+                            .parse()
+                            .map_err(|_| parse_err_at(ln, "bad block n"))?,
+                        yty: pin_line(ln, parse_f64(vals[2]))?,
+                        sum_y: pin_line(ln, parse_f64(vals[3]))?,
                         xtx: None,
                         xty: None,
                     });
@@ -325,33 +405,40 @@ impl ModelAccumulator {
                     let vals: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
                     let block = blocks
                         .last_mut()
-                        .ok_or_else(|| parse_err("xtx line before any block"))?;
-                    block.xtx = Some(vals?);
+                        .ok_or_else(|| parse_err_at(ln, "xtx line before any block"))?;
+                    block.xtx = Some(pin_line(ln, vals)?);
                 }
                 Some("xty") => {
                     let vals: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
                     let block = blocks
                         .last_mut()
-                        .ok_or_else(|| parse_err("xty line before any block"))?;
-                    block.xty = Some(vals?);
+                        .ok_or_else(|| parse_err_at(ln, "xty line before any block"))?;
+                    block.xty = Some(pin_line(ln, vals)?);
                 }
                 Some("end") => break,
-                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                Some(other) => return Err(parse_err_at(ln, format!("unknown line `{other}`"))),
                 None => continue,
             }
         }
-        let form = form.ok_or_else(|| parse_err("missing form"))?;
-        let states = states.ok_or_else(|| parse_err("missing states"))?;
+        let form = form.ok_or_else(|| parse_err_at(last_line, "missing form"))?;
+        let states = states.ok_or_else(|| parse_err_at(last_line, "missing states"))?;
         let k = var_indexes.len() + 1;
         blocks.sort_by_key(|b| b.state);
         if blocks.iter().enumerate().any(|(i, b)| b.state != i) {
-            return Err(parse_err("block state indexes are not contiguous from 0"));
+            return Err(parse_err_at(
+                last_line,
+                "block state indexes are not contiguous from 0",
+            ));
         }
         let grams: Result<Vec<_>, CoreError> = blocks
             .into_iter()
             .map(|b| {
-                let xtx = b.xtx.ok_or_else(|| parse_err("block missing xtx line"))?;
-                let xty = b.xty.ok_or_else(|| parse_err("block missing xty line"))?;
+                let xtx = b
+                    .xtx
+                    .ok_or_else(|| parse_err_at(b.line, "block missing xtx line"))?;
+                let xty = b
+                    .xty
+                    .ok_or_else(|| parse_err_at(b.line, "block missing xty line"))?;
                 mdbs_stats::GramAccumulator::from_parts(k, b.n, xtx, xty, b.yty, b.sum_y)
                     .map_err(CoreError::from)
             })
@@ -381,18 +468,34 @@ impl ProbeCostEstimator {
 
     /// Parses a catalog entry produced by [`Self::to_catalog_entry`].
     pub fn from_catalog_entry(text: &str) -> Result<ProbeCostEstimator, CoreError> {
+        ProbeCostEstimator::from_catalog_entry_at(text, 1)
+    }
+
+    /// Like [`Self::from_catalog_entry`], but `first_line` names the
+    /// 1-based line number `text` starts at within the enclosing file.
+    pub fn from_catalog_entry_at(
+        text: &str,
+        first_line: usize,
+    ) -> Result<ProbeCostEstimator, CoreError> {
         let mut selected = Vec::new();
         let mut names = Vec::new();
         let mut coefficients = Vec::new();
         let mut r_squared = 0.0;
         let mut see = 0.0;
         let mut seen_header = false;
-        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let mut last_line = first_line;
+        for (ln, line) in text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (first_line + i, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+        {
+            last_line = ln;
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("probeest") => {
                     if parts.next() != Some(FORMAT_VERSION) {
-                        return Err(parse_err("unsupported probeest version"));
+                        return Err(parse_err_at(ln, "unsupported probeest version"));
                     }
                     seen_header = true;
                 }
@@ -400,32 +503,38 @@ impl ProbeCostEstimator {
                     for v in parts {
                         let (idx, name) = v
                             .split_once(':')
-                            .ok_or_else(|| parse_err(format!("bad param spec `{v}`")))?;
+                            .ok_or_else(|| parse_err_at(ln, format!("bad param spec `{v}`")))?;
                         selected.push(
                             idx.parse::<usize>()
-                                .map_err(|_| parse_err("bad param index"))?,
+                                .map_err(|_| parse_err_at(ln, "bad param index"))?,
                         );
                         names.push(name.to_string());
                     }
                 }
                 Some("coef") => {
                     let cs: Result<Vec<f64>, _> = parts.map(parse_f64).collect();
-                    coefficients = cs?;
+                    coefficients = pin_line(ln, cs)?;
                 }
                 Some("fit") => {
-                    r_squared = parse_f64(parts.next().ok_or_else(|| parse_err("fit r2"))?)?;
-                    see = parse_f64(parts.next().ok_or_else(|| parse_err("fit see"))?)?;
+                    r_squared = pin_line(
+                        ln,
+                        parse_f64(parts.next().ok_or_else(|| parse_err_at(ln, "fit r2"))?),
+                    )?;
+                    see = pin_line(
+                        ln,
+                        parse_f64(parts.next().ok_or_else(|| parse_err_at(ln, "fit see"))?),
+                    )?;
                 }
                 Some("end") => break,
-                Some(other) => return Err(parse_err(format!("unknown line `{other}`"))),
+                Some(other) => return Err(parse_err_at(ln, format!("unknown line `{other}`"))),
                 None => continue,
             }
         }
         if !seen_header {
-            return Err(parse_err("missing `probeest` header"));
+            return Err(parse_err_at(first_line, "missing `probeest` header"));
         }
         if coefficients.len() != selected.len() + 1 {
-            return Err(parse_err("coef width does not match params"));
+            return Err(parse_err_at(last_line, "coef width does not match params"));
         }
         Ok(ProbeCostEstimator {
             selected,
@@ -440,7 +549,19 @@ impl ProbeCostEstimator {
 impl GlobalCatalog {
     /// Serializes the whole catalog (all models and probe estimators).
     pub fn export(&self) -> String {
+        self.export_versioned(0)
+    }
+
+    /// Serializes the catalog with a snapshot version tag. Version 0 means
+    /// "unversioned" and writes the exact historical byte layout (no
+    /// `snapshot-version` line), so pre-existing catalogs and their
+    /// byte-identity gates are unaffected; any other version adds a
+    /// `snapshot-version N` line right after the header.
+    pub fn export_versioned(&self, version: u64) -> String {
         let mut out = format!("mdbs-catalog {FORMAT_VERSION}\n");
+        if version > 0 {
+            out.push_str(&format!("snapshot-version {version}\n"));
+        }
         let mut sites: Vec<SiteId> = self.sites().into_iter().collect();
         sites.sort();
         for site in sites {
@@ -461,79 +582,109 @@ impl GlobalCatalog {
         out
     }
 
-    /// Parses a catalog produced by [`Self::export`].
+    /// Parses a catalog produced by [`Self::export`], discarding the
+    /// snapshot version if one is present.
     pub fn import(text: &str) -> Result<GlobalCatalog, CoreError> {
+        GlobalCatalog::import_versioned(text).map(|(catalog, _)| catalog)
+    }
+
+    /// Parses a catalog produced by [`Self::export_versioned`], returning
+    /// the catalog and its snapshot version (0 when the text carries no
+    /// `snapshot-version` line). Parse errors name the 1-based line of the
+    /// input they occurred on.
+    pub fn import_versioned(text: &str) -> Result<(GlobalCatalog, u64), CoreError> {
         let mut catalog = GlobalCatalog::new();
-        let mut lines = text.lines().peekable();
-        let header = lines.next().ok_or_else(|| parse_err("empty catalog"))?;
+        let mut version = 0u64;
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+        let (_, header) = lines.next().ok_or_else(|| parse_err("empty catalog"))?;
         if !header.starts_with("mdbs-catalog") {
-            return Err(parse_err("missing catalog header"));
+            return Err(parse_err_at(1, "missing catalog header"));
         }
-        while let Some(line) = lines.next() {
+        while let Some((ln, line)) = lines.next() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
             let mut parts = line.split_whitespace();
             match parts.next() {
+                Some("snapshot-version") => {
+                    version = parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| parse_err_at(ln, "bad snapshot-version"))?;
+                }
                 Some("entry") => {
                     let site: SiteId = parts
                         .next()
-                        .ok_or_else(|| parse_err("entry site missing"))?
+                        .ok_or_else(|| parse_err_at(ln, "entry site missing"))?
                         .into();
-                    let class = QueryClass::parse(
-                        parts
-                            .next()
-                            .ok_or_else(|| parse_err("entry class missing"))?,
+                    let class = pin_line(
+                        ln,
+                        QueryClass::parse(
+                            parts
+                                .next()
+                                .ok_or_else(|| parse_err_at(ln, "entry class missing"))?,
+                        ),
                     )?;
-                    let block = collect_block(&mut lines)?;
-                    let model = CostModel::from_catalog_entry(&block)?;
+                    let (block, start) = collect_block(&mut lines, ln)?;
+                    let model = CostModel::from_catalog_entry_at(&block, start)?;
                     catalog.insert_model(site, class, model);
                 }
                 Some("gram-entry") => {
                     let site: SiteId = parts
                         .next()
-                        .ok_or_else(|| parse_err("gram-entry site missing"))?
+                        .ok_or_else(|| parse_err_at(ln, "gram-entry site missing"))?
                         .into();
-                    let class = QueryClass::parse(
-                        parts
-                            .next()
-                            .ok_or_else(|| parse_err("gram-entry class missing"))?,
+                    let class = pin_line(
+                        ln,
+                        QueryClass::parse(
+                            parts
+                                .next()
+                                .ok_or_else(|| parse_err_at(ln, "gram-entry class missing"))?,
+                        ),
                     )?;
-                    let block = collect_block(&mut lines)?;
-                    let acc = ModelAccumulator::from_catalog_entry(&block)?;
+                    let (block, start) = collect_block(&mut lines, ln)?;
+                    let acc = ModelAccumulator::from_catalog_entry_at(&block, start)?;
                     catalog.insert_accumulator(site, class, acc);
                 }
                 Some("probe-entry") => {
                     let site: SiteId = parts
                         .next()
-                        .ok_or_else(|| parse_err("probe-entry site missing"))?
+                        .ok_or_else(|| parse_err_at(ln, "probe-entry site missing"))?
                         .into();
-                    let block = collect_block(&mut lines)?;
-                    let est = ProbeCostEstimator::from_catalog_entry(&block)?;
+                    let (block, start) = collect_block(&mut lines, ln)?;
+                    let est = ProbeCostEstimator::from_catalog_entry_at(&block, start)?;
                     catalog.insert_probe_estimator(site, est);
                 }
-                Some(other) => return Err(parse_err(format!("unknown catalog line `{other}`"))),
+                Some(other) => {
+                    return Err(parse_err_at(ln, format!("unknown catalog line `{other}`")))
+                }
                 None => continue,
             }
         }
-        Ok(catalog)
+        Ok((catalog, version))
     }
 }
 
-/// Collects lines up to and including the next `end`.
+/// Collects lines up to and including the next `end`, returning the block
+/// text and the 1-based line number its first line had in the input
+/// (`after_line + 1`; errors in the block are reported relative to it).
 fn collect_block<'a>(
-    lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
-) -> Result<String, CoreError> {
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    after_line: usize,
+) -> Result<(String, usize), CoreError> {
     let mut block = String::new();
-    for line in lines.by_ref() {
+    for (_ln, line) in lines.by_ref() {
         block.push_str(line);
         block.push('\n');
         if line.trim() == "end" {
-            return Ok(block);
+            return Ok((block, after_line + 1));
         }
     }
-    Err(parse_err("unterminated block (missing `end`)"))
+    Err(parse_err_at(
+        after_line,
+        "unterminated block (missing `end`)",
+    ))
 }
 
 #[cfg(test)]
@@ -734,5 +885,81 @@ mod tests {
     fn catalog_import_rejects_bad_header() {
         assert!(GlobalCatalog::import("not a catalog\n").is_err());
         assert!(GlobalCatalog::import("").is_err());
+    }
+
+    fn error_message(e: CoreError) -> String {
+        match e {
+            CoreError::Degenerate(msg) => msg,
+            other => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_absolute_line_numbers() {
+        // Corrupt one float deep inside a multi-entry catalog: the error
+        // must name the absolute line of the corrupted text, not a
+        // block-relative offset.
+        let mut catalog = GlobalCatalog::new();
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, sample_model(3));
+        catalog.insert_model("site-b".into(), QueryClass::JoinNoIndex, sample_model(2));
+        let text = catalog.export();
+        let lines: Vec<&str> = text.lines().collect();
+        // Corrupt the *last* `fit` line (inside site-b's entry).
+        let bad_line_no = lines
+            .iter()
+            .rposition(|l| l.starts_with("fit "))
+            .map(|i| i + 1)
+            .unwrap();
+        let corrupted: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == bad_line_no {
+                    "fit NOT_A_FLOAT 0 0 0 0 5 2\n".to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let msg = error_message(GlobalCatalog::import(&corrupted).unwrap_err());
+        assert_eq!(
+            msg,
+            format!("catalog parse error at line {bad_line_no}: bad float `NOT_A_FLOAT`"),
+        );
+    }
+
+    #[test]
+    fn unknown_line_error_names_its_line() {
+        let mut catalog = GlobalCatalog::new();
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, sample_model(1));
+        let mut text = catalog.export();
+        text.push_str("garbage-line here\n");
+        let n = text.lines().count();
+        let msg = error_message(GlobalCatalog::import(&text).unwrap_err());
+        assert_eq!(
+            msg,
+            format!("catalog parse error at line {n}: unknown catalog line `garbage-line`"),
+        );
+    }
+
+    #[test]
+    fn snapshot_version_roundtrip() {
+        let mut catalog = GlobalCatalog::new();
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, sample_model(3));
+        // Version 0 keeps the historical byte layout.
+        assert_eq!(catalog.export_versioned(0), catalog.export());
+        let versioned = catalog.export_versioned(42);
+        assert!(versioned.contains("snapshot-version 42\n"));
+        let (back, v) = GlobalCatalog::import_versioned(&versioned).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(back.export(), catalog.export());
+        // Plain import tolerates the version line.
+        assert_eq!(GlobalCatalog::import(&versioned).unwrap().len(), 1);
+        // A bad version value is a parse error at line 2.
+        let msg = error_message(
+            GlobalCatalog::import(&versioned.replace("snapshot-version 42", "snapshot-version x"))
+                .unwrap_err(),
+        );
+        assert_eq!(msg, "catalog parse error at line 2: bad snapshot-version");
     }
 }

@@ -199,6 +199,26 @@ impl ModelRegistry {
         registry
     }
 
+    /// Loads a versioned [`crate::store::CatalogSnapshot`], publishing in
+    /// `(site, class)` order, then advances the registry version to at
+    /// least the snapshot's — so models published *after* a warm start
+    /// get versions strictly greater than anything already persisted,
+    /// keeping registry versions and snapshot versions on one monotone
+    /// axis.
+    pub fn from_snapshot(snap: &crate::store::CatalogSnapshot) -> Self {
+        let registry = ModelRegistry::from_catalog(&snap.catalog);
+        registry.version.fetch_max(snap.version, Ordering::Relaxed);
+        registry
+    }
+
+    /// Snapshots the registry into a versioned
+    /// [`crate::store::CatalogSnapshot`] at the current registry version
+    /// (probe estimators are not part of the registry and come back
+    /// empty).
+    pub fn to_snapshot(&self) -> crate::store::CatalogSnapshot {
+        crate::store::CatalogSnapshot::at_version(self.to_catalog(), self.version())
+    }
+
     /// Snapshots the registry back into a plain [`GlobalCatalog`] (probe
     /// estimators are not part of the registry and come back empty).
     pub fn to_catalog(&self) -> GlobalCatalog {

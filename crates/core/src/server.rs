@@ -1649,6 +1649,25 @@ pub fn fleet_from_catalog(
     Ok(fleet)
 }
 
+/// [`fleet_from_catalog`] over a versioned
+/// [`crate::store::CatalogSnapshot`] — the form every
+/// [`crate::store::CatalogStore`] load site hands out.
+pub fn fleet_from_snapshot(
+    snapshot: &crate::store::CatalogSnapshot,
+    maintenance: crate::maintenance::MaintenanceConfig,
+    derivation: crate::derive::DerivationConfig,
+    algorithm: crate::states::StateAlgorithm,
+    site_filter: impl Fn(&SiteId) -> bool,
+) -> Result<Vec<(SiteId, ModelMaintainer)>, crate::CoreError> {
+    fleet_from_catalog(
+        &snapshot.catalog,
+        maintenance,
+        derivation,
+        algorithm,
+        site_filter,
+    )
+}
+
 /// Prices one queued request against the registry. Every failure is a
 /// per-line message, never a panic or an abort.
 fn serve_one<F>(

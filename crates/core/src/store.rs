@@ -1,0 +1,1461 @@
+//! Versioned catalog snapshot store: one [`CatalogStore`] abstraction in
+//! front of every load/store call site, a compact byte-stable binary
+//! format behind it, and per-model deltas on top.
+//!
+//! The text format in [`crate::persist`] stays the human-readable
+//! interchange form; this module adds the machine form the serving paths
+//! load at startup:
+//!
+//! * **Snapshots.** A [`CatalogSnapshot`] pairs a [`GlobalCatalog`] with a
+//!   monotone `version` aligned with [`crate::registry::ModelRegistry`]
+//!   versions (the registry's publish counter). Binary files open with a
+//!   `MDBC` magic plus a little-endian `u32` format version, then carry
+//!   length-prefixed frames; every `f64` travels as its little-endian
+//!   IEEE-754 bit pattern in the variable-length encoding of
+//!   [`mdbs_stats::suffstats::push_f64_compact`] (low-order zero bytes
+//!   dropped), so coefficients and Gram blocks round-trip bit for bit —
+//!   no float formatting or parsing anywhere on the path — while
+//!   integer-valued Gram sums stay only a few bytes wide.
+//! * **Deltas.** A [`CatalogDelta`] names the base snapshot version it
+//!   applies to and carries only the entries that changed: replaced
+//!   models/estimators as full bodies, and accumulator growth as a folded
+//!   [`ModelAccumulator`] increment that replay *merges* into the stored
+//!   block — the same operation the producer used, so a replayed chain is
+//!   byte-identical to the producer's own snapshot
+//!   ([`CatalogSnapshot::apply_delta`] is the single implementation both
+//!   sides go through). Appending a delta frame writes O(delta) bytes
+//!   regardless of catalog size.
+//! * **Files.** [`FileCatalogStore`] sniffs the on-disk format (magic ⇒
+//!   binary, `mdbs-catalog` ⇒ text), loads either, and writes whichever
+//!   format it was configured with — the CLI's `archive`/`restore`
+//!   subcommands are thin wrappers over it.
+
+use crate::catalog::{GlobalCatalog, SiteId};
+use crate::classes::QueryClass;
+use crate::model::{CostModel, FitStats, ModelAccumulator, ModelForm};
+use crate::probing::ProbeCostEstimator;
+use crate::qualvar::StateSet;
+use crate::CoreError;
+use mdbs_obs::Telemetry;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every binary catalog file.
+pub const BINARY_MAGIC: [u8; 4] = *b"MDBC";
+
+/// Binary container format version (little-endian `u32` after the magic).
+pub const BINARY_FORMAT_VERSION: u32 = 1;
+
+/// Frame tag of a full snapshot.
+const FRAME_SNAPSHOT: u8 = b'S';
+/// Frame tag of a delta against the running snapshot.
+const FRAME_DELTA: u8 = b'D';
+
+/// Entry kinds within a snapshot frame.
+const ENTRY_MODEL: u8 = 1;
+const ENTRY_GRAM: u8 = 2;
+const ENTRY_PROBE: u8 = 3;
+
+/// Operation kinds within a delta frame.
+const OP_PUT_MODEL: u8 = 1;
+const OP_PUT_GRAM: u8 = 2;
+const OP_PUT_PROBE: u8 = 3;
+const OP_MERGE_GRAM: u8 = 4;
+
+/// Class byte reserved for entries that carry no query class (probe
+/// estimators are per-site).
+const NO_CLASS: u8 = 0xff;
+
+fn bin_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Degenerate(format!("catalog binary error: {}", msg.into()))
+}
+
+/// The serialization format of a catalog file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogFormat {
+    /// The line-oriented human-readable format of [`crate::persist`].
+    Text,
+    /// The compact length-prefixed binary format of this module.
+    Binary,
+}
+
+impl CatalogFormat {
+    /// Stable textual tag (the CLI's `--format` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CatalogFormat::Text => "text",
+            CatalogFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses the stable tag.
+    pub fn parse(s: &str) -> Result<CatalogFormat, CoreError> {
+        match s {
+            "text" => Ok(CatalogFormat::Text),
+            "binary" => Ok(CatalogFormat::Binary),
+            other => Err(CoreError::Degenerate(format!(
+                "unknown catalog format `{other}` (expected `text` or `binary`)"
+            ))),
+        }
+    }
+}
+
+/// A versioned catalog state: the catalog plus the monotone snapshot
+/// version it represents (0 = unversioned/empty history).
+#[derive(Debug, Clone, Default)]
+pub struct CatalogSnapshot {
+    /// Monotone snapshot version, aligned with
+    /// [`crate::registry::ModelRegistry::version`].
+    pub version: u64,
+    /// The catalog content.
+    pub catalog: GlobalCatalog,
+}
+
+impl CatalogSnapshot {
+    /// An empty, unversioned snapshot.
+    pub fn new() -> CatalogSnapshot {
+        CatalogSnapshot::default()
+    }
+
+    /// Wraps a catalog at a given version.
+    pub fn at_version(catalog: GlobalCatalog, version: u64) -> CatalogSnapshot {
+        CatalogSnapshot { version, catalog }
+    }
+
+    /// Applies a delta in place. This is the **only** mutation path for
+    /// delta semantics — producers advance their own snapshot through it
+    /// before appending the delta to a store, so a restore that replays
+    /// the chain lands on bit-identical bytes by construction.
+    ///
+    /// Fails without modifying `self` when the delta's base version does
+    /// not match the snapshot's current version, or when a merge targets
+    /// a missing or shape-mismatched accumulator.
+    pub fn apply_delta(&mut self, delta: &CatalogDelta) -> Result<(), CoreError> {
+        if delta.base_version != self.version {
+            return Err(bin_err(format!(
+                "delta expects base snapshot version {} but the snapshot is at version {}",
+                delta.base_version, self.version
+            )));
+        }
+        if delta.version <= delta.base_version {
+            return Err(bin_err(format!(
+                "delta version {} does not advance past its base {}",
+                delta.version, delta.base_version
+            )));
+        }
+        // Validate merges up front so a failed apply leaves `self` intact.
+        for entry in &delta.entries {
+            if let DeltaEntry::MergeAccumulator(site, class, inc) = entry {
+                match self.catalog.accumulator(site, *class) {
+                    None => {
+                        return Err(bin_err(format!(
+                            "delta merges into missing accumulator {site}/{}",
+                            class.as_str()
+                        )))
+                    }
+                    Some(base) => check_merge_shape(base, inc, site, *class)?,
+                }
+            }
+        }
+        for entry in &delta.entries {
+            match entry {
+                DeltaEntry::PutModel(site, class, model) => {
+                    self.catalog
+                        .insert_model(site.clone(), *class, model.clone());
+                }
+                DeltaEntry::PutAccumulator(site, class, acc) => {
+                    self.catalog
+                        .insert_accumulator(site.clone(), *class, acc.clone());
+                }
+                DeltaEntry::PutProbeEstimator(site, est) => {
+                    self.catalog
+                        .insert_probe_estimator(site.clone(), est.clone());
+                }
+                DeltaEntry::MergeAccumulator(site, class, inc) => {
+                    let mut merged = self
+                        .catalog
+                        .accumulator(site, *class)
+                        .expect("validated above")
+                        .clone();
+                    merged.merge(inc)?;
+                    self.catalog
+                        .insert_accumulator(site.clone(), *class, merged);
+                }
+            }
+        }
+        self.version = delta.version;
+        Ok(())
+    }
+}
+
+fn check_merge_shape(
+    base: &ModelAccumulator,
+    inc: &ModelAccumulator,
+    site: &SiteId,
+    class: QueryClass,
+) -> Result<(), CoreError> {
+    if base.form() != inc.form()
+        || base.states() != inc.states()
+        || base.var_indexes() != inc.var_indexes()
+    {
+        return Err(bin_err(format!(
+            "delta merge increment shape does not match stored accumulator {site}/{}",
+            class.as_str()
+        )));
+    }
+    Ok(())
+}
+
+/// One change within a [`CatalogDelta`].
+#[derive(Debug, Clone)]
+pub enum DeltaEntry {
+    /// Replace (or add) the model for a site/class pair.
+    PutModel(SiteId, QueryClass, CostModel),
+    /// Replace (or add) the full accumulator for a site/class pair.
+    PutAccumulator(SiteId, QueryClass, ModelAccumulator),
+    /// Replace (or add) a site's probe estimator.
+    PutProbeEstimator(SiteId, ProbeCostEstimator),
+    /// Fold an accumulator increment (the statistics of just the new
+    /// observations) into the stored accumulator via
+    /// [`ModelAccumulator::merge`].
+    MergeAccumulator(SiteId, QueryClass, ModelAccumulator),
+}
+
+/// A set of changes that advances a snapshot from `base_version` to
+/// `version`. Removals are not representable: the catalog only ever grows
+/// or replaces entries, and [`CatalogDelta::between`] rejects a shrinking
+/// pair outright.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogDelta {
+    /// The snapshot version this delta applies on top of.
+    pub base_version: u64,
+    /// The snapshot version after applying this delta.
+    pub version: u64,
+    /// The changes, in application order.
+    pub entries: Vec<DeltaEntry>,
+}
+
+impl CatalogDelta {
+    /// An empty delta advancing `base_version` → `version`.
+    pub fn new(base_version: u64, version: u64) -> CatalogDelta {
+        CatalogDelta {
+            base_version,
+            version,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a model replacement.
+    pub fn put_model(&mut self, site: SiteId, class: QueryClass, model: CostModel) {
+        self.entries.push(DeltaEntry::PutModel(site, class, model));
+    }
+
+    /// Records a full accumulator replacement.
+    pub fn put_accumulator(&mut self, site: SiteId, class: QueryClass, acc: ModelAccumulator) {
+        self.entries
+            .push(DeltaEntry::PutAccumulator(site, class, acc));
+    }
+
+    /// Records a probe-estimator replacement.
+    pub fn put_probe_estimator(&mut self, site: SiteId, est: ProbeCostEstimator) {
+        self.entries.push(DeltaEntry::PutProbeEstimator(site, est));
+    }
+
+    /// Records an accumulator increment to merge on apply.
+    pub fn merge_accumulator(&mut self, site: SiteId, class: QueryClass, inc: ModelAccumulator) {
+        self.entries
+            .push(DeltaEntry::MergeAccumulator(site, class, inc));
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Diffs two snapshots into a delta: every entry of `next` whose
+    /// encoded bytes differ from (or are absent in) `base` becomes a
+    /// `Put`. Entries present in `base` but missing from `next` are an
+    /// error — the delta encoding has no removals.
+    pub fn between(
+        base: &CatalogSnapshot,
+        next: &CatalogSnapshot,
+    ) -> Result<CatalogDelta, CoreError> {
+        if next.version <= base.version {
+            return Err(bin_err(format!(
+                "cannot delta from version {} back to {}",
+                base.version, next.version
+            )));
+        }
+        let base_entries: BTreeMap<EntryKey, Vec<u8>> =
+            enumerate_entries(&base.catalog).into_iter().collect();
+        let mut delta = CatalogDelta::new(base.version, next.version);
+        let mut next_keys: Vec<EntryKey> = Vec::new();
+        for (key, body) in enumerate_entries(&next.catalog) {
+            next_keys.push(key.clone());
+            if base_entries.get(&key).map(Vec::as_slice) == Some(body.as_slice()) {
+                continue;
+            }
+            let (kind, site, class) = (&key.0, SiteId(key.1.clone()), key.2);
+            match *kind {
+                ENTRY_MODEL => {
+                    let class = class_from_code(class)?;
+                    let model = next
+                        .catalog
+                        .model(&site, class)
+                        .expect("enumerated")
+                        .clone();
+                    delta.put_model(site, class, model);
+                }
+                ENTRY_GRAM => {
+                    let class = class_from_code(class)?;
+                    let acc = next
+                        .catalog
+                        .accumulator(&site, class)
+                        .expect("enumerated")
+                        .clone();
+                    delta.put_accumulator(site, class, acc);
+                }
+                ENTRY_PROBE => {
+                    let est = next
+                        .catalog
+                        .probe_estimator(&site)
+                        .expect("enumerated")
+                        .clone();
+                    delta.put_probe_estimator(site, est);
+                }
+                _ => unreachable!("enumerate_entries emits known kinds"),
+            }
+        }
+        for key in base_entries.keys() {
+            if !next_keys.contains(key) {
+                return Err(bin_err(format!(
+                    "entry {} disappeared between snapshots; deltas cannot encode removals",
+                    key.1
+                )));
+            }
+        }
+        Ok(delta)
+    }
+}
+
+/// Sort/diff key of a catalog entry: `(kind, site name, class code)`.
+type EntryKey = (u8, String, u8);
+
+/// Enumerates a catalog's entries in the canonical (site, class) order —
+/// the same order [`GlobalCatalog::export`] writes — as `(key, encoded
+/// body)` pairs. Accumulators without a model, like in the text format,
+/// are not enumerated.
+fn enumerate_entries(catalog: &GlobalCatalog) -> Vec<(EntryKey, Vec<u8>)> {
+    let mut out = Vec::new();
+    for site in catalog.sites() {
+        for class in catalog.classes_for(&site) {
+            let model = catalog.model(&site, class).expect("class listed for site");
+            out.push((
+                (ENTRY_MODEL, site.0.clone(), class_code(class)),
+                encode_model(model),
+            ));
+            if let Some(acc) = catalog.accumulator(&site, class) {
+                out.push((
+                    (ENTRY_GRAM, site.0.clone(), class_code(class)),
+                    encode_accumulator(acc),
+                ));
+            }
+        }
+        if let Some(est) = catalog.probe_estimator(&site) {
+            out.push(((ENTRY_PROBE, site.0.clone(), NO_CLASS), encode_probe(est)));
+        }
+    }
+    out
+}
+
+fn form_code(form: ModelForm) -> u8 {
+    match form {
+        ModelForm::Coincident => 0,
+        ModelForm::Parallel => 1,
+        ModelForm::Concurrent => 2,
+        ModelForm::General => 3,
+    }
+}
+
+fn form_from_code(code: u8) -> Result<ModelForm, CoreError> {
+    match code {
+        0 => Ok(ModelForm::Coincident),
+        1 => Ok(ModelForm::Parallel),
+        2 => Ok(ModelForm::Concurrent),
+        3 => Ok(ModelForm::General),
+        other => Err(bin_err(format!("unknown model form code {other}"))),
+    }
+}
+
+fn class_code(class: QueryClass) -> u8 {
+    QueryClass::all()
+        .iter()
+        .position(|&c| c == class)
+        .expect("class is in the canonical list") as u8
+}
+
+fn class_from_code(code: u8) -> Result<QueryClass, CoreError> {
+    QueryClass::all()
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| bin_err(format!("unknown query class code {code}")))
+}
+
+// ---- primitive writers ----------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    mdbs_stats::suffstats::push_f64_compact(out, v);
+}
+
+// Site and variable names are short (u16 lengths), as are state/variable
+// counts — the compact format spends its bytes on the floats.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u16(out, vs.len() as u16);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+fn put_vars(out: &mut Vec<u8>, indexes: &[usize], names: &[String]) {
+    put_u16(out, indexes.len() as u16);
+    for (i, n) in indexes.iter().zip(names) {
+        put_u16(out, *i as u16);
+        put_str(out, n);
+    }
+}
+
+/// Bounds-checked little-endian reader for the binary catalog format.
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(bytes: &'a [u8]) -> BinReader<'a> {
+        BinReader { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| bin_err("truncated file"))?;
+        let s = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CoreError> {
+        let (v, used) = mdbs_stats::suffstats::read_f64_compact(&self.bytes[self.off..])
+            .ok_or_else(|| bin_err("bad compact float"))?;
+        self.off += used;
+        Ok(v)
+    }
+
+    fn str(&mut self) -> Result<String, CoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bin_err("non-UTF-8 string"))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, CoreError> {
+        let len = self.u16()? as usize;
+        // Each compact float costs at least one byte.
+        if len > self.remaining() {
+            return Err(bin_err("truncated file"));
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    fn vars(&mut self) -> Result<(Vec<usize>, Vec<String>), CoreError> {
+        let len = self.u16()? as usize;
+        let mut indexes = Vec::with_capacity(len.min(1024));
+        let mut names = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            indexes.push(self.u16()? as usize);
+            names.push(self.str()?);
+        }
+        Ok((indexes, names))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.off
+    }
+
+    fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn finish(&self) -> Result<(), CoreError> {
+        if !self.is_empty() {
+            return Err(bin_err("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+// ---- entry body codecs ----------------------------------------------------
+
+fn encode_model(m: &CostModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(form_code(m.form));
+    put_f64s(&mut out, m.states.edges());
+    put_vars(&mut out, &m.var_indexes, &m.var_names);
+    put_f64(&mut out, m.fit.r_squared);
+    put_f64(&mut out, m.fit.adj_r_squared);
+    put_f64(&mut out, m.fit.see);
+    put_f64(&mut out, m.fit.f_statistic);
+    put_f64(&mut out, m.fit.f_p_value);
+    put_u32(&mut out, m.fit.n as u32);
+    put_u32(&mut out, m.fit.k as u32);
+    put_u16(&mut out, m.coefficients.len() as u16);
+    for row in &m.coefficients {
+        put_f64s(&mut out, row);
+    }
+    out
+}
+
+fn decode_model(bytes: &[u8]) -> Result<CostModel, CoreError> {
+    let mut r = BinReader::new(bytes);
+    let form = form_from_code(r.u8()?)?;
+    let states = StateSet::from_edges(r.f64s()?)?;
+    let (var_indexes, var_names) = r.vars()?;
+    let fit = FitStats {
+        r_squared: r.f64()?,
+        adj_r_squared: r.f64()?,
+        see: r.f64()?,
+        f_statistic: r.f64()?,
+        f_p_value: r.f64()?,
+        n: r.u32()? as usize,
+        k: r.u32()? as usize,
+    };
+    let rows = r.u16()? as usize;
+    if rows != states.len() {
+        return Err(bin_err(format!(
+            "{rows} coefficient rows for {} states",
+            states.len()
+        )));
+    }
+    let mut coefficients = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let row = r.f64s()?;
+        if row.len() != var_indexes.len() + 1 {
+            return Err(bin_err("coefficient row width does not match vars"));
+        }
+        coefficients.push(row);
+    }
+    r.finish()?;
+    Ok(CostModel {
+        form,
+        states,
+        var_indexes,
+        var_names,
+        coefficients,
+        fit,
+    })
+}
+
+/// Accumulator shape layout flags: `SHAPE_SELF` carries its own
+/// form/states/vars (context-free — the layout deltas and diffing use);
+/// `SHAPE_FROM_MODEL` inherits all three from the model entry of the same
+/// (site, class) — the text format writes them twice per pair, the binary
+/// snapshot needn't.
+const SHAPE_SELF: u8 = 0;
+const SHAPE_FROM_MODEL: u8 = 1;
+
+/// Context-free accumulator encoding (`SHAPE_SELF`). Used for delta
+/// entries and for diffing, where body bytes must identify the value
+/// without reference to a surrounding snapshot.
+fn encode_accumulator(acc: &ModelAccumulator) -> Vec<u8> {
+    let mut out = vec![SHAPE_SELF];
+    out.push(form_code(acc.form()));
+    put_f64s(&mut out, acc.states().edges());
+    put_vars(&mut out, acc.var_indexes(), acc.var_names());
+    put_blocks(&mut out, acc);
+    out
+}
+
+/// Snapshot-frame accumulator encoding: when the accumulator's shape is
+/// bit-exactly the model's (the invariant every producer maintains), emit
+/// `SHAPE_FROM_MODEL` and only the Gram blocks; otherwise fall back to
+/// the context-free layout.
+fn encode_accumulator_with(model: &CostModel, acc: &ModelAccumulator) -> Vec<u8> {
+    let same_states = acc.states().edges().len() == model.states.edges().len()
+        && acc
+            .states()
+            .edges()
+            .iter()
+            .zip(model.states.edges())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if acc.form() == model.form
+        && same_states
+        && acc.var_indexes() == model.var_indexes.as_slice()
+        && acc.var_names() == model.var_names.as_slice()
+    {
+        let mut out = vec![SHAPE_FROM_MODEL];
+        put_blocks(&mut out, acc);
+        return out;
+    }
+    encode_accumulator(acc)
+}
+
+fn put_blocks(out: &mut Vec<u8>, acc: &ModelAccumulator) {
+    put_u16(out, acc.blocks().len() as u16);
+    for block in acc.blocks() {
+        let bytes = block.to_bytes();
+        put_u32(out, bytes.len() as u32);
+        out.extend_from_slice(&bytes);
+    }
+}
+
+/// Decodes either accumulator layout. `model` provides the shape for
+/// `SHAPE_FROM_MODEL` bodies; `None` (the delta path) rejects them.
+fn decode_accumulator(
+    bytes: &[u8],
+    model: Option<&CostModel>,
+) -> Result<ModelAccumulator, CoreError> {
+    let mut r = BinReader::new(bytes);
+    let (form, states, var_indexes, var_names) = match r.u8()? {
+        SHAPE_SELF => {
+            let form = form_from_code(r.u8()?)?;
+            let states = StateSet::from_edges(r.f64s()?)?;
+            let (var_indexes, var_names) = r.vars()?;
+            (form, states, var_indexes, var_names)
+        }
+        SHAPE_FROM_MODEL => {
+            let m = model.ok_or_else(|| {
+                bin_err("accumulator inherits its shape but no model entry precedes it")
+            })?;
+            (
+                m.form,
+                m.states.clone(),
+                m.var_indexes.clone(),
+                m.var_names.clone(),
+            )
+        }
+        other => return Err(bin_err(format!("unknown accumulator shape flag {other}"))),
+    };
+    let blocks_len = r.u16()? as usize;
+    let mut blocks = Vec::with_capacity(blocks_len.min(1024));
+    for _ in 0..blocks_len {
+        let len = r.u32()? as usize;
+        let block = mdbs_stats::GramAccumulator::from_bytes(r.take(len)?)?;
+        blocks.push(block);
+    }
+    r.finish()?;
+    ModelAccumulator::from_parts(form, states, var_indexes, var_names, blocks)
+}
+
+fn encode_probe(est: &ProbeCostEstimator) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_vars(&mut out, &est.selected, &est.names);
+    put_f64s(&mut out, &est.coefficients);
+    put_f64(&mut out, est.r_squared);
+    put_f64(&mut out, est.see);
+    out
+}
+
+fn decode_probe(bytes: &[u8]) -> Result<ProbeCostEstimator, CoreError> {
+    let mut r = BinReader::new(bytes);
+    let (selected, names) = r.vars()?;
+    let coefficients = r.f64s()?;
+    let r_squared = r.f64()?;
+    let see = r.f64()?;
+    r.finish()?;
+    if coefficients.len() != selected.len() + 1 {
+        return Err(bin_err("probe coefficient width does not match params"));
+    }
+    Ok(ProbeCostEstimator {
+        selected,
+        names,
+        coefficients,
+        r_squared,
+        see,
+    })
+}
+
+// ---- frame codecs ---------------------------------------------------------
+
+fn encode_entry(out: &mut Vec<u8>, kind: u8, site: &str, class: u8, body: &[u8]) {
+    out.push(kind);
+    put_str(out, site);
+    out.push(class);
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+fn encode_snapshot_frame(snap: &CatalogSnapshot) -> Vec<u8> {
+    // Mirrors [`enumerate_entries`]' order, but gram entries use the
+    // model-inherited shape layout — within a snapshot frame the model
+    // entry of the same (site, class) always precedes its accumulator.
+    let catalog = &snap.catalog;
+    let mut entries: Vec<(EntryKey, Vec<u8>)> = Vec::new();
+    for site in catalog.sites() {
+        for class in catalog.classes_for(&site) {
+            let model = catalog.model(&site, class).expect("class listed for site");
+            entries.push((
+                (ENTRY_MODEL, site.0.clone(), class_code(class)),
+                encode_model(model),
+            ));
+            if let Some(acc) = catalog.accumulator(&site, class) {
+                entries.push((
+                    (ENTRY_GRAM, site.0.clone(), class_code(class)),
+                    encode_accumulator_with(model, acc),
+                ));
+            }
+        }
+        if let Some(est) = catalog.probe_estimator(&site) {
+            entries.push(((ENTRY_PROBE, site.0.clone(), NO_CLASS), encode_probe(est)));
+        }
+    }
+    let mut payload = Vec::new();
+    put_u64(&mut payload, snap.version);
+    put_u32(&mut payload, entries.len() as u32);
+    for ((kind, site, class), body) in &entries {
+        encode_entry(&mut payload, *kind, site, *class, body);
+    }
+    payload
+}
+
+fn decode_snapshot_frame(payload: &[u8]) -> Result<CatalogSnapshot, CoreError> {
+    let mut r = BinReader::new(payload);
+    let version = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut catalog = GlobalCatalog::new();
+    for _ in 0..count {
+        let kind = r.u8()?;
+        let site = SiteId(r.str()?);
+        let class = r.u8()?;
+        let len = r.u32()? as usize;
+        let body = r.take(len)?;
+        match kind {
+            ENTRY_MODEL => {
+                catalog.insert_model(site, class_from_code(class)?, decode_model(body)?);
+            }
+            ENTRY_GRAM => {
+                let class = class_from_code(class)?;
+                let acc = decode_accumulator(body, catalog.model(&site, class))?;
+                catalog.insert_accumulator(site, class, acc);
+            }
+            ENTRY_PROBE => {
+                if class != NO_CLASS {
+                    return Err(bin_err("probe entry carries a class byte"));
+                }
+                catalog.insert_probe_estimator(site, decode_probe(body)?);
+            }
+            other => return Err(bin_err(format!("unknown entry kind {other}"))),
+        }
+    }
+    r.finish()?;
+    Ok(CatalogSnapshot { version, catalog })
+}
+
+fn encode_delta_frame(delta: &CatalogDelta) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, delta.base_version);
+    put_u64(&mut payload, delta.version);
+    put_u32(&mut payload, delta.entries.len() as u32);
+    for entry in &delta.entries {
+        match entry {
+            DeltaEntry::PutModel(site, class, model) => {
+                encode_entry(
+                    &mut payload,
+                    OP_PUT_MODEL,
+                    &site.0,
+                    class_code(*class),
+                    &encode_model(model),
+                );
+            }
+            DeltaEntry::PutAccumulator(site, class, acc) => {
+                encode_entry(
+                    &mut payload,
+                    OP_PUT_GRAM,
+                    &site.0,
+                    class_code(*class),
+                    &encode_accumulator(acc),
+                );
+            }
+            DeltaEntry::PutProbeEstimator(site, est) => {
+                encode_entry(
+                    &mut payload,
+                    OP_PUT_PROBE,
+                    &site.0,
+                    NO_CLASS,
+                    &encode_probe(est),
+                );
+            }
+            DeltaEntry::MergeAccumulator(site, class, inc) => {
+                encode_entry(
+                    &mut payload,
+                    OP_MERGE_GRAM,
+                    &site.0,
+                    class_code(*class),
+                    &encode_accumulator(inc),
+                );
+            }
+        }
+    }
+    payload
+}
+
+fn decode_delta_frame(payload: &[u8]) -> Result<CatalogDelta, CoreError> {
+    let mut r = BinReader::new(payload);
+    let base_version = r.u64()?;
+    let version = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut delta = CatalogDelta::new(base_version, version);
+    for _ in 0..count {
+        let op = r.u8()?;
+        let site = SiteId(r.str()?);
+        let class = r.u8()?;
+        let len = r.u32()? as usize;
+        let body = r.take(len)?;
+        match op {
+            OP_PUT_MODEL => delta.put_model(site, class_from_code(class)?, decode_model(body)?),
+            OP_PUT_GRAM => delta.put_accumulator(
+                site,
+                class_from_code(class)?,
+                decode_accumulator(body, None)?,
+            ),
+            OP_PUT_PROBE => {
+                if class != NO_CLASS {
+                    return Err(bin_err("probe op carries a class byte"));
+                }
+                delta.put_probe_estimator(site, decode_probe(body)?);
+            }
+            OP_MERGE_GRAM => delta.merge_accumulator(
+                site,
+                class_from_code(class)?,
+                decode_accumulator(body, None)?,
+            ),
+            other => return Err(bin_err(format!("unknown delta op {other}"))),
+        }
+    }
+    r.finish()?;
+    Ok(delta)
+}
+
+fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    out.push(kind);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Serializes a snapshot to complete binary-file bytes: magic, container
+/// version, one snapshot frame. A catalog restored by replaying a base
+/// snapshot plus its delta chain serializes to exactly these bytes —
+/// that is the round-trip identity ci.sh gates on.
+pub fn snapshot_to_bytes(snap: &CatalogSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&BINARY_MAGIC);
+    out.extend_from_slice(&BINARY_FORMAT_VERSION.to_le_bytes());
+    let payload = encode_snapshot_frame(snap);
+    out.extend_from_slice(&encode_frame(FRAME_SNAPSHOT, &payload));
+    out
+}
+
+/// Serializes a delta to an appendable binary frame (no file header).
+pub fn delta_to_frame_bytes(delta: &CatalogDelta) -> Vec<u8> {
+    encode_frame(FRAME_DELTA, &encode_delta_frame(delta))
+}
+
+/// Parses complete binary-file bytes: checks the magic and container
+/// version, decodes the leading snapshot frame, then replays every delta
+/// frame in order. Returns the final snapshot plus the number of deltas
+/// applied and the total delta entries replayed (for telemetry).
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<(CatalogSnapshot, u64, u64), CoreError> {
+    let mut r = BinReader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != BINARY_MAGIC {
+        return Err(bin_err("bad magic (not a binary catalog)"));
+    }
+    let container = r.u32()?;
+    if container != BINARY_FORMAT_VERSION {
+        return Err(bin_err(format!(
+            "unsupported binary format version {container} (supported: {BINARY_FORMAT_VERSION})"
+        )));
+    }
+    let mut snap: Option<CatalogSnapshot> = None;
+    let mut deltas_applied = 0u64;
+    let mut delta_entries = 0u64;
+    while !r.is_empty() {
+        let kind = r.u8()?;
+        let len = r.u64()? as usize;
+        let payload = r.take(len)?;
+        match (kind, &mut snap) {
+            (FRAME_SNAPSHOT, None) => {
+                snap = Some(decode_snapshot_frame(payload)?);
+            }
+            (FRAME_SNAPSHOT, Some(_)) => {
+                return Err(bin_err("second snapshot frame in one file"));
+            }
+            (FRAME_DELTA, Some(s)) => {
+                let delta = decode_delta_frame(payload)?;
+                delta_entries += delta.len() as u64;
+                deltas_applied += 1;
+                s.apply_delta(&delta)?;
+            }
+            (FRAME_DELTA, None) => {
+                return Err(bin_err("delta frame before any snapshot frame"));
+            }
+            (other, _) => return Err(bin_err(format!("unknown frame kind {other}"))),
+        }
+    }
+    let snap = snap.ok_or_else(|| bin_err("no snapshot frame in file"))?;
+    Ok((snap, deltas_applied, delta_entries))
+}
+
+// ---- the store abstraction ------------------------------------------------
+
+/// A load/store error: either an I/O failure on the backing medium
+/// (carrying the [`std::io::Error`], so callers keep their exit-code
+/// taxonomy) or corrupt/inconsistent catalog content.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backing file could not be read or written.
+    Io {
+        /// What the store was doing (e.g. `read catalog /path`).
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The content was read but does not decode to a valid snapshot.
+    Corrupt(CoreError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::Corrupt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> StoreError {
+        StoreError::Corrupt(e)
+    }
+}
+
+/// The persistence abstraction every catalog load/store call site goes
+/// through: load a versioned snapshot, store one whole, or append a delta
+/// frame in O(delta) bytes.
+pub trait CatalogStore {
+    /// Loads and fully materializes the snapshot (replaying any delta
+    /// chain). Emits `catalog.load_bytes` / `catalog.load_entries` /
+    /// `catalog.delta.applied` / `catalog.delta.entries` counters and the
+    /// `catalog.format` gauge.
+    fn load(&self, tel: &mut Telemetry) -> Result<CatalogSnapshot, StoreError>;
+
+    /// Writes the snapshot whole, replacing any previous content. Emits
+    /// `catalog.store_bytes` / `catalog.store_entries` and
+    /// `catalog.format`.
+    fn store(&self, snap: &CatalogSnapshot, tel: &mut Telemetry) -> Result<(), StoreError>;
+
+    /// Appends a delta frame without rewriting existing content. Only the
+    /// binary format supports this; the write cost is proportional to the
+    /// delta, not the catalog. Emits `catalog.delta.appended` and
+    /// `catalog.store_bytes`.
+    fn append_delta(&self, delta: &CatalogDelta, tel: &mut Telemetry) -> Result<(), StoreError>;
+
+    /// The format [`CatalogStore::store`] would write.
+    fn format(&self) -> CatalogFormat;
+}
+
+/// A [`CatalogStore`] over one file path. Loading sniffs the actual
+/// content (binary magic vs. text header), so a store configured for one
+/// format still reads the other; writing uses the configured format, or —
+/// when constructed with [`FileCatalogStore::sniffing`] — whatever format
+/// the file already holds (text for fresh files, keeping the historical
+/// CLI behavior byte-compatible).
+#[derive(Debug, Clone)]
+pub struct FileCatalogStore {
+    path: PathBuf,
+    format: Option<CatalogFormat>,
+}
+
+impl FileCatalogStore {
+    /// A store that writes `format`.
+    pub fn new(path: impl Into<PathBuf>, format: CatalogFormat) -> FileCatalogStore {
+        FileCatalogStore {
+            path: path.into(),
+            format: Some(format),
+        }
+    }
+
+    /// A store that writes whatever format the file already holds, or
+    /// text when the file does not exist yet.
+    pub fn sniffing(path: impl Into<PathBuf>) -> FileCatalogStore {
+        FileCatalogStore {
+            path: path.into(),
+            format: None,
+        }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Like [`CatalogStore::load`], but a missing file is an empty
+    /// unversioned snapshot instead of an error — the "first run"
+    /// convention of `derive`.
+    pub fn load_or_empty(&self, tel: &mut Telemetry) -> Result<CatalogSnapshot, StoreError> {
+        match self.load(tel) {
+            Ok(snap) => Ok(snap),
+            Err(StoreError::Io { ref source, .. })
+                if source.kind() == std::io::ErrorKind::NotFound =>
+            {
+                Ok(CatalogSnapshot::new())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn io_err(&self, what: &str, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            context: format!("cannot {what} `{}`", self.path.display()),
+            source,
+        }
+    }
+
+    /// The format `store` will write: configured > sniffed > text.
+    fn write_format(&self) -> CatalogFormat {
+        if let Some(f) = self.format {
+            return f;
+        }
+        match std::fs::read(&self.path) {
+            Ok(bytes) if bytes.starts_with(&BINARY_MAGIC) => CatalogFormat::Binary,
+            _ => CatalogFormat::Text,
+        }
+    }
+}
+
+fn format_gauge(tel: &mut Telemetry, format: CatalogFormat) {
+    let code = match format {
+        CatalogFormat::Text => 0.0,
+        CatalogFormat::Binary => 1.0,
+    };
+    tel.gauge("catalog.format", code);
+}
+
+impl CatalogStore for FileCatalogStore {
+    fn load(&self, tel: &mut Telemetry) -> Result<CatalogSnapshot, StoreError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| self.io_err("read", e))?;
+        let (snap, format, deltas, delta_entries) = if bytes.starts_with(&BINARY_MAGIC) {
+            let (snap, deltas, entries) = snapshot_from_bytes(&bytes)?;
+            (snap, CatalogFormat::Binary, deltas, entries)
+        } else {
+            let text = String::from_utf8(bytes.clone())
+                .map_err(|_| StoreError::Corrupt(bin_err("neither binary magic nor UTF-8 text")))?;
+            let (catalog, version) = GlobalCatalog::import_versioned(&text)?;
+            (
+                CatalogSnapshot { version, catalog },
+                CatalogFormat::Text,
+                0,
+                0,
+            )
+        };
+        tel.inc("catalog.load_bytes", bytes.len() as u64);
+        tel.inc(
+            "catalog.load_entries",
+            enumerate_entries(&snap.catalog).len() as u64,
+        );
+        if deltas > 0 {
+            tel.inc("catalog.delta.applied", deltas);
+            tel.inc("catalog.delta.entries", delta_entries);
+        }
+        format_gauge(tel, format);
+        Ok(snap)
+    }
+
+    fn store(&self, snap: &CatalogSnapshot, tel: &mut Telemetry) -> Result<(), StoreError> {
+        let format = self.write_format();
+        let bytes = match format {
+            CatalogFormat::Binary => snapshot_to_bytes(snap),
+            CatalogFormat::Text => snap.catalog.export_versioned(snap.version).into_bytes(),
+        };
+        std::fs::write(&self.path, &bytes).map_err(|e| self.io_err("write", e))?;
+        tel.inc("catalog.store_bytes", bytes.len() as u64);
+        tel.inc(
+            "catalog.store_entries",
+            enumerate_entries(&snap.catalog).len() as u64,
+        );
+        format_gauge(tel, format);
+        Ok(())
+    }
+
+    fn append_delta(&self, delta: &CatalogDelta, tel: &mut Telemetry) -> Result<(), StoreError> {
+        // Only the magic is read back, so append cost stays O(delta)
+        // no matter how large the catalog file has grown.
+        let mut head = [0u8; 4];
+        std::fs::File::open(&self.path)
+            .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut head))
+            .map_err(|e| self.io_err("read", e))?;
+        if head != BINARY_MAGIC {
+            return Err(StoreError::Corrupt(bin_err(
+                "delta append requires a binary catalog file (archive it first)",
+            )));
+        }
+        let frame = delta_to_frame_bytes(delta);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| self.io_err("append to", e))?;
+        file.write_all(&frame)
+            .map_err(|e| self.io_err("append to", e))?;
+        tel.inc("catalog.delta.appended", 1);
+        tel.inc("catalog.store_bytes", frame.len() as u64);
+        Ok(())
+    }
+
+    fn format(&self) -> CatalogFormat {
+        self.write_format()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fit_cost_model;
+    use crate::observation::Observation;
+
+    fn sample_model(m: usize) -> CostModel {
+        let states = if m == 1 {
+            StateSet::single()
+        } else {
+            StateSet::uniform(0.0, m as f64, m).unwrap()
+        };
+        let mut obs = Vec::new();
+        for s in 0..m {
+            for i in 0..12 {
+                // Non-terminating decimals, like real measured costs — the
+                // text format spends ~17 digits per float on these.
+                let x = (i as f64 + 1.0) * 3.0337;
+                obs.push(Observation {
+                    x: vec![x, (i % 5) as f64 * 1.3177 + 0.503, (i % 4) as f64 * 2.00071],
+                    cost: (s + 1) as f64 * (1.5 + 2.4991 * x) + (i % 3) as f64 * 0.010013,
+                    probe_cost: s as f64 + 0.5,
+                });
+            }
+        }
+        fit_cost_model(
+            if m == 1 {
+                ModelForm::Coincident
+            } else {
+                ModelForm::General
+            },
+            states,
+            vec![0, 1, 2],
+            vec!["N_O".into(), "S_O".into(), "N_R".into()],
+            &obs,
+        )
+        .unwrap()
+    }
+
+    fn sample_obs(m: usize, n: usize, salt: u64) -> Vec<Observation> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 + salt as f64 * 0.2501) * 3.0337;
+                Observation {
+                    x: vec![x, (i % 5) as f64 * 1.3177 + 0.503, (i % 4) as f64 * 2.00071],
+                    cost: 1.5 + 2.4991 * x + (i % 3) as f64 * 0.010013,
+                    probe_cost: (i % m) as f64 + 0.5,
+                }
+            })
+            .collect()
+    }
+
+    fn sample_snapshot(version: u64) -> CatalogSnapshot {
+        let mut catalog = GlobalCatalog::new();
+        let model = sample_model(3);
+        let acc = ModelAccumulator::from_observations(&model, &sample_obs(3, 36, 0));
+        catalog.insert_model("site-a".into(), QueryClass::UnaryNoIndex, model);
+        catalog.insert_accumulator("site-a".into(), QueryClass::UnaryNoIndex, acc);
+        let model2 = sample_model(2);
+        let acc2 = ModelAccumulator::from_observations(&model2, &sample_obs(2, 24, 3));
+        catalog.insert_model("site-a".into(), QueryClass::JoinNoIndex, model2);
+        catalog.insert_accumulator("site-a".into(), QueryClass::JoinNoIndex, acc2);
+        catalog.insert_model(
+            "site-b".into(),
+            QueryClass::UnaryClusteredIndex,
+            sample_model(1),
+        );
+        catalog.insert_probe_estimator(
+            "site-b".into(),
+            ProbeCostEstimator {
+                selected: vec![0, 2],
+                names: vec!["cpu".into(), "io".into()],
+                coefficients: vec![0.5, 1.25, -0.75],
+                r_squared: 0.9,
+                see: 0.1,
+            },
+        );
+        CatalogSnapshot::at_version(catalog, version)
+    }
+
+    #[test]
+    fn binary_roundtrip_bit_exact() {
+        let snap = sample_snapshot(7);
+        let bytes = snapshot_to_bytes(&snap);
+        let (back, deltas, _) = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(deltas, 0);
+        assert_eq!(back.version, 7);
+        // Text export of both catalogs is byte-identical (the text format
+        // is already bit-exact, so this proves the binary one is too).
+        assert_eq!(back.catalog.export(), snap.catalog.export());
+        // And re-encoding is byte-identical.
+        assert_eq!(snapshot_to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let snap = sample_snapshot(1);
+        let bytes = snapshot_to_bytes(&snap);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(snapshot_from_bytes(&bad).is_err());
+        // Wrong container version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(snapshot_from_bytes(&bad).is_err());
+        // Truncations at every prefix length fail cleanly (never panic).
+        for cut in 0..bytes.len() {
+            assert!(snapshot_from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage.
+        let mut bad = bytes;
+        bad.push(0xEE);
+        assert!(snapshot_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn delta_between_and_apply() {
+        let base = sample_snapshot(3);
+        let mut next = base.clone();
+        next.version = 5;
+        next.catalog
+            .insert_model("site-c".into(), QueryClass::JoinIndexed, sample_model(2));
+        let delta = CatalogDelta::between(&base, &next).unwrap();
+        assert_eq!(delta.len(), 1, "only the new entry is carried");
+        let mut replayed = base.clone();
+        replayed.apply_delta(&delta).unwrap();
+        assert_eq!(replayed.version, 5);
+        assert_eq!(
+            snapshot_to_bytes(&replayed),
+            snapshot_to_bytes(&next),
+            "replay lands on identical bytes"
+        );
+    }
+
+    #[test]
+    fn delta_rejects_mismatched_base() {
+        let base = sample_snapshot(3);
+        let mut delta = CatalogDelta::new(9, 10);
+        delta.put_model("site-z".into(), QueryClass::JoinIndexed, sample_model(1));
+        let mut snap = base.clone();
+        let err = snap.apply_delta(&delta).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("base snapshot version 9"), "{msg}");
+        assert_eq!(snap.version, 3, "failed apply leaves the snapshot intact");
+    }
+
+    #[test]
+    fn delta_rejects_removals() {
+        let base = sample_snapshot(3);
+        let mut next = CatalogSnapshot::at_version(GlobalCatalog::new(), 4);
+        next.catalog
+            .insert_model("site-a".into(), QueryClass::UnaryNoIndex, sample_model(3));
+        assert!(CatalogDelta::between(&base, &next).is_err());
+    }
+
+    #[test]
+    fn merge_delta_replay_is_bit_exact() {
+        // Producer: advance the accumulator through apply_delta (the
+        // sanctioned path), appending increments.
+        let mut producer = sample_snapshot(3);
+        let increment = {
+            let acc = producer
+                .catalog
+                .accumulator(&"site-a".into(), QueryClass::UnaryNoIndex)
+                .unwrap();
+            acc.increment_from(&sample_obs(3, 9, 17))
+        };
+        let mut delta = CatalogDelta::new(3, 4);
+        delta.merge_accumulator("site-a".into(), QueryClass::UnaryNoIndex, increment);
+        producer.apply_delta(&delta).unwrap();
+
+        // Restore: replay base + delta from encoded bytes.
+        let mut restored = sample_snapshot(3);
+        let frame = delta_to_frame_bytes(&delta);
+        let mut r = BinReader::new(&frame);
+        assert_eq!(r.u8().unwrap(), FRAME_DELTA);
+        let len = r.u64().unwrap() as usize;
+        let decoded = decode_delta_frame(r.take(len).unwrap()).unwrap();
+        restored.apply_delta(&decoded).unwrap();
+        assert_eq!(snapshot_to_bytes(&restored), snapshot_to_bytes(&producer));
+    }
+
+    #[test]
+    fn merge_into_missing_accumulator_is_an_error() {
+        let mut snap = sample_snapshot(3);
+        let inc = ModelAccumulator::from_observations(&sample_model(2), &[]);
+        let mut delta = CatalogDelta::new(3, 4);
+        delta.merge_accumulator("site-b".into(), QueryClass::UnaryClusteredIndex, inc);
+        let msg = format!("{}", snap.apply_delta(&delta).unwrap_err());
+        assert!(msg.contains("missing accumulator"), "{msg}");
+    }
+
+    #[test]
+    fn file_store_roundtrip_both_formats() {
+        let dir = std::env::temp_dir().join("mdbs-store-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = sample_snapshot(11);
+        let mut tel = Telemetry::enabled();
+        for format in [CatalogFormat::Text, CatalogFormat::Binary] {
+            let path = dir.join(format!("cat.{}", format.as_str()));
+            let store = FileCatalogStore::new(&path, format);
+            store.store(&snap, &mut tel).unwrap();
+            let back = store.load(&mut tel).unwrap();
+            assert_eq!(back.version, 11, "{format:?}");
+            assert_eq!(back.catalog.export(), snap.catalog.export(), "{format:?}");
+        }
+        // Binary is meaningfully smaller than text even at this tiny
+        // scale (the bench asserts the full ≥3× criterion on a
+        // realistic 2-vendor × 3-class catalog).
+        let text_len = std::fs::metadata(dir.join("cat.text")).unwrap().len();
+        let bin_len = std::fs::metadata(dir.join("cat.binary")).unwrap().len();
+        assert!(
+            bin_len * 2 <= text_len,
+            "binary {bin_len} should be ≥2× smaller than text {text_len}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_append_delta_and_reload() {
+        let dir = std::env::temp_dir().join("mdbs-store-test-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.mdbc");
+        let store = FileCatalogStore::new(&path, CatalogFormat::Binary);
+        let mut tel = Telemetry::enabled();
+        let mut snap = sample_snapshot(3);
+        store.store(&snap, &mut tel).unwrap();
+        let mut delta = CatalogDelta::new(3, 4);
+        delta.put_model("site-d".into(), QueryClass::JoinNoIndex, sample_model(2));
+        snap.apply_delta(&delta).unwrap();
+        store.append_delta(&delta, &mut tel).unwrap();
+        let back = store.load(&mut tel).unwrap();
+        assert_eq!(back.version, 4);
+        assert_eq!(snapshot_to_bytes(&back), snapshot_to_bytes(&snap));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_delta_to_text_file_is_an_error() {
+        let dir = std::env::temp_dir().join("mdbs-store-test-append-text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.txt");
+        let store = FileCatalogStore::new(&path, CatalogFormat::Text);
+        let mut tel = Telemetry::disabled();
+        store.store(&sample_snapshot(1), &mut tel).unwrap();
+        let delta = CatalogDelta::new(1, 2);
+        assert!(store.append_delta(&delta, &mut tel).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sniffing_store_preserves_existing_format() {
+        let dir = std::env::temp_dir().join("mdbs-store-test-sniff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat");
+        let mut tel = Telemetry::disabled();
+        // Fresh file: text.
+        let sniffer = FileCatalogStore::sniffing(&path);
+        assert_eq!(sniffer.format(), CatalogFormat::Text);
+        // Once binary content exists, the sniffer keeps writing binary.
+        FileCatalogStore::new(&path, CatalogFormat::Binary)
+            .store(&sample_snapshot(2), &mut tel)
+            .unwrap();
+        assert_eq!(sniffer.format(), CatalogFormat::Binary);
+        sniffer.store(&sample_snapshot(3), &mut tel).unwrap();
+        assert_eq!(sniffer.load(&mut tel).unwrap().version, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_empty_on_missing_file() {
+        let store = FileCatalogStore::sniffing("/nonexistent/definitely/missing.catalog");
+        let mut tel = Telemetry::disabled();
+        let snap = store.load_or_empty(&mut tel).unwrap();
+        assert_eq!(snap.version, 0);
+        assert!(snap.catalog.is_empty());
+        assert!(store.load(&mut tel).is_err(), "plain load still errors");
+    }
+
+    #[test]
+    fn text_load_reads_versioned_text() {
+        let dir = std::env::temp_dir().join("mdbs-store-test-text-version");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.txt");
+        let snap = sample_snapshot(9);
+        std::fs::write(&path, snap.catalog.export_versioned(9)).unwrap();
+        let mut tel = Telemetry::disabled();
+        let back = FileCatalogStore::sniffing(&path).load(&mut tel).unwrap();
+        assert_eq!(back.version, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

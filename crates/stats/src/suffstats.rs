@@ -131,6 +131,99 @@ impl GramAccumulator {
         self.sum_y
     }
 
+    /// True when `XᵀX` is bit-exactly symmetric (`xtx[i][j]` and
+    /// `xtx[j][i]` share the same bit pattern for every pair). Row updates
+    /// keep this invariant by construction; only [`Self::from_parts`] can
+    /// introduce an asymmetric matrix.
+    pub fn xtx_is_symmetric(&self) -> bool {
+        let k = self.k;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if self.xtx[i * k + j].to_bits() != self.xtx[j * k + i].to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Serializes the sufficient statistics to a compact byte string:
+    /// little-endian `u32 k`, `u64 n`, a flags byte, the `XᵀX` entries,
+    /// the `Xᵀy` entries, `Σy²` and `Σy`, every float in the
+    /// variable-length encoding of [`push_f64_compact`] (bit-exact round
+    /// trip; integer-valued sums over cardinality variables dominate Gram
+    /// matrices and shrink to a few bytes each).
+    ///
+    /// When `XᵀX` is bit-exactly symmetric — which row updates guarantee —
+    /// only the lower triangle is written (`k(k+1)/2` floats instead of
+    /// `k²`); a flags bit records which layout was used so
+    /// [`Self::from_bytes`] can mirror it back.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let k = self.k;
+        let symmetric = self.xtx_is_symmetric();
+        let xtx_len = if symmetric { k * (k + 1) / 2 } else { k * k };
+        let mut out = Vec::with_capacity(4 + 8 + 1 + 9 * (xtx_len + k + 2));
+        out.extend_from_slice(&(k as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.push(u8::from(symmetric));
+        if symmetric {
+            for i in 0..k {
+                for j in 0..=i {
+                    push_f64_compact(&mut out, self.xtx[i * k + j]);
+                }
+            }
+        } else {
+            for v in &self.xtx {
+                push_f64_compact(&mut out, *v);
+            }
+        }
+        for v in &self.xty {
+            push_f64_compact(&mut out, *v);
+        }
+        push_f64_compact(&mut out, self.yty);
+        push_f64_compact(&mut out, self.sum_y);
+        out
+    }
+
+    /// Rebuilds an accumulator from [`Self::to_bytes`] output. The slice
+    /// must contain exactly one encoded accumulator; trailing bytes are an
+    /// error (the container formats are length-prefixed, so a correct
+    /// reader always hands over an exact slice).
+    pub fn from_bytes(bytes: &[u8]) -> Result<GramAccumulator, StatsError> {
+        let mut cur = ByteCursor::new(bytes);
+        let k = cur.u32()? as usize;
+        let n = cur.u64()? as usize;
+        let flags = cur.u8()?;
+        if flags > 1 {
+            return Err(StatsError::InvalidArgument(
+                "gram bytes: unknown flags".into(),
+            ));
+        }
+        let symmetric = flags == 1;
+        let mut xtx = vec![0.0; k * k];
+        if symmetric {
+            for i in 0..k {
+                for j in 0..=i {
+                    let v = cur.f64()?;
+                    xtx[i * k + j] = v;
+                    xtx[j * k + i] = v;
+                }
+            }
+        } else {
+            for slot in xtx.iter_mut() {
+                *slot = cur.f64()?;
+            }
+        }
+        let mut xty = vec![0.0; k];
+        for slot in xty.iter_mut() {
+            *slot = cur.f64()?;
+        }
+        let yty = cur.f64()?;
+        let sum_y = cur.f64()?;
+        cur.finish()?;
+        GramAccumulator::from_parts(k, n, xtx, xty, yty, sum_y)
+    }
+
     fn check_row(&self, row: &[f64]) -> Result<(), StatsError> {
         if row.len() != self.k {
             return Err(StatsError::DimensionMismatch {
@@ -563,6 +656,88 @@ fn cholesky_inverse(k: usize, l: &[f64]) -> Matrix {
     inv
 }
 
+/// Appends `v` in the compact variable-length float encoding: one length
+/// byte `L` (0..=8), then the `L` significant high-order bytes of the
+/// value's little-endian IEEE-754 representation — low-order zero bytes
+/// are dropped. Counts and integer-valued sums (ubiquitous in Gram
+/// matrices over cardinality variables) shrink to a few bytes, zero to a
+/// single byte; a full-precision fraction costs one extra byte. The bit
+/// pattern round-trips exactly, and the encoding is canonical: for every
+/// value there is exactly one byte string, so encoders are byte-stable.
+pub fn push_f64_compact(out: &mut Vec<u8>, v: f64) {
+    let b = v.to_le_bytes();
+    let z = b.iter().take_while(|&&x| x == 0).count();
+    out.push((8 - z) as u8);
+    out.extend_from_slice(&b[z..]);
+}
+
+/// Reads one [`push_f64_compact`] value from the front of `bytes`,
+/// returning the value and the number of bytes consumed. `None` on
+/// truncation, a length byte above 8, or a non-canonical encoding (a
+/// dropped-zero length whose first payload byte is still zero).
+pub fn read_f64_compact(bytes: &[u8]) -> Option<(f64, usize)> {
+    let (&len, rest) = bytes.split_first()?;
+    let len = len as usize;
+    if len > 8 || rest.len() < len || (len > 0 && rest[0] == 0) {
+        return None;
+    }
+    let mut b = [0u8; 8];
+    b[8 - len..].copy_from_slice(&rest[..len]);
+    Some((f64::from_le_bytes(b), 1 + len))
+}
+
+/// Bounds-checked little-endian reader over an exact byte slice; feeds
+/// [`GramAccumulator::from_bytes`].
+struct ByteCursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> ByteCursor<'a> {
+    fn new(bytes: &'a [u8]) -> ByteCursor<'a> {
+        ByteCursor { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StatsError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| StatsError::InvalidArgument("gram bytes: truncated".into()))?;
+        let s = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StatsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StatsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StatsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, StatsError> {
+        let (v, used) = read_f64_compact(&self.bytes[self.off..])
+            .ok_or_else(|| StatsError::InvalidArgument("gram bytes: bad compact float".into()))?;
+        self.off += used;
+        Ok(v)
+    }
+
+    fn finish(&self) -> Result<(), StatsError> {
+        if self.off != self.bytes.len() {
+            return Err(StatsError::InvalidArgument(
+                "gram bytes: trailing bytes".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,5 +986,91 @@ mod tests {
         let fit = accumulate(&rows, &y).solve(true).unwrap();
         assert!(fit.predict(&[1.0, 2.0, 3.0]).is_ok());
         assert!(fit.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn byte_codec_roundtrip_bit_exact() {
+        let (rows, y) = noisy_design(40);
+        let acc = accumulate(&rows, &y);
+        assert!(acc.xtx_is_symmetric());
+        let bytes = acc.to_bytes();
+        // Symmetric: only the lower triangle is stored, each float at
+        // most 9 bytes in the compact encoding — and encoding twice is
+        // byte-stable.
+        let k = acc.k();
+        assert!(bytes.len() <= 4 + 8 + 1 + 9 * (k * (k + 1) / 2 + k + 2));
+        assert_eq!(bytes, acc.to_bytes());
+        let back = GramAccumulator::from_bytes(&bytes).unwrap();
+        assert_eq!(back, acc);
+        for (a, b) in back.xtx().iter().zip(acc.xtx()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn byte_codec_asymmetric_fallback() {
+        // from_parts can carry an asymmetric XᵀX; the codec must keep it.
+        let mut xtx = vec![1.0, 2.0, 3.0, 4.0];
+        xtx[1] = 2.5; // xtx[0][1] != xtx[1][0]
+        let acc = GramAccumulator::from_parts(2, 3, xtx, vec![5.0, 6.0], 7.0, 8.0).unwrap();
+        assert!(!acc.xtx_is_symmetric());
+        let bytes = acc.to_bytes();
+        // Full k² floats, small integer-ish values: 2-3 bytes each.
+        assert!(bytes.len() <= 4 + 8 + 1 + 9 * (4 + 2 + 2));
+        assert_eq!(GramAccumulator::from_bytes(&bytes).unwrap(), acc);
+    }
+
+    #[test]
+    fn byte_codec_rejects_malformed() {
+        let (rows, y) = noisy_design(10);
+        let bytes = accumulate(&rows, &y).to_bytes();
+        // Truncation at every boundary fails cleanly.
+        for cut in [0, 3, 4, 12, 13, bytes.len() - 1] {
+            assert!(GramAccumulator::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(GramAccumulator::from_bytes(&padded).is_err());
+        // An unknown flags byte is rejected.
+        let mut bad = bytes;
+        bad[12] = 9;
+        assert!(GramAccumulator::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn compact_float_encoding_is_canonical_and_minimal() {
+        let mut buf = Vec::new();
+        push_f64_compact(&mut buf, 0.0);
+        assert_eq!(buf, [0]);
+        buf.clear();
+        // An integer-valued double drops its low-order zero bytes.
+        push_f64_compact(&mut buf, 167.0);
+        assert_eq!(buf.len(), 4, "{buf:?}");
+        assert_eq!(read_f64_compact(&buf), Some((167.0, 4)));
+        // Non-canonical: a leading payload zero that should be dropped.
+        assert_eq!(read_f64_compact(&[2, 0, 64]), None);
+        // Length byte above 8, truncated payload, empty input.
+        assert_eq!(read_f64_compact(&[9, 1, 2, 3, 4, 5, 6, 7, 8, 9]), None);
+        assert_eq!(read_f64_compact(&[3, 1]), None);
+        assert_eq!(read_f64_compact(&[]), None);
+    }
+
+    #[test]
+    fn byte_codec_preserves_special_floats() {
+        let acc = GramAccumulator::from_parts(
+            1,
+            2,
+            vec![f64::INFINITY],
+            vec![-0.0],
+            f64::MIN_POSITIVE,
+            -f64::NAN,
+        )
+        .unwrap();
+        let back = GramAccumulator::from_bytes(&acc.to_bytes()).unwrap();
+        assert_eq!(back.xtx()[0], f64::INFINITY);
+        assert_eq!(back.xty()[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.yty(), f64::MIN_POSITIVE);
+        assert_eq!(back.sum_y().to_bits(), (-f64::NAN).to_bits());
     }
 }
